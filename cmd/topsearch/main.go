@@ -1,0 +1,125 @@
+// Command topsearch runs a topology search over a generated
+// Biozon-like database from the command line.
+//
+// Usage:
+//
+//	topsearch [flags]
+//
+//	-es1/-es2        entity sets (default Protein / DNA)
+//	-kw1/-kw2        keyword constraint on the desc column of each side
+//	-eq2             equality constraint col=value on entity set 2
+//	-k               top-k (0 = all results)
+//	-rank            ranking: freq | rare | domain
+//	-method          evaluation method (default fast-top-k-opt / fast-top)
+//	-scale/-seed     synthetic database size and seed
+//	-figure3         use the paper's Figure 3 example database
+//	-l               path-length bound
+//	-prune           pruning threshold (-1 disables)
+//	-explain         print the optimizer's plan choice
+//	-instances       print up to N instance pairs per topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"toposearch"
+)
+
+func main() {
+	var (
+		es1     = flag.String("es1", toposearch.Protein, "first entity set")
+		es2     = flag.String("es2", toposearch.DNA, "second entity set")
+		kw1     = flag.String("kw1", "", "keyword constraint on entity set 1 desc")
+		kw2     = flag.String("kw2", "", "keyword constraint on entity set 2 desc")
+		eq2     = flag.String("eq2", "", "equality constraint col=value on entity set 2")
+		k       = flag.Int("k", 10, "top-k (0 = all)")
+		rank    = flag.String("rank", toposearch.RankDomain, "ranking: freq|rare|domain")
+		method  = flag.String("method", "", "evaluation method override")
+		scale   = flag.Int("scale", 2, "synthetic database scale")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		figure3 = flag.Bool("figure3", false, "use the paper's Figure 3 database")
+		l       = flag.Int("l", 3, "path length bound")
+		prune   = flag.Int("prune", 8, "pruning threshold (-1 disables)")
+		explain = flag.Bool("explain", false, "print the optimizer plan")
+		instN   = flag.Int("instances", 2, "instance pairs to print per topology")
+		weak    = flag.Bool("weak-pruning", false, "apply Appendix B weak-relationship rules")
+	)
+	flag.Parse()
+
+	var db *toposearch.DB
+	var err error
+	if *figure3 {
+		db, err = toposearch.Figure3()
+	} else {
+		db, err = toposearch.Synthetic(*scale, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d entities, %d relationships (entity sets: %s)\n",
+		db.NumEntities(), db.NumRelationships(), strings.Join(db.EntitySets(), ", "))
+
+	cfg := toposearch.SearcherConfig{
+		MaxLen:          *l,
+		PruneThreshold:  *prune,
+		MaxCombinations: 4096,
+		WeakPruning:     *weak,
+	}
+	s, err := db.NewSearcher(*es1, *es2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precomputed %d topologies for %s-%s (%d pruned)\n\n",
+		s.TopologyCount(), *es1, *es2, s.PrunedCount())
+
+	q := toposearch.SearchQuery{K: *k, Ranking: *rank, Method: *method}
+	if *kw1 != "" {
+		q.Cons1 = append(q.Cons1, toposearch.Constraint{Column: "desc", Keyword: *kw1})
+	}
+	if *kw2 != "" {
+		q.Cons2 = append(q.Cons2, toposearch.Constraint{Column: "desc", Keyword: *kw2})
+	}
+	if *eq2 != "" {
+		col, val, ok := strings.Cut(*eq2, "=")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-eq2 must be col=value")
+			os.Exit(2)
+		}
+		q.Cons2 = append(q.Cons2, toposearch.Constraint{Column: col, Equals: val})
+	}
+
+	if *explain {
+		plan, err := s.Explain(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(plan)
+	}
+
+	res, err := s.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d topologies (method %s", len(res.Topologies), res.Method)
+	if res.Plan != "" {
+		fmt.Printf(", plan %s", res.Plan)
+	}
+	fmt.Println("):")
+	for i, tp := range res.Topologies {
+		fmt.Printf("\n#%d topology %d  score=%d freq=%d  %d nodes / %d edges / %d class(es)\n",
+			i+1, tp.ID, tp.Score, tp.Frequency, tp.Nodes, tp.Edges, tp.Classes)
+		fmt.Printf("   %s\n", tp.Structure)
+		for _, pair := range s.Instances(tp.ID, *instN) {
+			fmt.Printf("   instance %d-%d\n", pair[0], pair[1])
+			if lines, ok := s.Witness(pair[0], pair[1], tp.ID); ok {
+				for _, ln := range lines {
+					fmt.Printf("     %s\n", ln)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command selfregulation hunts for the biologically significant
+// topology of the paper's Figure 16: two proteins encoded by the same
+// DNA sequence that also interact with each other — the signature of
+// operons and viral genomes whose products are co-regulated, and of
+// proteins that regulate their own DNA.
+//
+// Viewed as a Protein-DNA topology, the motif unions the direct
+// "encodes" path with the Protein-Interaction-Protein-DNA path into a
+// cycle through an Interaction node. The Domain ranking is designed to
+// surface exactly such structures, so a top-k search under it finds the
+// motif without enumerating anything by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"toposearch"
+)
+
+func main() {
+	// A synthetic Biozon-like database with Figure-16 motifs planted by
+	// the generator (alongside plenty of Zipfian noise).
+	db, err := toposearch.Synthetic(2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d entities, %d relationships\n",
+		db.NumEntities(), db.NumRelationships())
+
+	s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, toposearch.DefaultSearcherConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline phase: %d Protein-DNA topologies, %d pruned\n\n",
+		s.TopologyCount(), s.PrunedCount())
+
+	res, err := s.Search(toposearch.SearchQuery{
+		K:       20,
+		Ranking: toposearch.RankDomain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Among the candidates, the *minimal* structure is the crisp
+	// Figure 16 motif; the larger ones are the same motif diluted by
+	// extra relationships (the paper's Section 6.2.3 concern).
+	var hit *toposearch.TopologyResult
+	for i := range res.Topologies {
+		tp := &res.Topologies[i]
+		if isSelfRegulation(*tp) && (hit == nil || tp.Nodes < hit.Nodes ||
+			(tp.Nodes == hit.Nodes && tp.Edges < hit.Edges)) {
+			hit = tp
+		}
+	}
+	fmt.Println("top topologies under the Domain (biological significance) ranking:")
+	for i, tp := range res.Topologies {
+		if i >= 8 {
+			break
+		}
+		marker := ""
+		if hit != nil && tp.ID == hit.ID {
+			marker = "  <= Figure 16 candidate"
+		}
+		fmt.Printf("  #%d score=%-4d nodes=%d edges=%d classes=%d%s\n",
+			i+1, tp.Score, tp.Nodes, tp.Edges, tp.Classes, marker)
+	}
+	if hit == nil {
+		fmt.Println("\nno self-regulation candidate in the top results")
+		return
+	}
+	fmt.Printf("\nminimal self-regulation structure:\n  %s\n", hit.Structure)
+
+	fmt.Printf("\nself-regulation topology %d relates %d entity pair(s); examples:\n",
+		hit.ID, hit.Frequency)
+	for _, pair := range s.Instances(hit.ID, 3) {
+		fmt.Printf("  Protein %d - DNA %d\n", pair[0], pair[1])
+		if lines, ok := s.Witness(pair[0], pair[1], hit.ID); ok {
+			for _, l := range lines {
+				fmt.Printf("    %s\n", l)
+			}
+		}
+	}
+}
+
+// isSelfRegulation recognizes the Figure 16 shape: a cyclic topology
+// through an Interaction node combining the direct encodes path with an
+// interaction-mediated one.
+func isSelfRegulation(tp toposearch.TopologyResult) bool {
+	return tp.Classes >= 2 &&
+		tp.Edges >= tp.Nodes && // contains a cycle
+		strings.Contains(tp.Structure, "Interaction") &&
+		strings.Contains(tp.Structure, "encodes")
+}

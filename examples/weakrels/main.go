@@ -1,0 +1,70 @@
+// Command weakrels reproduces the paper's Section 6.2.3 analysis: with
+// path length l=4, weak relationships — schema paths that extend
+// P-D-P / P-U-P / P-F-P / F-W-F patterns and mostly connect unrelated
+// end points — both dilute the quality of topologies (Figure 17) and
+// blow up precomputation cost. The paper's proposed fix is to prune
+// them using domain knowledge (Appendix B); this example measures the
+// effect of that pruning on the same database.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"toposearch"
+)
+
+func main() {
+	db, err := toposearch.Synthetic(1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d entities, %d relationships\n\n",
+		db.NumEntities(), db.NumRelationships())
+
+	run := func(weak bool) (*toposearch.Searcher, time.Duration) {
+		cfg := toposearch.DefaultSearcherConfig()
+		cfg.MaxLen = 4
+		cfg.WeakPruning = weak
+		start := time.Now()
+		s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s, time.Since(start)
+	}
+
+	sAll, dAll := run(false)
+	sWeak, dWeak := run(true)
+
+	fmt.Println("l=4 Protein-DNA topology computation:")
+	fmt.Printf("  %-24s %12s %12s %14s\n", "", "topologies", "pruned", "precompute")
+	fmt.Printf("  %-24s %12d %12d %14v\n", "all schema paths", sAll.TopologyCount(), sAll.PrunedCount(), dAll.Round(time.Millisecond))
+	fmt.Printf("  %-24s %12d %12d %14v\n", "weak paths removed", sWeak.TopologyCount(), sWeak.PrunedCount(), dWeak.Round(time.Millisecond))
+
+	spAll, spWeak := sAll.Space(), sWeak.Space()
+	fmt.Printf("\n  AllTops rows: %d -> %d after weak-relationship pruning\n",
+		spAll.AllTopsRows, spWeak.AllTopsRows)
+
+	// Show the dilution: under the Domain ranking, the unpruned l=4
+	// results drag in large diluted unions; the weak-pruned searcher
+	// keeps the crisp structures.
+	query := toposearch.SearchQuery{K: 5, Ranking: toposearch.RankDomain}
+	for name, s := range map[string]*toposearch.Searcher{
+		"with weak relationships": sAll,
+		"weak paths pruned":       sWeak,
+	} {
+		res, err := s.Search(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntop domain-ranked topologies (%s):\n", name)
+		for i, tp := range res.Topologies {
+			fmt.Printf("  #%d score=%-5d nodes=%-3d edges=%-3d classes=%d\n",
+				i+1, tp.Score, tp.Nodes, tp.Edges, tp.Classes)
+		}
+	}
+	fmt.Println("\nconclusion: pruning weak relationships shrinks the l=4 computation")
+	fmt.Println("while keeping the biologically meaningful structures (Appendix B).")
+}

@@ -1,0 +1,70 @@
+package biozon
+
+import "toposearch/internal/relstore"
+
+// Figure 3 entity IDs (exactly as printed in the paper).
+const (
+	P32 = 32 // Ubiquitin-conjugating enzyme UBCi
+	P78 = 78 // Ubiquitin-conjugating enzyme variant MMS2
+	P34 = 34 // vitamin D inducible protein [Homo sapiens]
+	P44 = 44 // ubiquitin-conjugating enzyme E2B (homolog)
+
+	U103 = 103 // ubiquitin-conjugating enzyme E2
+	U150 = 150 // hypothetical protein FLJ13855
+	U188 = 188 // ubiquitin-conjugating enzyme E2S
+	U194 = 194 // ubiquitin-conjugating enzyme E2S
+
+	D214 = 214 // Oryctolagus cuniculus ubiquitin-conjugating enzyme UBCi
+	D215 = 215 // Homo sapiens MMS2 (MMS2) mRNA, complete cds
+	D742 = 742 // Human ubiquitin carrier protein (E2-EPF) mRNA, complete cds
+)
+
+// Figure3DB builds the exact example database of Figure 3 / Figure 6:
+// four proteins, four unigene clusters, three DNA sequences, and the
+// eleven relationships that make the query Q1 = {(Protein,
+// desc.ct('enzyme')), (DNA, type='mRNA')} return the topologies T1–T4 of
+// Figure 5. It is the ground truth for the correctness tests of the
+// topology algebra.
+func Figure3DB() *relstore.DB {
+	db := EmptyDB()
+
+	p := db.MustTable(TabProtein)
+	p.MustInsert(relstore.IntVal(P32), relstore.StrVal("Ubiquitin-conjugating enzyme UBCi"))
+	p.MustInsert(relstore.IntVal(P78), relstore.StrVal("Ubiquitin-conjugating enzyme variant MMS2"))
+	p.MustInsert(relstore.IntVal(P34), relstore.StrVal("vitamin D inducible protein Homo sapiens"))
+	p.MustInsert(relstore.IntVal(P44), relstore.StrVal("ubiquitin-conjugating enzyme E2B homolog"))
+
+	u := db.MustTable(TabUnigene)
+	u.MustInsert(relstore.IntVal(U103), relstore.StrVal("ubiquitin-conjugating enzyme E2"))
+	u.MustInsert(relstore.IntVal(U150), relstore.StrVal("hypothetical protein FLJ13855"))
+	u.MustInsert(relstore.IntVal(U188), relstore.StrVal("ubiquitin-conjugating enzyme E2S"))
+	u.MustInsert(relstore.IntVal(U194), relstore.StrVal("ubiquitin-conjugating enzyme E2S"))
+
+	d := db.MustTable(TabDNA)
+	d.MustInsert(relstore.IntVal(D214), relstore.StrVal("mRNA"),
+		relstore.StrVal("Oryctolagus cuniculus ubiquitin-conjugating enzyme UBCi"))
+	d.MustInsert(relstore.IntVal(D215), relstore.StrVal("mRNA"),
+		relstore.StrVal("Homo sapiens MMS2 mRNA complete cds"))
+	d.MustInsert(relstore.IntVal(D742), relstore.StrVal("mRNA"),
+		relstore.StrVal("Human ubiquitin carrier protein E2-EPF mRNA complete cds"))
+
+	// Relationships, with the tuple IDs printed in Figure 4/6.
+	enc := db.MustTable(TabEncodes)
+	enc.MustInsert(relstore.IntVal(57), relstore.IntVal(P32), relstore.IntVal(D214))
+	enc.MustInsert(relstore.IntVal(44), relstore.IntVal(P34), relstore.IntVal(D215))
+
+	ue := db.MustTable(TabUniEncodes)
+	ue.MustInsert(relstore.IntVal(25), relstore.IntVal(U103), relstore.IntVal(P78))
+	ue.MustInsert(relstore.IntVal(14), relstore.IntVal(U103), relstore.IntVal(P34))
+	ue.MustInsert(relstore.IntVal(31), relstore.IntVal(U150), relstore.IntVal(P78))
+	ue.MustInsert(relstore.IntVal(42), relstore.IntVal(U188), relstore.IntVal(P44))
+	ue.MustInsert(relstore.IntVal(11), relstore.IntVal(U194), relstore.IntVal(P44))
+
+	uc := db.MustTable(TabUniContains)
+	uc.MustInsert(relstore.IntVal(62), relstore.IntVal(U103), relstore.IntVal(D215))
+	uc.MustInsert(relstore.IntVal(93), relstore.IntVal(U150), relstore.IntVal(D215))
+	uc.MustInsert(relstore.IntVal(121), relstore.IntVal(U188), relstore.IntVal(D742))
+	uc.MustInsert(relstore.IntVal(37), relstore.IntVal(U194), relstore.IntVal(D742))
+
+	return db
+}

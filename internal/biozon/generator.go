@@ -1,0 +1,287 @@
+package biozon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toposearch/internal/relstore"
+)
+
+// Entity-set ID namespaces keep object IDs globally unique, matching
+// the paper's assumption that "the IDs of different biological objects
+// are not overlapping".
+const (
+	BaseProtein     = 1_000_000
+	BaseDNA         = 2_000_000
+	BaseUnigene     = 3_000_000
+	BaseInteraction = 4_000_000
+	BaseFamily      = 5_000_000
+	BasePathway     = 6_000_000
+	BaseStructure   = 7_000_000
+)
+
+// Keyword tokens planted into desc columns with fixed selectivities —
+// the paper's experiments use predicates of 15%, 50% and 85%
+// selectivity (Table 2).
+const (
+	TokenSelective   = "kwsel15"
+	TokenMedium      = "kwsel50"
+	TokenUnselective = "kwsel85"
+)
+
+// GenConfig parameterizes the synthetic Biozon-like database.
+type GenConfig struct {
+	Seed int64
+
+	// Entity counts.
+	Proteins, DNAs, Unigenes, Interactions int
+	Families, Pathways, Structures         int
+
+	// Relationship counts.
+	Encodes, UniEncodes, UniContains int
+	PInteract, DInteract             int
+	Belongs, Manifest, PathElements  int
+
+	// Zipf exponent for degree skew (>1); the topology-frequency
+	// distribution the paper reports (Figure 11) is approximately
+	// Zipfian, which this skew induces.
+	Skew float64
+	// MaxDegree truncates hub degrees so that bounded-length path
+	// enumeration stays tractable (hubs otherwise make P-D-P style
+	// path counts quadratic in degree).
+	MaxDegree int
+	// SelfRegulating plants that many copies of the biologically
+	// significant motif of Figure 16: two proteins encoded by the same
+	// DNA that also interact with each other.
+	SelfRegulating int
+	// Triangles plants that many encodes+uni_encodes+uni_contains
+	// triangles (a protein and a DNA related by both the direct
+	// encodes edge and a shared Unigene cluster), the structure behind
+	// the pruning exceptions.
+	Triangles int
+}
+
+// DefaultConfig returns a config whose entity and relationship counts
+// scale linearly with the given factor; scale 1 is a small test
+// database (~1.3k entities), scale 10 a bench-sized one.
+func DefaultConfig(scale int) GenConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return GenConfig{
+		Seed:           42,
+		Proteins:       300 * scale,
+		DNAs:           400 * scale,
+		Unigenes:       200 * scale,
+		Interactions:   150 * scale,
+		Families:       60 * scale,
+		Pathways:       25 * scale,
+		Structures:     80 * scale,
+		Encodes:        350 * scale,
+		UniEncodes:     400 * scale,
+		UniContains:    380 * scale,
+		PInteract:      300 * scale,
+		DInteract:      160 * scale,
+		Belongs:        320 * scale,
+		Manifest:       120 * scale,
+		PathElements:   90 * scale,
+		Skew:           1.4,
+		MaxDegree:      40,
+		SelfRegulating: 6 * scale,
+		Triangles:      10 * scale,
+	}
+}
+
+// zipfPicker draws entity indices 0..n-1 with Zipf-distributed
+// popularity over a per-relationship random permutation (so "hub"
+// entities differ between relationship sets), while capping how often
+// any single index is drawn.
+type zipfPicker struct {
+	z      *rand.Zipf
+	perm   []int
+	counts []int
+	max    int
+	rng    *rand.Rand
+	n      int
+}
+
+func newZipfPicker(rng *rand.Rand, n int, skew float64, maxDegree int) *zipfPicker {
+	if n < 1 {
+		n = 1
+	}
+	return &zipfPicker{
+		z:      rand.NewZipf(rng, skew, 1, uint64(n-1)),
+		perm:   rng.Perm(n),
+		counts: make([]int, n),
+		max:    maxDegree,
+		rng:    rng,
+		n:      n,
+	}
+}
+
+func (p *zipfPicker) pick() int {
+	for tries := 0; tries < 32; tries++ {
+		i := p.perm[int(p.z.Uint64())]
+		if p.max <= 0 || p.counts[i] < p.max {
+			p.counts[i]++
+			return i
+		}
+	}
+	// Hubs saturated: fall back to uniform.
+	i := p.rng.Intn(p.n)
+	p.counts[i]++
+	return i
+}
+
+type edgeLoader struct {
+	t      *relstore.Table
+	seen   map[[2]int64]bool
+	nextID int64
+}
+
+func newEdgeLoader(t *relstore.Table) *edgeLoader {
+	return &edgeLoader{t: t, seen: map[[2]int64]bool{}, nextID: 1}
+}
+
+// add inserts the (a,b) relationship unless it already exists.
+func (l *edgeLoader) add(a, b int64) bool {
+	if l.seen[[2]int64{a, b}] {
+		return false
+	}
+	l.seen[[2]int64{a, b}] = true
+	l.t.MustInsert(relstore.IntVal(l.nextID), relstore.IntVal(a), relstore.IntVal(b))
+	l.nextID++
+	return true
+}
+
+func descFor(rng *rand.Rand, kind string, i int) string {
+	d := fmt.Sprintf("%s %d", kind, i)
+	if rng.Float64() < 0.15 {
+		d += " " + TokenSelective
+	}
+	if rng.Float64() < 0.50 {
+		d += " " + TokenMedium
+	}
+	if rng.Float64() < 0.85 {
+		d += " " + TokenUnselective
+	}
+	if rng.Float64() < 0.30 {
+		d += " enzyme"
+	}
+	return d
+}
+
+// Generate builds a synthetic Biozon-like database. The same config
+// always yields the same database.
+func Generate(cfg GenConfig) *relstore.DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := EmptyDB()
+
+	loadEntities := func(table string, base, n int, kind string, withType bool) {
+		t := db.MustTable(table)
+		for i := 0; i < n; i++ {
+			id := relstore.IntVal(int64(base + i))
+			if withType {
+				dt := "EST"
+				switch {
+				case rng.Float64() < 0.5:
+					dt = "mRNA"
+				case rng.Float64() < 0.5:
+					dt = "genomic"
+				}
+				t.MustInsert(id, relstore.StrVal(dt), relstore.StrVal(descFor(rng, kind, i)))
+				continue
+			}
+			t.MustInsert(id, relstore.StrVal(descFor(rng, kind, i)))
+		}
+	}
+	loadEntities(TabProtein, BaseProtein, cfg.Proteins, "protein", false)
+	loadEntities(TabDNA, BaseDNA, cfg.DNAs, "dna", true)
+	loadEntities(TabUnigene, BaseUnigene, cfg.Unigenes, "unigene", false)
+	loadEntities(TabInteraction, BaseInteraction, cfg.Interactions, "interaction", false)
+	loadEntities(TabFamily, BaseFamily, cfg.Families, "family", false)
+	loadEntities(TabPathway, BasePathway, cfg.Pathways, "pathway", false)
+	loadEntities(TabStructure, BaseStructure, cfg.Structures, "structure", false)
+
+	type relSpec struct {
+		table     string
+		count     int
+		aBase, aN int
+		bBase, bN int
+	}
+	specs := []relSpec{
+		{TabEncodes, cfg.Encodes, BaseProtein, cfg.Proteins, BaseDNA, cfg.DNAs},
+		{TabUniEncodes, cfg.UniEncodes, BaseUnigene, cfg.Unigenes, BaseProtein, cfg.Proteins},
+		{TabUniContains, cfg.UniContains, BaseUnigene, cfg.Unigenes, BaseDNA, cfg.DNAs},
+		{TabPInteract, cfg.PInteract, BaseProtein, cfg.Proteins, BaseInteraction, cfg.Interactions},
+		{TabDInteract, cfg.DInteract, BaseDNA, cfg.DNAs, BaseInteraction, cfg.Interactions},
+		{TabBelongs, cfg.Belongs, BaseProtein, cfg.Proteins, BaseFamily, cfg.Families},
+		{TabManifest, cfg.Manifest, BaseStructure, cfg.Structures, BaseProtein, cfg.Proteins},
+		{TabPathElement, cfg.PathElements, BaseFamily, cfg.Families, BasePathway, cfg.Pathways},
+	}
+	loaders := map[string]*edgeLoader{}
+	for _, sp := range specs {
+		l := newEdgeLoader(db.MustTable(sp.table))
+		loaders[sp.table] = l
+		if sp.aN == 0 || sp.bN == 0 {
+			continue
+		}
+		pa := newZipfPicker(rng, sp.aN, cfg.Skew, cfg.MaxDegree)
+		pb := newZipfPicker(rng, sp.bN, cfg.Skew, cfg.MaxDegree)
+		for e := 0; e < sp.count; e++ {
+			a := int64(sp.aBase + pa.pick())
+			b := int64(sp.bBase + pb.pick())
+			l.add(a, b)
+		}
+	}
+
+	// Plant Figure 16 motifs: encodes(p1,d), encodes(p2,d),
+	// interaction(p1,i), interaction(p2,i).
+	if cfg.Proteins > 1 && cfg.DNAs > 0 && cfg.Interactions > 0 {
+		for m := 0; m < cfg.SelfRegulating; m++ {
+			p1 := int64(BaseProtein + rng.Intn(cfg.Proteins))
+			p2 := int64(BaseProtein + rng.Intn(cfg.Proteins))
+			if p1 == p2 {
+				continue
+			}
+			d := int64(BaseDNA + rng.Intn(cfg.DNAs))
+			i := int64(BaseInteraction + rng.Intn(cfg.Interactions))
+			loaders[TabEncodes].add(p1, d)
+			loaders[TabEncodes].add(p2, d)
+			loaders[TabPInteract].add(p1, i)
+			loaders[TabPInteract].add(p2, i)
+		}
+	}
+
+	// Plant pruning-exception triangles: encodes(p,d) + uni_encodes(u,p)
+	// + uni_contains(u,d).
+	if cfg.Proteins > 0 && cfg.DNAs > 0 && cfg.Unigenes > 0 {
+		for m := 0; m < cfg.Triangles; m++ {
+			p := int64(BaseProtein + rng.Intn(cfg.Proteins))
+			d := int64(BaseDNA + rng.Intn(cfg.DNAs))
+			u := int64(BaseUnigene + rng.Intn(cfg.Unigenes))
+			loaders[TabEncodes].add(p, d)
+			loaders[TabUniEncodes].add(u, p)
+			loaders[TabUniContains].add(u, d)
+		}
+	}
+	return db
+}
+
+// SelectivityPred returns the keyword predicate over the table's desc
+// column with approximately the named selectivity ("selective" = 15%,
+// "medium" = 50%, "unselective" = 85%).
+func SelectivityPred(schema *relstore.Schema, level string) (relstore.Pred, error) {
+	var tok string
+	switch level {
+	case "selective":
+		tok = TokenSelective
+	case "medium":
+		tok = TokenMedium
+	case "unselective":
+		tok = TokenUnselective
+	default:
+		return nil, fmt.Errorf("biozon: unknown selectivity level %q", level)
+	}
+	return relstore.Contains(schema, "desc", tok)
+}

@@ -1,0 +1,165 @@
+// Package biozon defines the Biozon-like workload used throughout the
+// reproduction: the schema of Figure 1, the exact micro-instance of
+// Figure 3 (used as the paper's running example), and a deterministic
+// synthetic generator whose relationship degrees are Zipf-distributed so
+// that the induced topology-frequency distribution matches the Zipfian
+// shape the paper reports for the real Biozon database (Figure 11).
+package biozon
+
+import (
+	"toposearch/internal/graph"
+	"toposearch/internal/relstore"
+)
+
+// Entity set names (node types).
+const (
+	Protein     = "Protein"
+	DNA         = "DNA"
+	Unigene     = "Unigene"
+	Interaction = "Interaction"
+	Family      = "Family"
+	Pathway     = "Pathway"
+	Structure   = "Structure"
+)
+
+// Relationship set names (edge types). Both interaction tables carry the
+// same edge label "interaction", as in Figure 1.
+const (
+	RelEncodes     = "encodes"
+	RelUniEncodes  = "uni_encodes"
+	RelUniContains = "uni_contains"
+	RelInteraction = "interaction"
+	RelBelongs     = "belongs"
+	RelManifest    = "manifest"
+	RelPathElement = "path_element"
+)
+
+// Table names.
+const (
+	TabProtein     = "Protein"
+	TabDNA         = "DNA"
+	TabUnigene     = "Unigene"
+	TabInteraction = "Interaction"
+	TabFamily      = "Family"
+	TabPathway     = "Pathway"
+	TabStructure   = "Structure"
+
+	TabEncodes     = "Encodes"
+	TabUniEncodes  = "Uni_encodes"
+	TabUniContains = "Uni_contains"
+	TabPInteract   = "Protein_interaction"
+	TabDInteract   = "DNA_interaction"
+	TabBelongs     = "Belongs"
+	TabManifest    = "Manifest"
+	TabPathElement = "Path_element"
+)
+
+// entityTables lists every entity table's schema: an integer primary key
+// plus queryable string attributes.
+func entitySchemas() []*relstore.Schema {
+	return []*relstore.Schema{
+		relstore.MustSchema(TabProtein, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabDNA, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "type", Type: relstore.TString},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabUnigene, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabInteraction, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabFamily, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabPathway, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+		relstore.MustSchema(TabStructure, []relstore.Column{
+			{Name: "ID", Type: relstore.TInt},
+			{Name: "desc", Type: relstore.TString},
+		}, "ID"),
+	}
+}
+
+// relSchema builds the schema for a binary relationship table with its
+// own tuple ID and two endpoint columns.
+func relSchema(name, aCol, bCol string) *relstore.Schema {
+	return relstore.MustSchema(name, []relstore.Column{
+		{Name: "ID", Type: relstore.TInt},
+		{Name: aCol, Type: relstore.TInt},
+		{Name: bCol, Type: relstore.TInt},
+	}, "ID")
+}
+
+func relSchemas() []*relstore.Schema {
+	return []*relstore.Schema{
+		relSchema(TabEncodes, "PID", "DID"),
+		relSchema(TabUniEncodes, "UID", "PID"),
+		relSchema(TabUniContains, "UID", "DID"),
+		relSchema(TabPInteract, "PID", "IID"),
+		relSchema(TabDInteract, "DID", "IID"),
+		relSchema(TabBelongs, "PID", "FID"),
+		relSchema(TabManifest, "SID", "PID"),
+		relSchema(TabPathElement, "FID", "WID"),
+	}
+}
+
+// SchemaGraph returns the Biozon schema graph of Figure 1. With this
+// schema there are exactly ten schema paths of length three or less
+// connecting Protein and DNA, matching the count quoted in the paper's
+// introduction.
+func SchemaGraph() *graph.SchemaGraph {
+	sg, err := graph.NewSchemaGraph(
+		[]graph.EntitySet{
+			{Name: Protein, Table: TabProtein},
+			{Name: DNA, Table: TabDNA},
+			{Name: Unigene, Table: TabUnigene},
+			{Name: Interaction, Table: TabInteraction},
+			{Name: Family, Table: TabFamily},
+			{Name: Pathway, Table: TabPathway},
+			{Name: Structure, Table: TabStructure},
+		},
+		[]graph.RelSet{
+			{Name: RelEncodes, A: Protein, B: DNA, Table: TabEncodes, ACol: "PID", BCol: "DID"},
+			{Name: RelUniEncodes, A: Unigene, B: Protein, Table: TabUniEncodes, ACol: "UID", BCol: "PID"},
+			{Name: RelUniContains, A: Unigene, B: DNA, Table: TabUniContains, ACol: "UID", BCol: "DID"},
+			{Name: RelInteraction, A: Protein, B: Interaction, Table: TabPInteract, ACol: "PID", BCol: "IID"},
+			{Name: RelInteraction, A: DNA, B: Interaction, Table: TabDInteract, ACol: "DID", BCol: "IID"},
+			{Name: RelBelongs, A: Protein, B: Family, Table: TabBelongs, ACol: "PID", BCol: "FID"},
+			{Name: RelManifest, A: Structure, B: Protein, Table: TabManifest, ACol: "SID", BCol: "PID"},
+			{Name: RelPathElement, A: Family, B: Pathway, Table: TabPathElement, ACol: "FID", BCol: "WID"},
+		})
+	if err != nil {
+		panic(err) // static schema, cannot fail
+	}
+	return sg
+}
+
+// EmptyDB creates a database with every Biozon table present and empty,
+// with hash indices on all endpoint columns and the primary keys (the
+// paper's setup "built indices on all the primary keys and queried
+// attributes").
+func EmptyDB() *relstore.DB {
+	db := relstore.NewDB()
+	for _, s := range entitySchemas() {
+		db.MustCreateTable(s)
+	}
+	for _, s := range relSchemas() {
+		t := db.MustCreateTable(s)
+		for _, c := range s.Cols[1:] { // endpoint columns
+			if _, err := t.CreateHashIndex(c.Name); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return db
+}

@@ -1,0 +1,75 @@
+package canon
+
+import "fmt"
+
+// Builder incrementally assembles a labeled graph from externally-keyed
+// nodes and edges. It is used to union instance paths into a result
+// graph (Definition 2): nodes are keyed by entity ID and edges by the
+// graph-global relationship ID, so unioning two paths that share an
+// intermediate entity merges that entity into a single node — exactly
+// the distinction between topologies T3 and T4 in the paper's running
+// example.
+type Builder struct {
+	idx      map[int64]int
+	labels   []string
+	edgeSeen map[int64]bool
+	edges    []Edge
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		idx:      make(map[int64]int),
+		edgeSeen: make(map[int64]bool),
+	}
+}
+
+// Node registers (or finds) the node with the external key, returning
+// its dense index. Registering an existing key with a different label
+// panics: entity types are immutable.
+func (b *Builder) Node(key int64, label string) int {
+	if i, ok := b.idx[key]; ok {
+		if b.labels[i] != label {
+			panic(fmt.Sprintf("canon: node %d relabeled %q -> %q", key, b.labels[i], label))
+		}
+		return i
+	}
+	i := len(b.labels)
+	b.idx[key] = i
+	b.labels = append(b.labels, label)
+	return i
+}
+
+// Edge registers an edge by its external key; duplicate keys are
+// ignored (the same relationship appearing on two unioned paths is one
+// edge of the result graph).
+func (b *Builder) Edge(edgeKey int64, u, v int64, label string) {
+	if b.edgeSeen[edgeKey] {
+		return
+	}
+	ui, ok := b.idx[u]
+	if !ok {
+		panic(fmt.Sprintf("canon: edge %d references unregistered node %d", edgeKey, u))
+	}
+	vi, ok := b.idx[v]
+	if !ok {
+		panic(fmt.Sprintf("canon: edge %d references unregistered node %d", edgeKey, v))
+	}
+	b.edgeSeen[edgeKey] = true
+	b.edges = append(b.edges, Edge{U: ui, V: vi, Label: label})
+}
+
+// NumNodes returns the number of registered nodes so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// NumEdges returns the number of registered edges so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Graph returns the assembled graph. The builder may continue to be
+// used afterwards; the returned graph snapshots the current state.
+func (b *Builder) Graph() *Graph {
+	return &Graph{
+		Labels: append([]string(nil), b.labels...),
+		Edges:  append([]Edge(nil), b.edges...),
+	}
+}

@@ -1,0 +1,290 @@
+// Package canon computes canonical forms of small labeled multigraphs.
+//
+// Topology identity in the paper is "equivalence under labeled-graph
+// isomorphism" (Section 2.1): two result graphs denote the same topology
+// exactly when there is a type-preserving bijection between them. canon
+// provides that identity as a canonical string: Canonical(g) ==
+// Canonical(h) iff g and h are isomorphic.
+//
+// The algorithm is individualization–refinement: iterated colour
+// refinement (initial colour = node label, refined by the multiset of
+// (edge label, neighbour colour) pairs), then exhaustive branching over
+// the first non-singleton cell, taking the lexicographically least
+// adjacency encoding over all discrete colourings explored. Topology
+// graphs have O(l) nodes (l = path-length bound, 3 or 4 in the paper),
+// so the worst-case exponential search is never a concern in practice;
+// property-based tests verify permutation invariance.
+package canon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is an undirected labeled edge between node indices U and V.
+type Edge struct {
+	U, V  int
+	Label string
+}
+
+// Graph is a small labeled multigraph. Node i carries label Labels[i].
+type Graph struct {
+	Labels []string
+	Edges  []Edge
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Labels) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Degrees returns per-node degrees (loops count twice).
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.Labels))
+	for _, e := range g.Edges {
+		d[e.U]++
+		d[e.V]++
+	}
+	return d
+}
+
+// IsPath reports whether g is a simple path: connected, acyclic, with
+// exactly two degree-1 endpoints (or a single node). Used to decide
+// which frequent topologies are prunable "simple" topologies
+// (Section 4.2.2).
+func (g *Graph) IsPath() bool {
+	n := len(g.Labels)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return len(g.Edges) == 0
+	}
+	if len(g.Edges) != n-1 {
+		return false
+	}
+	deg := g.Degrees()
+	ones := 0
+	for _, d := range deg {
+		switch d {
+		case 1:
+			ones++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return ones == 2 && g.connected()
+}
+
+func (g *Graph) connected() bool {
+	n := len(g.Labels)
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				cnt++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return cnt == n
+}
+
+// Canonical returns a string that identifies g up to labeled-graph
+// isomorphism: two graphs map to the same string iff they are
+// isomorphic.
+func Canonical(g *Graph) string {
+	n := len(g.Labels)
+	if n == 0 {
+		return "empty"
+	}
+	s := newSearch(g)
+	s.run()
+	return s.best
+}
+
+// Iso reports whether two labeled graphs are isomorphic.
+func Iso(a, b *Graph) bool {
+	if len(a.Labels) != len(b.Labels) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	return Canonical(a) == Canonical(b)
+}
+
+type neighbor struct {
+	to    int
+	label string
+}
+
+type search struct {
+	g    *Graph
+	n    int
+	adj  [][]neighbor
+	best string
+}
+
+func newSearch(g *Graph) *search {
+	n := len(g.Labels)
+	s := &search{g: g, n: n, adj: make([][]neighbor, n)}
+	for _, e := range g.Edges {
+		s.adj[e.U] = append(s.adj[e.U], neighbor{to: e.V, label: e.Label})
+		if e.U != e.V {
+			s.adj[e.V] = append(s.adj[e.V], neighbor{to: e.U, label: e.Label})
+		}
+	}
+	return s
+}
+
+func (s *search) run() {
+	colors := make([]int, s.n)
+	// Initial colouring by node label, ranks assigned in sorted label
+	// order so the colouring is permutation-invariant.
+	labels := append([]string(nil), s.g.Labels...)
+	sort.Strings(labels)
+	rank := map[string]int{}
+	for _, l := range labels {
+		if _, ok := rank[l]; !ok {
+			rank[l] = len(rank)
+		}
+	}
+	for i, l := range s.g.Labels {
+		colors[i] = rank[l]
+	}
+	s.branch(colors)
+}
+
+// refine runs colour refinement to a fixpoint. New colour ranks are
+// assigned by sorting (old colour, neighbourhood signature), which keeps
+// the refinement permutation-invariant.
+func (s *search) refine(colors []int) {
+	for {
+		type key struct {
+			node int
+			sig  string
+		}
+		keys := make([]key, s.n)
+		for v := 0; v < s.n; v++ {
+			parts := make([]string, 0, len(s.adj[v]))
+			for _, nb := range s.adj[v] {
+				parts = append(parts, fmt.Sprintf("%s~%06d", nb.label, colors[nb.to]))
+			}
+			sort.Strings(parts)
+			keys[v] = key{node: v, sig: fmt.Sprintf("%06d|%s", colors[v], strings.Join(parts, ","))}
+		}
+		sorted := append([]key(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].sig < sorted[j].sig })
+		newColors := make([]int, s.n)
+		c := -1
+		prev := ""
+		for _, k := range sorted {
+			if k.sig != prev {
+				c++
+				prev = k.sig
+			}
+			newColors[k.node] = c
+		}
+		same := true
+		// The partition is stable when the number of colours stops
+		// growing (refinement only ever splits cells).
+		if countColors(newColors) != countColors(colors) {
+			same = false
+		}
+		copy(colors, newColors)
+		if same {
+			return
+		}
+	}
+}
+
+func countColors(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+func (s *search) branch(colors []int) {
+	work := append([]int(nil), colors...)
+	s.refine(work)
+	// Find the first non-singleton cell (smallest colour).
+	cells := map[int][]int{}
+	for v, c := range work {
+		cells[c] = append(cells[c], v)
+	}
+	target := -1
+	for c := 0; c < s.n; c++ {
+		if len(cells[c]) > 1 {
+			target = c
+			break
+		}
+	}
+	if target == -1 {
+		enc := s.encode(work)
+		if s.best == "" || enc < s.best {
+			s.best = enc
+		}
+		return
+	}
+	for _, v := range cells[target] {
+		child := make([]int, s.n)
+		// Individualize v: give it a colour just below its cell, shift
+		// everything at or above the cell up by one.
+		for w, c := range work {
+			if c >= target {
+				child[w] = c + 1
+			} else {
+				child[w] = c
+			}
+		}
+		child[v] = target
+		s.branch(child)
+	}
+}
+
+// encode renders the graph under the discrete colouring (colours form a
+// permutation) as "labels;edges" with edges sorted.
+func (s *search) encode(colors []int) string {
+	pos := make([]int, s.n) // node -> canonical position
+	copy(pos, colors)
+	nodeAt := make([]int, s.n)
+	for v, p := range pos {
+		nodeAt[p] = v
+	}
+	var b strings.Builder
+	for p := 0; p < s.n; p++ {
+		if p > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.g.Labels[nodeAt[p]])
+	}
+	b.WriteByte(';')
+	edges := make([]string, 0, len(s.g.Edges))
+	for _, e := range s.g.Edges {
+		u, v := pos[e.U], pos[e.V]
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, fmt.Sprintf("%d-%d:%s", u, v, e.Label))
+	}
+	sort.Strings(edges)
+	b.WriteString(strings.Join(edges, ","))
+	return b.String()
+}

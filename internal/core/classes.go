@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+
+	"toposearch/internal/canon"
+	"toposearch/internal/graph"
+)
+
+// Options controls topology computation.
+type Options struct {
+	// MaxLen is the path-length bound l (the paper uses 3 and 4).
+	MaxLen int
+	// MaxCombinations bounds how many representative combinations the
+	// Definition 2 enumeration inspects per entity pair. The paper hits
+	// the same combinatorial blow-up for weak relationships with
+	// thousands of instance paths per class (Section 6.2.3); the cap
+	// keeps precomputation bounded while canonical-form deduplication
+	// keeps the result set exact in all non-pathological cases.
+	MaxCombinations int
+	// MaxPathsPerClass bounds the representatives considered per
+	// equivalence class (0 = unlimited).
+	MaxPathsPerClass int
+	// Weak optionally filters out weak-relationship schema paths before
+	// computation (Appendix B).
+	Weak *WeakRules
+}
+
+// DefaultOptions returns the options used across the reproduction:
+// l = 3, as in most of the paper's experiments.
+func DefaultOptions() Options {
+	return Options{MaxLen: 3, MaxCombinations: 4096, MaxPathsPerClass: 64}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLen == 0 {
+		o.MaxLen = 3
+	}
+	if o.MaxCombinations == 0 {
+		o.MaxCombinations = 4096
+	}
+	return o
+}
+
+// PathClasses computes l-PathEC(a,b) (Definition 1): the simple paths
+// of length <= maxLen between a and b, grouped into equivalence classes
+// by their type signature. Classes are returned with deterministically
+// ordered members.
+func PathClasses(g *graph.Graph, a, b graph.NodeID, maxLen int) map[graph.PathSig][]graph.Path {
+	classes := make(map[graph.PathSig][]graph.Path)
+	g.SimplePaths(a, b, maxLen, func(p graph.Path) bool {
+		sig := g.Signature(p)
+		classes[sig] = append(classes[sig], p.Clone())
+		return true
+	})
+	for _, paths := range classes {
+		sortPaths(paths)
+	}
+	return classes
+}
+
+func sortPaths(paths []graph.Path) {
+	sort.Slice(paths, func(i, j int) bool {
+		pi, pj := paths[i], paths[j]
+		if len(pi.Nodes) != len(pj.Nodes) {
+			return len(pi.Nodes) < len(pj.Nodes)
+		}
+		for k := range pi.Nodes {
+			if pi.Nodes[k] != pj.Nodes[k] {
+				return pi.Nodes[k] < pj.Nodes[k]
+			}
+		}
+		for k := range pi.Edges {
+			if pi.Edges[k] != pj.Edges[k] {
+				return pi.Edges[k] < pj.Edges[k]
+			}
+		}
+		return false
+	})
+}
+
+// sortedSigs returns the class signatures in lexicographic order.
+func sortedSigs(classes map[graph.PathSig][]graph.Path) []graph.PathSig {
+	sigs := make([]graph.PathSig, 0, len(classes))
+	for s := range classes {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	return sigs
+}
+
+// TopologiesFromClasses computes l-Top(a,b) (Definition 2) given the
+// pair's path equivalence classes: every way of choosing one
+// representative path per class, unioned into a graph, reduced to its
+// equivalence class. Results are registered in reg and returned as a
+// sorted, duplicate-free ID list.
+func TopologiesFromClasses(g *graph.Graph, reg *Registry,
+	classes map[graph.PathSig][]graph.Path, opts Options) []TopologyID {
+	opts = opts.withDefaults()
+	if len(classes) == 0 {
+		return nil
+	}
+	sigs := sortedSigs(classes)
+	reps := make([][]graph.Path, len(sigs))
+	for i, s := range sigs {
+		reps[i] = classes[s]
+		if opts.MaxPathsPerClass > 0 && len(reps[i]) > opts.MaxPathsPerClass {
+			reps[i] = reps[i][:opts.MaxPathsPerClass]
+		}
+	}
+
+	seen := make(map[TopologyID]bool)
+	var out []TopologyID
+	budget := opts.MaxCombinations
+	choice := make([]graph.Path, len(sigs))
+	var rec func(i int)
+	rec = func(i int) {
+		if budget <= 0 {
+			return
+		}
+		if i == len(sigs) {
+			budget--
+			id := registerUnion(g, reg, choice, sigs)
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+			return
+		}
+		for _, p := range reps[i] {
+			choice[i] = p
+			rec(i + 1)
+			if budget <= 0 {
+				return
+			}
+		}
+	}
+	rec(0)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// registerUnion unions the chosen representative paths into one labeled
+// graph and registers its topology.
+func registerUnion(g *graph.Graph, reg *Registry, paths []graph.Path, sigs []graph.PathSig) TopologyID {
+	b := canon.NewBuilder()
+	for _, p := range paths {
+		addPath(g, b, p)
+	}
+	return reg.Register(b.Graph(), sigs)
+}
+
+func addPath(g *graph.Graph, b *canon.Builder, p graph.Path) {
+	for i, n := range p.Nodes {
+		t, _ := g.NodeType(n)
+		b.Node(int64(n), g.NodeTypes.Name(t))
+		if i > 0 {
+			b.Edge(p.Edges[i-1], int64(p.Nodes[i-1]), int64(n), g.EdgeTypes.Name(p.Types[i-1]))
+		}
+	}
+}
+
+// TopologiesOf computes l-Top(a,b) directly from the data graph.
+func TopologiesOf(g *graph.Graph, reg *Registry, a, b graph.NodeID, opts Options) []TopologyID {
+	opts = opts.withDefaults()
+	return TopologiesFromClasses(g, reg, PathClasses(g, a, b, opts.MaxLen), opts)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"toposearch/internal/graph"
+)
+
+// Entry is one row of the (All|Left)Tops tables: entity pair (A, B)
+// related by topology TID.
+type Entry struct {
+	A, B graph.NodeID
+	TID  TopologyID
+}
+
+type pairKey struct{ a, b graph.NodeID }
+
+// PairData holds the computed topology information for one entity-set
+// pair: the AllTops rows, per-topology frequencies, and the per-pair
+// path-class signatures (kept so the Pruning module can derive the
+// exception table).
+type PairData struct {
+	ES1, ES2 string
+	Entries  []Entry
+	Freq     map[TopologyID]int
+
+	classSets map[pairKey][]graph.PathSig
+}
+
+// ClassSet returns the path-equivalence-class signatures relating the
+// entity pair (empty when unrelated).
+func (pd *PairData) ClassSet(a, b graph.NodeID) []graph.PathSig {
+	return pd.classSets[pairKey{a, b}]
+}
+
+// NumPairs returns how many entity pairs are related by at least one
+// topology.
+func (pd *PairData) NumPairs() int { return len(pd.classSets) }
+
+// FrequencyRank returns topology IDs sorted by descending frequency
+// (ties by ID), with their frequencies — the data behind Figures 11
+// and 12.
+func (pd *PairData) FrequencyRank() ([]TopologyID, []int) {
+	ids := make([]TopologyID, 0, len(pd.Freq))
+	for id := range pd.Freq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if pd.Freq[ids[i]] != pd.Freq[ids[j]] {
+			return pd.Freq[ids[i]] > pd.Freq[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	freqs := make([]int, len(ids))
+	for i, id := range ids {
+		freqs[i] = pd.Freq[id]
+	}
+	return ids, freqs
+}
+
+// Result is the output of the Topology Computation module: the global
+// topology registry plus per-entity-set-pair AllTops data.
+type Result struct {
+	Reg   *Registry
+	Opts  Options
+	Pairs map[[2]string]*PairData
+}
+
+// Pair returns the data for an entity-set pair, or nil.
+func (res *Result) Pair(es1, es2 string) *PairData {
+	return res.Pairs[[2]string{es1, es2}]
+}
+
+// TopsOf returns l-Top(a,b) as recorded for the entity-set pair.
+func (res *Result) TopsOf(es1, es2 string, a, b graph.NodeID) []TopologyID {
+	pd := res.Pair(es1, es2)
+	if pd == nil {
+		return nil
+	}
+	var out []TopologyID
+	for _, e := range pd.Entries {
+		if e.A == a && e.B == b {
+			out = append(out, e.TID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Compute runs the Topology Computation module (Section 4.1) for the
+// given entity-set pairs: it enumerates schema paths of length <=
+// opts.MaxLen between each pair, materializes every conforming instance
+// path, groups paths by entity pair and equivalence class, and derives
+// each pair's l-topologies per Definition 2. Weak schema paths are
+// dropped when opts.Weak is set.
+func Compute(g *graph.Graph, sg *graph.SchemaGraph, pairs [][2]string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Reg: NewRegistry(), Opts: opts, Pairs: make(map[[2]string]*PairData)}
+	for _, pr := range pairs {
+		pd, err := computePair(g, sg, res.Reg, pr[0], pr[1], opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs[pr] = pd
+	}
+	return res, nil
+}
+
+func computePair(g *graph.Graph, sg *graph.SchemaGraph, reg *Registry, es1, es2 string, opts Options) (*PairData, error) {
+	schemaPaths, err := sg.EnumeratePaths(es1, es2, opts.MaxLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: computing %s-%s: %w", es1, es2, err)
+	}
+	if opts.Weak != nil {
+		kept := schemaPaths[:0]
+		for _, sp := range schemaPaths {
+			if !opts.Weak.IsWeak(sg, sp) {
+				kept = append(kept, sp)
+			}
+		}
+		schemaPaths = kept
+	}
+	pd := &PairData{
+		ES1:       es1,
+		ES2:       es2,
+		Freq:      make(map[TopologyID]int),
+		classSets: make(map[pairKey][]graph.PathSig),
+	}
+	selfPair := es1 == es2
+	t1, ok := g.NodeTypes.Lookup(es1)
+	if !ok {
+		return pd, nil // entity set empty in this database
+	}
+	starts := append([]graph.NodeID(nil), g.NodesOfType(t1)...)
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, a := range starts {
+		acc := make(map[graph.NodeID][]graph.Path)
+		for _, sp := range schemaPaths {
+			g.PathsAlong(sg, sp, a, func(p graph.Path) bool {
+				b := p.End()
+				if selfPair && b <= a {
+					return true // counted from the smaller endpoint
+				}
+				acc[b] = append(acc[b], p.Clone())
+				return true
+			})
+		}
+		ends := make([]graph.NodeID, 0, len(acc))
+		for b := range acc {
+			ends = append(ends, b)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for _, b := range ends {
+			classes := make(map[graph.PathSig][]graph.Path)
+			for _, p := range acc[b] {
+				classes[g.Signature(p)] = append(classes[g.Signature(p)], p)
+			}
+			for _, ps := range classes {
+				sortPaths(ps)
+			}
+			tids := TopologiesFromClasses(g, reg, classes, opts)
+			for _, tid := range tids {
+				pd.Entries = append(pd.Entries, Entry{A: a, B: b, TID: tid})
+				pd.Freq[tid]++
+			}
+			pd.classSets[pairKey{a, b}] = sortedSigs(classes)
+		}
+	}
+	return pd, nil
+}

@@ -1,0 +1,503 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/canon"
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+	"toposearch/internal/relstore"
+)
+
+func figure3(t *testing.T) (*graph.Graph, *graph.SchemaGraph) {
+	t.Helper()
+	sg := biozon.SchemaGraph()
+	g, err := graph.Build(biozon.Figure3DB(), sg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, sg
+}
+
+func computePD(t *testing.T) (*core.Result, *graph.Graph, *graph.SchemaGraph) {
+	t.Helper()
+	g, sg := figure3(t)
+	res, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return res, g, sg
+}
+
+// Expected canonical graphs of the paper's topologies (Figure 5).
+func paperT1() *canon.Graph {
+	return &canon.Graph{Labels: []string{"Protein", "DNA"},
+		Edges: []canon.Edge{{U: 0, V: 1, Label: "encodes"}}}
+}
+
+func paperT2() *canon.Graph {
+	return &canon.Graph{Labels: []string{"Protein", "Unigene", "DNA"},
+		Edges: []canon.Edge{
+			{U: 0, V: 1, Label: "uni_encodes"},
+			{U: 1, V: 2, Label: "uni_contains"}}}
+}
+
+func paperT3() *canon.Graph { // shared Unigene
+	return &canon.Graph{Labels: []string{"Protein", "Unigene", "DNA", "Protein"},
+		Edges: []canon.Edge{
+			{U: 0, V: 1, Label: "uni_encodes"},
+			{U: 1, V: 2, Label: "uni_contains"},
+			{U: 1, V: 3, Label: "uni_encodes"},
+			{U: 3, V: 2, Label: "encodes"}}}
+}
+
+func paperT4() *canon.Graph { // disjoint Unigenes
+	return &canon.Graph{Labels: []string{"Protein", "Unigene", "DNA", "Protein", "Unigene"},
+		Edges: []canon.Edge{
+			{U: 0, V: 1, Label: "uni_encodes"},
+			{U: 1, V: 2, Label: "uni_contains"},
+			{U: 0, V: 4, Label: "uni_encodes"},
+			{U: 4, V: 3, Label: "uni_encodes"},
+			{U: 3, V: 2, Label: "encodes"}}}
+}
+
+func TestPathClassesPaperExample(t *testing.T) {
+	g, _ := figure3(t)
+	// 3-PathEC(78,215) contains two equivalence classes: {l2,l3} and {l6}.
+	classes := core.PathClasses(g, biozon.P78, biozon.D215, 3)
+	if len(classes) != 2 {
+		t.Fatalf("|3-PathEC(78,215)| = %d, want 2", len(classes))
+	}
+	sizes := map[int]int{}
+	for _, paths := range classes {
+		sizes[len(paths)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("class sizes = %v, want one class of 2 and one of 1", sizes)
+	}
+	// 3-PathEC(44,742) has a single class of two isomorphic paths.
+	classes = core.PathClasses(g, biozon.P44, biozon.D742, 3)
+	if len(classes) != 1 {
+		t.Fatalf("|3-PathEC(44,742)| = %d, want 1", len(classes))
+	}
+	for _, paths := range classes {
+		if len(paths) != 2 {
+			t.Errorf("class size = %d, want 2", len(paths))
+		}
+	}
+	// Unrelated pair: empty.
+	if got := core.PathClasses(g, biozon.P32, biozon.D215, 3); len(got) != 0 {
+		t.Errorf("3-PathEC(32,215) = %v, want empty", got)
+	}
+}
+
+func TestTopologiesOfPaperExample(t *testing.T) {
+	g, _ := figure3(t)
+	reg := core.NewRegistry()
+	opts := core.DefaultOptions()
+
+	// 3-Top(78,215) = {T3, T4}.
+	tops := core.TopologiesOf(g, reg, biozon.P78, biozon.D215, opts)
+	if len(tops) != 2 {
+		t.Fatalf("|3-Top(78,215)| = %d, want 2", len(tops))
+	}
+	wantT3, _ := reg.Lookup(paperT3())
+	wantT4, _ := reg.Lookup(paperT4())
+	got := map[core.TopologyID]bool{tops[0]: true, tops[1]: true}
+	if !got[wantT3] || !got[wantT4] {
+		t.Errorf("3-Top(78,215) = %v, want {T3=%d, T4=%d}", tops, wantT3, wantT4)
+	}
+
+	// 3-Top(32,214) = {T1}.
+	tops = core.TopologiesOf(g, reg, biozon.P32, biozon.D214, opts)
+	if len(tops) != 1 {
+		t.Fatalf("|3-Top(32,214)| = %d, want 1", len(tops))
+	}
+	if id, ok := reg.Lookup(paperT1()); !ok || id != tops[0] {
+		t.Errorf("3-Top(32,214) = %v, want T1", tops)
+	}
+
+	// 3-Top(44,742) = {T2}: both paths are in one class, so T5 (their
+	// union) must NOT appear, and the topology is the simple PUD path.
+	tops = core.TopologiesOf(g, reg, biozon.P44, biozon.D742, opts)
+	if len(tops) != 1 {
+		t.Fatalf("|3-Top(44,742)| = %d, want 1 (T5 must not be a result)", len(tops))
+	}
+	if id, ok := reg.Lookup(paperT2()); !ok || id != tops[0] {
+		t.Errorf("3-Top(44,742) = %v, want T2", tops)
+	}
+	if n := reg.Info(tops[0]).NumNodes; n != 3 {
+		t.Errorf("T2 has %d nodes, want 3 (a 5-node result would be T5)", n)
+	}
+}
+
+func TestTopologyProperties(t *testing.T) {
+	g, _ := figure3(t)
+	reg := core.NewRegistry()
+	opts := core.DefaultOptions()
+	core.TopologiesOf(g, reg, biozon.P78, biozon.D215, opts)
+	core.TopologiesOf(g, reg, biozon.P32, biozon.D214, opts)
+
+	t3, ok := reg.Lookup(paperT3())
+	if !ok {
+		t.Fatal("T3 not registered")
+	}
+	info := reg.Info(t3)
+	if info.IsPath {
+		t.Error("T3 classified as a path")
+	}
+	if len(info.Sigs) != 2 {
+		t.Errorf("T3 has %d class signatures, want 2", len(info.Sigs))
+	}
+	if info.NumNodes != 4 || info.NumEdges != 4 {
+		t.Errorf("T3 size = %d nodes/%d edges, want 4/4", info.NumNodes, info.NumEdges)
+	}
+	t1, _ := reg.Lookup(paperT1())
+	if !reg.Info(t1).IsPath {
+		t.Error("T1 not classified as a path")
+	}
+	if reg.Info(core.TopologyID(999)) != nil {
+		t.Error("out-of-range Info should be nil")
+	}
+	if reg.Len() < 3 {
+		t.Errorf("registry has %d topologies", reg.Len())
+	}
+	if reg.Info(t3).Describe() == "" {
+		t.Error("empty Describe")
+	}
+}
+
+func TestComputePairPD(t *testing.T) {
+	res, _, _ := computePD(t)
+	pd := res.Pair(biozon.Protein, biozon.DNA)
+	if pd == nil {
+		t.Fatal("no PairData for Protein-DNA")
+	}
+	// Related pairs: (32,214), (78,215), (44,742), (34,215).
+	if pd.NumPairs() != 4 {
+		t.Errorf("NumPairs = %d, want 4", pd.NumPairs())
+	}
+	// Five distinct topologies: T1..T4 plus the PD/PUD triangle of (34,215).
+	if res.Reg.Len() != 5 {
+		for _, info := range res.Reg.All() {
+			t.Logf("  T%d: %s", info.ID, info.Canon)
+		}
+		t.Errorf("registry has %d topologies, want 5", res.Reg.Len())
+	}
+	// Per-pair results match Definitions 2-3.
+	checks := []struct {
+		a, b graph.NodeID
+		want *canon.Graph
+	}{
+		{biozon.P32, biozon.D214, paperT1()},
+		{biozon.P44, biozon.D742, paperT2()},
+	}
+	for _, c := range checks {
+		tops := res.TopsOf(biozon.Protein, biozon.DNA, c.a, c.b)
+		if len(tops) != 1 {
+			t.Fatalf("TopsOf(%d,%d) = %v, want one topology", c.a, c.b, tops)
+		}
+		id, ok := res.Reg.Lookup(c.want)
+		if !ok || id != tops[0] {
+			t.Errorf("TopsOf(%d,%d) = %v, want %d", c.a, c.b, tops, id)
+		}
+	}
+	tops := res.TopsOf(biozon.Protein, biozon.DNA, biozon.P78, biozon.D215)
+	if len(tops) != 2 {
+		t.Errorf("TopsOf(78,215) = %v, want two topologies", tops)
+	}
+	// Frequencies: every topology here relates exactly one pair.
+	ids, freqs := pd.FrequencyRank()
+	if len(ids) != 5 {
+		t.Errorf("FrequencyRank returned %d ids", len(ids))
+	}
+	for i, f := range freqs {
+		if f != 1 {
+			t.Errorf("freq[%d] = %d, want 1", ids[i], f)
+		}
+	}
+	// ClassSet of (78,215) has two signatures.
+	if got := len(pd.ClassSet(biozon.P78, biozon.D215)); got != 2 {
+		t.Errorf("ClassSet(78,215) size = %d, want 2", got)
+	}
+	if got := pd.ClassSet(biozon.P32, biozon.D215); got != nil {
+		t.Errorf("ClassSet(32,215) = %v, want nil", got)
+	}
+}
+
+func TestComputeSelfPairNoDuplicates(t *testing.T) {
+	res, _, _ := computePDWithPairs(t, [][2]string{{biozon.Protein, biozon.Protein}})
+	pd := res.Pair(biozon.Protein, biozon.Protein)
+	if pd == nil {
+		t.Fatal("no PairData")
+	}
+	// Every pair must appear with a < b and no duplicate entries.
+	seen := map[string]bool{}
+	for _, e := range pd.Entries {
+		if e.A >= e.B {
+			t.Errorf("self-pair entry not normalized: %d >= %d", e.A, e.B)
+		}
+		k := fmt.Sprintf("%d-%d-%d", e.A, e.B, e.TID)
+		if seen[k] {
+			t.Errorf("duplicate entry %s", k)
+		}
+		seen[k] = true
+	}
+	// 78 and 34 share unigene 103 (P-U-P), 78 also reaches 34 via
+	// 78-103-...? and via paths through 215? 78-ue-103-ue-34 (len 2);
+	// longer: 78-150-215-34? 150-uc-215, 215-enc-34: P-U-D-P (len 3);
+	// 78-103-215-34 via uc,enc: P-U-D-P. So (34,78) is related.
+	if len(pd.ClassSet(biozon.P34, biozon.P78)) == 0 {
+		t.Error("(34,78) should be related")
+	}
+}
+
+func computePDWithPairs(t *testing.T, pairs [][2]string) (*core.Result, *graph.Graph, *graph.SchemaGraph) {
+	t.Helper()
+	g, sg := figure3(t)
+	res, err := core.Compute(g, sg, pairs, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return res, g, sg
+}
+
+func TestPrunePaperSemantics(t *testing.T) {
+	res, _, _ := computePD(t)
+	// Threshold 0: every path-shaped topology (T1, T2) is pruned; the
+	// complex ones (T3, T4, triangle) survive.
+	pr := res.Prune(0)
+	pp := pr.Pair(biozon.Protein, biozon.DNA)
+	if pp == nil {
+		t.Fatal("no pruned pair data")
+	}
+	if len(pp.PrunedTIDs) != 2 {
+		t.Fatalf("pruned %d topologies, want 2 (T1 and T2)", len(pp.PrunedTIDs))
+	}
+	t1, _ := res.Reg.Lookup(paperT1())
+	t2, _ := res.Reg.Lookup(paperT2())
+	prunedSet := map[core.TopologyID]bool{pp.PrunedTIDs[0]: true, pp.PrunedTIDs[1]: true}
+	if !prunedSet[t1] || !prunedSet[t2] {
+		t.Errorf("pruned = %v, want {T1=%d,T2=%d}", pp.PrunedTIDs, t1, t2)
+	}
+	// LeftTops: T3,T4 for (78,215) and the triangle for (34,215) = 3 rows.
+	if len(pp.Left) != 3 {
+		t.Errorf("LeftTops has %d rows, want 3: %+v", len(pp.Left), pp.Left)
+	}
+	// ExcpTops: (78,215,T2) — the paper's own example — plus
+	// (34,215,T1) and (34,215,T2); (44,742) must NOT appear.
+	type row struct {
+		a, b graph.NodeID
+		tid  core.TopologyID
+	}
+	want := map[row]bool{
+		{biozon.P78, biozon.D215, t2}: true,
+		{biozon.P34, biozon.D215, t1}: true,
+		{biozon.P34, biozon.D215, t2}: true,
+	}
+	if len(pp.Excp) != len(want) {
+		t.Fatalf("ExcpTops has %d rows, want %d: %+v", len(pp.Excp), len(want), pp.Excp)
+	}
+	for _, e := range pp.Excp {
+		if !want[row{e.A, e.B, e.TID}] {
+			t.Errorf("unexpected exception row %+v", e)
+		}
+		if e.A == biozon.P44 {
+			t.Error("(44,742) must not be in ExcpTops")
+		}
+	}
+	// Threshold 1: nothing has freq > 1, so nothing is pruned.
+	pr1 := res.Prune(1)
+	pp1 := pr1.Pair(biozon.Protein, biozon.DNA)
+	if len(pp1.PrunedTIDs) != 0 {
+		t.Errorf("threshold 1 pruned %v, want none", pp1.PrunedTIDs)
+	}
+	if len(pp1.Left) != len(res.Pair(biozon.Protein, biozon.DNA).Entries) {
+		t.Error("threshold 1 LeftTops != AllTops")
+	}
+	if len(pp1.Excp) != 0 {
+		t.Errorf("threshold 1 exceptions = %v, want none", pp1.Excp)
+	}
+}
+
+func TestMaterializeTables(t *testing.T) {
+	res, _, _ := computePD(t)
+	pr := res.Prune(0)
+	db := relstore.NewDB()
+	at, err := res.MaterializeAllTops(db, biozon.Protein, biozon.DNA)
+	if err != nil {
+		t.Fatalf("MaterializeAllTops: %v", err)
+	}
+	pd := res.Pair(biozon.Protein, biozon.DNA)
+	if at.NumRows() != len(pd.Entries) {
+		t.Errorf("AllTops rows = %d, want %d", at.NumRows(), len(pd.Entries))
+	}
+	left, excp, err := pr.Materialize(db, biozon.Protein, biozon.DNA)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	pp := pr.Pair(biozon.Protein, biozon.DNA)
+	if left.NumRows() != len(pp.Left) || excp.NumRows() != len(pp.Excp) {
+		t.Errorf("left/excp rows = %d/%d, want %d/%d",
+			left.NumRows(), excp.NumRows(), len(pp.Left), len(pp.Excp))
+	}
+	scores := map[string]core.ScoreFunc{
+		"freq": func(info *core.TopInfo, freq int) int64 { return int64(freq) },
+		"rare": func(info *core.TopInfo, freq int) int64 { return -int64(freq) },
+	}
+	ti, err := res.MaterializeTopInfo(db, biozon.Protein, biozon.DNA, scores)
+	if err != nil {
+		t.Fatalf("MaterializeTopInfo: %v", err)
+	}
+	if ti.NumRows() != res.Reg.Len() {
+		t.Errorf("TopInfo rows = %d, want %d", ti.NumRows(), res.Reg.Len())
+	}
+	if _, ok := ti.OrderedIndexOn(core.ScoreColumn("freq")); !ok {
+		t.Error("no ordered index on SCORE_freq")
+	}
+	// Lookup by E1 works through the hash index.
+	got, err := at.Lookup("E1", relstore.IntVal(biozon.P78))
+	if err != nil || len(got) != 2 {
+		t.Errorf("AllTops E1=78 rows = %d, want 2 (err=%v)", len(got), err)
+	}
+	// Unknown pairs error.
+	if _, err := res.MaterializeAllTops(db, "Nope", "DNA"); err == nil {
+		t.Error("unknown pair accepted")
+	}
+	if _, _, err := pr.Materialize(db, "Nope", "DNA"); err == nil {
+		t.Error("unknown pruned pair accepted")
+	}
+	if _, err := res.MaterializeTopInfo(db, "Nope", "DNA", scores); err == nil {
+		t.Error("unknown TopInfo pair accepted")
+	}
+}
+
+func TestMaxCombinationsCap(t *testing.T) {
+	g, _ := figure3(t)
+	reg := core.NewRegistry()
+	opts := core.Options{MaxLen: 3, MaxCombinations: 1}
+	// (78,215) has 2 classes with 2x1 representatives; a budget of one
+	// union can only discover one of T3/T4.
+	tops := core.TopologiesOf(g, reg, biozon.P78, biozon.D215, opts)
+	if len(tops) != 1 {
+		t.Errorf("capped enumeration found %d topologies, want 1", len(tops))
+	}
+	// MaxPathsPerClass=1 drops l3, so only T3 (shared unigene, via l2) remains.
+	reg2 := core.NewRegistry()
+	opts2 := core.Options{MaxLen: 3, MaxCombinations: 4096, MaxPathsPerClass: 1}
+	tops2 := core.TopologiesOf(g, reg2, biozon.P78, biozon.D215, opts2)
+	if len(tops2) != 1 {
+		t.Fatalf("MaxPathsPerClass=1 found %d topologies, want 1", len(tops2))
+	}
+	if id, ok := reg2.Lookup(paperT3()); !ok || id != tops2[0] {
+		t.Error("MaxPathsPerClass=1 should keep the l2-based union (T3)")
+	}
+}
+
+func TestWitnessFor(t *testing.T) {
+	res, g, _ := computePD(t)
+	t3, _ := res.Reg.Lookup(paperT3())
+	t4, _ := res.Reg.Lookup(paperT4())
+	w, ok := core.WitnessFor(g, res.Reg, biozon.P78, biozon.D215, t3, res.Opts)
+	if !ok {
+		t.Fatal("no witness for T3")
+	}
+	if len(w.Paths) != 2 {
+		t.Errorf("T3 witness has %d paths, want 2", len(w.Paths))
+	}
+	// The witness for T3 must use u103 on both paths.
+	w4, ok := core.WitnessFor(g, res.Reg, biozon.P78, biozon.D215, t4, res.Opts)
+	if !ok {
+		t.Fatal("no witness for T4")
+	}
+	if len(w4.Paths) != 2 {
+		t.Errorf("T4 witness has %d paths, want 2", len(w4.Paths))
+	}
+	// T1 has no witness between 78 and 215.
+	t1, _ := res.Reg.Lookup(paperT1())
+	if _, ok := core.WitnessFor(g, res.Reg, biozon.P78, biozon.D215, t1, res.Opts); ok {
+		t.Error("found witness for T1 between 78 and 215")
+	}
+	// Unknown topology or unrelated pair.
+	if _, ok := core.WitnessFor(g, res.Reg, biozon.P32, biozon.D215, t3, res.Opts); ok {
+		t.Error("witness for unrelated pair")
+	}
+	if _, ok := core.WitnessFor(g, res.Reg, biozon.P78, biozon.D215, core.TopologyID(999), res.Opts); ok {
+		t.Error("witness for unknown topology")
+	}
+}
+
+func TestInstances(t *testing.T) {
+	res, _, _ := computePD(t)
+	t2, _ := res.Reg.Lookup(paperT2())
+	inst := res.Instances(biozon.Protein, biozon.DNA, t2)
+	if len(inst) != 1 || inst[0] != [2]graph.NodeID{biozon.P44, biozon.D742} {
+		t.Errorf("Instances(T2) = %v, want [(44,742)]", inst)
+	}
+	if got := res.Instances("Nope", "DNA", t2); got != nil {
+		t.Errorf("Instances for unknown pair = %v", got)
+	}
+}
+
+func TestWeakRules(t *testing.T) {
+	sg := biozon.SchemaGraph()
+	w := core.DefaultWeakRules()
+	paths, err := sg.EnumeratePaths(biozon.Protein, biozon.DNA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakCount := 0
+	for _, sp := range paths {
+		if w.IsWeak(sg, sp) {
+			weakCount++
+			if sp.Len() < 4 {
+				t.Errorf("short path flagged weak: %s", sp.String(sg))
+			}
+		}
+	}
+	if weakCount == 0 {
+		t.Error("no weak P-D schema paths of length 4 found")
+	}
+	// Every length<=3 path is non-weak.
+	short, _ := sg.EnumeratePaths(biozon.Protein, biozon.DNA, 3)
+	for _, sp := range short {
+		if w.IsWeak(sg, sp) {
+			t.Errorf("length-%d path flagged weak: %s", sp.Len(), sp.String(sg))
+		}
+	}
+	// nil rules never flag.
+	var nilRules *core.WeakRules
+	if nilRules.IsWeak(sg, paths[0]) {
+		t.Error("nil rules flagged a path")
+	}
+}
+
+func TestComputeWithWeakRulesShrinks(t *testing.T) {
+	g, sg := figure3(t)
+	optsAll := core.Options{MaxLen: 4, MaxCombinations: 4096}
+	optsWeak := core.Options{MaxLen: 4, MaxCombinations: 4096, Weak: core.DefaultWeakRules()}
+	resAll, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWeak, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := len(resAll.Pair(biozon.Protein, biozon.DNA).Entries)
+	weak := len(resWeak.Pair(biozon.Protein, biozon.DNA).Entries)
+	if weak > all {
+		t.Errorf("weak-pruned entries %d > unpruned %d", weak, all)
+	}
+}
+
+func TestScoreColumnAndTableName(t *testing.T) {
+	if core.ScoreColumn("freq") != "SCORE_freq" {
+		t.Error("ScoreColumn wrong")
+	}
+	if core.TableName("AllTops", "Protein", "DNA") != "AllTops_Protein_DNA" {
+		t.Error("TableName wrong")
+	}
+}

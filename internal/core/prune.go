@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"toposearch/internal/graph"
+)
+
+// PrunedPair is the Topology Pruning module's output for one entity-set
+// pair (Section 4.2.2): the surviving LeftTops rows, the exception rows,
+// and the topologies that were pruned.
+type PrunedPair struct {
+	ES1, ES2 string
+	// Left contains the AllTops rows whose topology was not pruned.
+	Left []Entry
+	// Excp contains one row per (entity pair, pruned topology) where
+	// the pair satisfies the pruned topology's path condition but is
+	// related by a more complex topology, so it must not be reported
+	// for the pruned topology at query time.
+	Excp []Entry
+	// PrunedTIDs lists the pruned topologies, most frequent first.
+	PrunedTIDs []TopologyID
+}
+
+// Pruned is the output of the Topology Pruning module for a Result.
+type Pruned struct {
+	Res       *Result
+	Threshold int
+	Pairs     map[[2]string]*PrunedPair
+}
+
+// Pair returns the pruned data for an entity-set pair, or nil.
+func (pr *Pruned) Pair(es1, es2 string) *PrunedPair {
+	return pr.Pairs[[2]string{es1, es2}]
+}
+
+// Prune applies the paper's pruning strategy: for every entity-set
+// pair, each topology with frequency strictly greater than threshold is
+// removed from the AllTops rows, provided it has the simple path shape
+// that makes its existence checkable on-line from the base data (the
+// statistics of Section 4.2.1 show the frequent topologies are exactly
+// of that shape). For every pruned topology T, entity pairs whose path
+// set contains a path matching T but which are related by a more
+// complex topology are recorded in the exception table.
+func (res *Result) Prune(threshold int) *Pruned {
+	pr := &Pruned{Res: res, Threshold: threshold, Pairs: make(map[[2]string]*PrunedPair)}
+	for key, pd := range res.Pairs {
+		pp := &PrunedPair{ES1: pd.ES1, ES2: pd.ES2}
+		pruned := make(map[TopologyID]graph.PathSig)
+		for tid, f := range pd.Freq {
+			info := res.Reg.Info(tid)
+			if f > threshold && info.IsPath && len(info.Sigs) == 1 {
+				pruned[tid] = info.Sigs[0]
+				pp.PrunedTIDs = append(pp.PrunedTIDs, tid)
+			}
+		}
+		sort.Slice(pp.PrunedTIDs, func(i, j int) bool {
+			fi, fj := pd.Freq[pp.PrunedTIDs[i]], pd.Freq[pp.PrunedTIDs[j]]
+			if fi != fj {
+				return fi > fj
+			}
+			return pp.PrunedTIDs[i] < pp.PrunedTIDs[j]
+		})
+		for _, e := range pd.Entries {
+			if _, isPruned := pruned[e.TID]; !isPruned {
+				pp.Left = append(pp.Left, e)
+			}
+		}
+		// Exceptions: pair's class set contains the pruned topology's
+		// signature but the pair is not related by the pruned topology
+		// (its class set is bigger than just that signature).
+		if len(pruned) > 0 {
+			keys := make([]pairKey, 0, len(pd.classSets))
+			for k := range pd.classSets {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].a != keys[j].a {
+					return keys[i].a < keys[j].a
+				}
+				return keys[i].b < keys[j].b
+			})
+			for _, k := range keys {
+				sigs := pd.classSets[k]
+				if len(sigs) < 2 {
+					continue // related only by the simple topology (or nothing)
+				}
+				for _, tid := range pp.PrunedTIDs {
+					if sigInSet(pruned[tid], sigs) {
+						pp.Excp = append(pp.Excp, Entry{A: k.a, B: k.b, TID: tid})
+					}
+				}
+			}
+		}
+		pr.Pairs[key] = pp
+	}
+	return pr
+}
+
+func sigInSet(s graph.PathSig, set []graph.PathSig) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the
+// topology algebra. It computes l-path equivalence classes
+// (Definition 1), l-topologies for entity pairs (Definition 2), and
+// l-topology query results (Definition 3); it runs the offline Topology
+// Computation module that builds the AllTops table (Section 4.1) and
+// the Topology Pruning module that derives LeftTops and ExcpTops
+// (Section 4.2); and it materializes all of these as relational tables
+// for the query-evaluation methods.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"toposearch/internal/canon"
+	"toposearch/internal/graph"
+)
+
+// TopologyID densely numbers registered topologies.
+type TopologyID int32
+
+// TopInfo describes one registered topology (the paper's TopInfo table).
+type TopInfo struct {
+	ID       TopologyID
+	Canon    string       // canonical form; the identity of the topology
+	Graph    *canon.Graph // a representative labeled graph
+	NumNodes int
+	NumEdges int
+	// Sigs are the path-equivalence-class signatures whose union first
+	// produced this topology, sorted. For a path-shaped topology this
+	// is the single signature of its path class.
+	Sigs []graph.PathSig
+	// IsPath reports whether the topology is a simple path — the
+	// "simple structure" family that the pruning strategy targets
+	// (Section 4.2.2).
+	IsPath bool
+}
+
+// Describe renders a short human-readable structure summary, e.g.
+// "Protein,Unigene,DNA; 0-1:uni_encodes,1-2:uni_contains".
+func (ti *TopInfo) Describe() string {
+	return strings.ReplaceAll(ti.Canon, ";", " ; ")
+}
+
+// Registry interns topologies by canonical form and assigns IDs.
+type Registry struct {
+	byCanon map[string]TopologyID
+	infos   []*TopInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byCanon: make(map[string]TopologyID)}
+}
+
+// Register interns the graph (built as the union of one representative
+// path per equivalence class with signatures sigs) and returns its
+// topology ID. Re-registering an isomorphic graph returns the existing
+// ID.
+func (r *Registry) Register(g *canon.Graph, sigs []graph.PathSig) TopologyID {
+	c := canon.Canonical(g)
+	if id, ok := r.byCanon[c]; ok {
+		return id
+	}
+	id := TopologyID(len(r.infos))
+	sorted := append([]graph.PathSig(nil), sigs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	r.infos = append(r.infos, &TopInfo{
+		ID:       id,
+		Canon:    c,
+		Graph:    g,
+		NumNodes: g.NumNodes(),
+		NumEdges: g.NumEdges(),
+		Sigs:     sorted,
+		IsPath:   g.IsPath(),
+	})
+	r.byCanon[c] = id
+	return id
+}
+
+// Lookup finds the ID of a topology isomorphic to g.
+func (r *Registry) Lookup(g *canon.Graph) (TopologyID, bool) {
+	id, ok := r.byCanon[canon.Canonical(g)]
+	return id, ok
+}
+
+// Info returns the TopInfo for an ID.
+func (r *Registry) Info(id TopologyID) *TopInfo {
+	if int(id) < 0 || int(id) >= len(r.infos) {
+		return nil
+	}
+	return r.infos[id]
+}
+
+// Len returns the number of registered topologies.
+func (r *Registry) Len() int { return len(r.infos) }
+
+// All returns every TopInfo in ID order (shared; do not mutate).
+func (r *Registry) All() []*TopInfo { return r.infos }
+
+// String renders a summary.
+func (r *Registry) String() string {
+	return fmt.Sprintf("Registry(%d topologies)", len(r.infos))
+}

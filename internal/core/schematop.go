@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sort"
+
+	"toposearch/internal/canon"
+	"toposearch/internal/graph"
+)
+
+// SchemaEnumOptions controls the schema-level enumeration of all
+// possible topologies (Section 3.1, Figure 8).
+type SchemaEnumOptions struct {
+	// MaxLen is the path-length bound l.
+	MaxLen int
+	// MaxResults caps the number of distinct topologies produced
+	// (0 = unlimited). The paper reports over 88453 possible
+	// 3-topologies between Proteins and DNAs, so real enumerations
+	// need a cap.
+	MaxResults int
+	// MaxUnions caps the number of glued graphs inspected
+	// (0 = unlimited).
+	MaxUnions int
+	// AllowParallelEdges also generates topologies in which two paths
+	// traverse distinct relationship tuples with the same label between
+	// the same pair of entities (multigraph results).
+	AllowParallelEdges bool
+}
+
+// SchemaEnumResult is the outcome of a schema-level enumeration.
+type SchemaEnumResult struct {
+	// Canons holds the canonical forms of every distinct topology
+	// found, sorted.
+	Canons []string
+	// Unions is the number of glued graphs inspected.
+	Unions int
+	// Truncated reports whether a cap stopped the enumeration early.
+	Truncated bool
+}
+
+// EnumerateSchemaTopologies enumerates every topology that could, in
+// principle, relate an entity of es1 to an entity of es2: each subset
+// of the schema paths of length <= l (one representative per path
+// equivalence class, per Definition 2), glued in every possible way —
+// each intermediate node of each path either merges with a same-typed
+// node placed by an earlier path or stays fresh. This is the "88453
+// possible topologies" computation that makes the SQL method of
+// Section 3.1 hopeless.
+func EnumerateSchemaTopologies(sg *graph.SchemaGraph, es1, es2 string, opts SchemaEnumOptions) (SchemaEnumResult, error) {
+	if opts.MaxLen == 0 {
+		opts.MaxLen = 2
+	}
+	paths, err := sg.EnumeratePaths(es1, es2, opts.MaxLen)
+	if err != nil {
+		return SchemaEnumResult{}, err
+	}
+	e := &schemaEnum{sg: sg, opts: opts, seen: make(map[string]bool)}
+	// Node 0 = the es1 endpoint, node 1 = the es2 endpoint.
+	e.labels = []string{es1, es2}
+	e.recurse(paths, 0, false)
+	res := SchemaEnumResult{Unions: e.unions, Truncated: e.truncated}
+	res.Canons = make([]string, 0, len(e.seen))
+	for c := range e.seen {
+		res.Canons = append(res.Canons, c)
+	}
+	sort.Strings(res.Canons)
+	return res, nil
+}
+
+type enumEdge struct {
+	u, v  int
+	label string
+}
+
+type schemaEnum struct {
+	sg        *graph.SchemaGraph
+	opts      SchemaEnumOptions
+	labels    []string
+	edges     []enumEdge
+	edgeSet   map[enumEdge]int // multiplicity
+	seen      map[string]bool
+	unions    int
+	truncated bool
+}
+
+func (e *schemaEnum) capped() bool {
+	if e.opts.MaxResults > 0 && len(e.seen) >= e.opts.MaxResults {
+		e.truncated = true
+		return true
+	}
+	if e.opts.MaxUnions > 0 && e.unions >= e.opts.MaxUnions {
+		e.truncated = true
+		return true
+	}
+	return false
+}
+
+// recurse decides, for each schema path, whether to include it and how
+// to glue it, then records the resulting graph.
+func (e *schemaEnum) recurse(paths []graph.SchemaPath, i int, any bool) {
+	if e.capped() {
+		return
+	}
+	if i == len(paths) {
+		if any {
+			e.unions++
+			e.record()
+		}
+		return
+	}
+	// Skip path i.
+	e.recurse(paths, i+1, any)
+	// Include path i with every gluing.
+	e.placePath(paths, i, any)
+}
+
+func (e *schemaEnum) record() {
+	g := &canon.Graph{Labels: append([]string(nil), e.labels...)}
+	for _, ed := range e.edges {
+		g.Edges = append(g.Edges, canon.Edge{U: ed.u, V: ed.v, Label: ed.label})
+	}
+	e.seen[canon.Canonical(g)] = true
+}
+
+// placePath enumerates all placements of schema path pi: each
+// intermediate hop either merges into an existing same-typed node (not
+// already on this path) or allocates a fresh node; each edge either
+// reuses an identical existing edge or (with AllowParallelEdges) adds a
+// parallel one.
+func (e *schemaEnum) placePath(paths []graph.SchemaPath, pi int, any bool) {
+	sp := paths[pi]
+	if e.edgeSet == nil {
+		e.edgeSet = make(map[enumEdge]int)
+		for _, ed := range e.edges {
+			e.edgeSet[ed]++
+		}
+	}
+	onPath := map[int]bool{0: true}
+	var step func(hop, cur int)
+	step = func(hop, cur int) {
+		if e.capped() {
+			return
+		}
+		rel := e.sg.Rels[sp.Steps[hop].Rel]
+		nextType := sp.Steps[hop].Next
+		last := hop == len(sp.Steps)-1
+
+		place := func(node int) {
+			if onPath[node] {
+				return
+			}
+			key := enumEdge{u: min(cur, node), v: max(cur, node), label: rel.Name}
+			variants := []bool{false} // false = merge/add once
+			if e.edgeSet[key] > 0 && e.opts.AllowParallelEdges {
+				variants = append(variants, true) // true = force parallel edge
+			}
+			for _, parallel := range variants {
+				addEdge := e.edgeSet[key] == 0 || parallel
+				if addEdge {
+					e.edges = append(e.edges, key)
+					e.edgeSet[key]++
+				}
+				onPath[node] = true
+				if last {
+					e.recurse(paths, pi+1, true)
+				} else {
+					step(hop+1, node)
+				}
+				delete(onPath, node)
+				if addEdge {
+					e.edges = e.edges[:len(e.edges)-1]
+					e.edgeSet[key]--
+				}
+			}
+		}
+
+		if last {
+			// Final hop must land on the es2 endpoint (node 1).
+			if nextType == e.labels[1] {
+				place(1)
+			}
+			return
+		}
+		// Merge with any existing same-typed node. The es2 endpoint
+		// (node 1) is reserved for the final hop: a simple path visits
+		// it exactly once, at its end.
+		for node, lbl := range e.labels {
+			if node != 1 && lbl == nextType {
+				place(node)
+			}
+		}
+		// Or allocate a fresh node.
+		fresh := len(e.labels)
+		e.labels = append(e.labels, nextType)
+		place(fresh)
+		e.labels = e.labels[:fresh]
+	}
+	if len(sp.Steps) > 0 {
+		step(0, 0)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

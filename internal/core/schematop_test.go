@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+)
+
+func TestEnumerateSchemaTopologiesL2(t *testing.T) {
+	sg := biozon.SchemaGraph()
+	res, err := core.EnumerateSchemaTopologies(sg, biozon.Protein, biozon.DNA,
+		core.SchemaEnumOptions{MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three schema paths connect P and D with l<=2 (PD, PUD, PID); no
+	// intermediate can merge across paths (different types), so the
+	// possible topologies are exactly the 2^3-1 = 7 subset unions
+	// (Figure 8's enumeration over our schema).
+	if len(res.Canons) != 7 {
+		for _, c := range res.Canons {
+			t.Logf("  %s", c)
+		}
+		t.Errorf("l=2 P-D topologies = %d, want 7", len(res.Canons))
+	}
+	if res.Truncated {
+		t.Error("l=2 enumeration should not truncate")
+	}
+	// The single-edge topology must be among them.
+	found := false
+	for _, c := range res.Canons {
+		if strings.Contains(c, "encodes") && strings.Count(c, ",") == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("P-encodes-D topology missing")
+	}
+}
+
+func TestEnumerateSchemaTopologiesL3Blowup(t *testing.T) {
+	sg := biozon.SchemaGraph()
+	// With the ten l<=3 schema paths the space explodes (the paper
+	// counts 88453); cap the enumeration and verify it reports
+	// truncation and a large count.
+	res, err := core.EnumerateSchemaTopologies(sg, biozon.Protein, biozon.DNA,
+		core.SchemaEnumOptions{MaxLen: 3, MaxResults: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Canons) < 5000 {
+		t.Errorf("l=3 enumeration found only %d topologies before the cap", len(res.Canons))
+	}
+	if !res.Truncated {
+		t.Error("capped enumeration should report truncation")
+	}
+	if res.Unions == 0 {
+		t.Error("no unions counted")
+	}
+}
+
+func TestEnumerateSchemaTopologiesParallelEdges(t *testing.T) {
+	sg := biozon.SchemaGraph()
+	plain, err := core.EnumerateSchemaTopologies(sg, biozon.Protein, biozon.Interaction,
+		core.SchemaEnumOptions{MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := core.EnumerateSchemaTopologies(sg, biozon.Protein, biozon.Interaction,
+		core.SchemaEnumOptions{MaxLen: 2, AllowParallelEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Canons) < len(plain.Canons) {
+		t.Errorf("parallel-edge enumeration (%d) smaller than plain (%d)",
+			len(multi.Canons), len(plain.Canons))
+	}
+}
+
+func TestEnumerateSchemaTopologiesErrors(t *testing.T) {
+	sg := biozon.SchemaGraph()
+	if _, err := core.EnumerateSchemaTopologies(sg, "Nope", biozon.DNA,
+		core.SchemaEnumOptions{MaxLen: 2}); err == nil {
+		t.Error("unknown entity set accepted")
+	}
+	// MaxUnions cap.
+	res, err := core.EnumerateSchemaTopologies(sg, biozon.Protein, biozon.DNA,
+		core.SchemaEnumOptions{MaxLen: 3, MaxUnions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Unions > 101 {
+		t.Errorf("MaxUnions not honoured: unions=%d truncated=%v", res.Unions, res.Truncated)
+	}
+}
+
+func TestSchemaTopologiesConsistentWithInstances(t *testing.T) {
+	// Every topology observed at the instance level on Figure 3 must be
+	// in the schema-level enumeration for the same l.
+	res, _, _ := computePD(t)
+	schema, err := core.EnumerateSchemaTopologies(biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		core.SchemaEnumOptions{MaxLen: 3, MaxResults: 200000, MaxUnions: 2000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSchema := map[string]bool{}
+	for _, c := range schema.Canons {
+		inSchema[c] = true
+	}
+	for _, info := range res.Reg.All() {
+		if !inSchema[info.Canon] {
+			t.Errorf("instance topology %d (%s) missing from schema enumeration", info.ID, info.Canon)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"toposearch/internal/relstore"
+)
+
+// ScoreFunc assigns a topology score for ranking; higher is better.
+// Implementations live in internal/ranking (Freq, Rare, Domain).
+type ScoreFunc func(info *TopInfo, freq int) int64
+
+// ScoreColumn returns the TopInfo column name holding the given
+// ranking's score.
+func ScoreColumn(ranking string) string { return "SCORE_" + ranking }
+
+// TableName builds the per-entity-set-pair table name, e.g.
+// "AllTops_Protein_DNA".
+func TableName(kind, es1, es2 string) string {
+	return fmt.Sprintf("%s_%s_%s", kind, es1, es2)
+}
+
+func topsSchema(name string) *relstore.Schema {
+	return relstore.MustSchema(name, []relstore.Column{
+		{Name: "E1", Type: relstore.TInt},
+		{Name: "E2", Type: relstore.TInt},
+		{Name: "TID", Type: relstore.TInt},
+	}, "")
+}
+
+func insertEntries(t *relstore.Table, entries []Entry) error {
+	for _, e := range entries {
+		if err := t.Insert(relstore.Row{
+			relstore.IntVal(int64(e.A)),
+			relstore.IntVal(int64(e.B)),
+			relstore.IntVal(int64(e.TID)),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, col := range []string{"E1", "E2", "TID"} {
+		if _, err := t.CreateHashIndex(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeAllTops writes the AllTops_<pair> table for one entity-set
+// pair into db, with hash indices on all columns (Full-Top, Section 3.2).
+func (res *Result) MaterializeAllTops(db *relstore.DB, es1, es2 string) (*relstore.Table, error) {
+	pd := res.Pair(es1, es2)
+	if pd == nil {
+		return nil, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
+	}
+	t, err := db.CreateTable(topsSchema(TableName("AllTops", es1, es2)))
+	if err != nil {
+		return nil, err
+	}
+	return t, insertEntries(t, pd.Entries)
+}
+
+// Materialize writes the LeftTops_<pair> and ExcpTops_<pair> tables for
+// one entity-set pair into db (Fast-Top, Section 4.2.2).
+func (pr *Pruned) Materialize(db *relstore.DB, es1, es2 string) (left, excp *relstore.Table, err error) {
+	pp := pr.Pair(es1, es2)
+	if pp == nil {
+		return nil, nil, fmt.Errorf("core: no pruned data for pair %s-%s", es1, es2)
+	}
+	left, err = db.CreateTable(topsSchema(TableName("LeftTops", es1, es2)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := insertEntries(left, pp.Left); err != nil {
+		return nil, nil, err
+	}
+	excp, err = db.CreateTable(topsSchema(TableName("ExcpTops", es1, es2)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := insertEntries(excp, pp.Excp); err != nil {
+		return nil, nil, err
+	}
+	return left, excp, nil
+}
+
+// MaterializeTopInfo writes the TopInfo_<pair> table: one row per
+// topology observed for the pair, with structural columns and one score
+// column per ranking scheme, each backed by an ordered index so plans
+// can scan topologies in score order (Figure 15).
+func (res *Result) MaterializeTopInfo(db *relstore.DB, es1, es2 string, scores map[string]ScoreFunc) (*relstore.Table, error) {
+	pd := res.Pair(es1, es2)
+	if pd == nil {
+		return nil, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
+	}
+	rankings := make([]string, 0, len(scores))
+	for name := range scores {
+		rankings = append(rankings, name)
+	}
+	sort.Strings(rankings)
+	cols := []relstore.Column{
+		{Name: "TID", Type: relstore.TInt},
+		{Name: "FREQ", Type: relstore.TInt},
+		{Name: "NODES", Type: relstore.TInt},
+		{Name: "EDGES", Type: relstore.TInt},
+		{Name: "CLASSES", Type: relstore.TInt},
+		{Name: "ISPATH", Type: relstore.TInt},
+	}
+	for _, name := range rankings {
+		cols = append(cols, relstore.Column{Name: ScoreColumn(name), Type: relstore.TInt})
+	}
+	t, err := db.CreateTable(relstore.MustSchema(TableName("TopInfo", es1, es2), cols, "TID"))
+	if err != nil {
+		return nil, err
+	}
+	tids := make([]TopologyID, 0, len(pd.Freq))
+	for tid := range pd.Freq {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		info := res.Reg.Info(tid)
+		isPath := int64(0)
+		if info.IsPath {
+			isPath = 1
+		}
+		row := relstore.Row{
+			relstore.IntVal(int64(tid)),
+			relstore.IntVal(int64(pd.Freq[tid])),
+			relstore.IntVal(int64(info.NumNodes)),
+			relstore.IntVal(int64(info.NumEdges)),
+			relstore.IntVal(int64(len(info.Sigs))),
+			relstore.IntVal(isPath),
+		}
+		for _, name := range rankings {
+			row = append(row, relstore.IntVal(scores[name](info, pd.Freq[tid])))
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range rankings {
+		if _, err := t.CreateOrderedIndex(ScoreColumn(name)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := t.CreateHashIndex("TID"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

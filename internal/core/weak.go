@@ -1,0 +1,71 @@
+package core
+
+import "toposearch/internal/graph"
+
+// WeakRules encodes the domain knowledge of Appendix B: certain indirect
+// relationships (P–D–P, P–U–P, P–F–P, F–W–F, ...) connect only remotely
+// related entities, and schema paths that extend them (length >= 4)
+// mostly connect unrelated end points, diluting meaningful topologies
+// (Section 6.2.3, Figure 17). A schema path is weak when it is at least
+// MinLen hops long and its node-type sequence contains one of the
+// patterns (in either direction) as a contiguous subsequence.
+type WeakRules struct {
+	MinLen   int
+	Patterns [][]string // node-type label sequences
+}
+
+// DefaultWeakRules returns the rules from Table 4, applied to paths of
+// length >= 4 as the paper proposes.
+func DefaultWeakRules() *WeakRules {
+	return &WeakRules{
+		MinLen: 4,
+		Patterns: [][]string{
+			{"Protein", "DNA", "Protein"},     // PDP: same long DNA encodes both
+			{"Protein", "Unigene", "Protein"}, // PUP: homologous proteins
+			{"Protein", "Family", "Protein"},  // PFP: homologous proteins
+			{"Family", "Pathway", "Family"},   // FWF: pathway context only
+		},
+	}
+}
+
+// IsWeak reports whether the schema path triggers a weak-relationship rule.
+func (w *WeakRules) IsWeak(sg *graph.SchemaGraph, sp graph.SchemaPath) bool {
+	if w == nil || sp.Len() < w.MinLen {
+		return false
+	}
+	seq := make([]string, 0, sp.Len()+1)
+	seq = append(seq, sp.Start)
+	for _, st := range sp.Steps {
+		seq = append(seq, st.Next)
+	}
+	for _, pat := range w.Patterns {
+		if containsSeq(seq, pat) || containsSeq(seq, reverseSeq(pat)) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSeq(seq, pat []string) bool {
+	if len(pat) == 0 || len(pat) > len(seq) {
+		return false
+	}
+outer:
+	for i := 0; i+len(pat) <= len(seq); i++ {
+		for j, p := range pat {
+			if seq[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func reverseSeq(s []string) []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

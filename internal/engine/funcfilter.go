@@ -1,0 +1,39 @@
+package engine
+
+import "toposearch/internal/relstore"
+
+// FuncFilter filters tuples with an arbitrary Go predicate — used for
+// residual conditions the relstore predicate language cannot express,
+// such as the all-nodes-distinct constraint of simple-path matching.
+type FuncFilter struct {
+	Child Op
+	Keep  func(relstore.Row) bool
+	Desc  string
+}
+
+// NewFuncFilter wraps child with the keep function.
+func NewFuncFilter(child Op, desc string, keep func(relstore.Row) bool) *FuncFilter {
+	return &FuncFilter{Child: child, Keep: keep, Desc: desc}
+}
+
+// Columns implements Op.
+func (f *FuncFilter) Columns() []string { return f.Child.Columns() }
+
+// Open implements Op.
+func (f *FuncFilter) Open() error { return f.Child.Open() }
+
+// Next implements Op.
+func (f *FuncFilter) Next() (relstore.Row, bool, error) {
+	for {
+		r, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Keep(r) {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Op.
+func (f *FuncFilter) Close() error { return f.Child.Close() }

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+
+	"toposearch/internal/relstore"
+)
+
+// HashJoin is a classic build-probe equi-join: it materializes the
+// build (right) side into a hash table, then streams the probe (left)
+// side. Output tuples are left ++ right.
+type HashJoin struct {
+	Left     Op
+	LeftCol  int
+	Right    Op
+	RightCol int
+	C        *Counters
+
+	table   map[relstore.Value][]relstore.Row
+	matches []relstore.Row
+	lrow    relstore.Row
+	buf     relstore.Row
+	cols    []string
+}
+
+// NewHashJoin joins left.LeftCol = right.RightCol.
+func NewHashJoin(left Op, leftCol int, right Op, rightCol int, c *Counters) *HashJoin {
+	return &HashJoin{
+		Left: left, LeftCol: leftCol, Right: right, RightCol: rightCol, C: c,
+		cols: concatCols(left.Columns(), right.Columns()),
+	}
+}
+
+// Columns implements Op.
+func (j *HashJoin) Columns() []string { return j.cols }
+
+// Open implements Op.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[relstore.Value][]relstore.Row)
+	for {
+		r, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := r[j.RightCol]
+		j.table[k] = append(j.table[k], r.Clone())
+	}
+	j.matches = nil
+	j.lrow = nil
+	return j.Right.Close()
+}
+
+// Next implements Op.
+func (j *HashJoin) Next() (relstore.Row, bool, error) {
+	for {
+		if len(j.matches) > 0 {
+			m := j.matches[0]
+			j.matches = j.matches[1:]
+			j.buf = concatRows(j.buf, j.lrow, m)
+			return j.buf, true, nil
+		}
+		l, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if j.C != nil {
+			j.C.IndexProbes++ // hash table probe
+		}
+		j.lrow = l.Clone()
+		j.matches = j.table[l[j.LeftCol]]
+	}
+}
+
+// Close implements Op.
+func (j *HashJoin) Close() error { return j.Left.Close() }
+
+// IndexJoin is an index nested-loops join: for each outer tuple it
+// probes the inner table's hash index on InnerCol, applies the optional
+// inner predicate, and emits outer ++ inner.
+type IndexJoin struct {
+	Outer     Op
+	OuterCol  int
+	Inner     *relstore.Table
+	InnerName string // alias for inner columns
+	InnerCol  string
+	InnerPred relstore.Pred // nil means none
+	C         *Counters
+
+	idx     *relstore.HashIndex
+	cols    []string
+	orow    relstore.Row
+	matches []int32
+	buf     relstore.Row
+}
+
+// NewIndexJoin joins outer.OuterCol = inner.InnerCol via a hash index.
+func NewIndexJoin(outer Op, outerCol int, inner *relstore.Table, alias, innerCol string, innerPred relstore.Pred, c *Counters) (*IndexJoin, error) {
+	idx, ok := inner.HashIndexOn(innerCol)
+	if !ok {
+		var err error
+		idx, err = inner.CreateHashIndex(innerCol)
+		if err != nil {
+			return nil, fmt.Errorf("engine: index join: %w", err)
+		}
+	}
+	return &IndexJoin{
+		Outer: outer, OuterCol: outerCol, Inner: inner, InnerName: alias,
+		InnerCol: innerCol, InnerPred: innerPred, C: c, idx: idx,
+		cols: concatCols(outer.Columns(), qualify(alias, inner.Schema)),
+	}, nil
+}
+
+// Columns implements Op.
+func (j *IndexJoin) Columns() []string { return j.cols }
+
+// Open implements Op.
+func (j *IndexJoin) Open() error {
+	j.orow, j.matches = nil, nil
+	return j.Outer.Open()
+}
+
+// Next implements Op.
+func (j *IndexJoin) Next() (relstore.Row, bool, error) {
+	for {
+		for len(j.matches) > 0 {
+			pos := j.matches[0]
+			j.matches = j.matches[1:]
+			ir := j.Inner.Row(pos)
+			if j.InnerPred != nil && !j.InnerPred.Eval(ir) {
+				continue
+			}
+			j.buf = concatRows(j.buf, j.orow, ir)
+			return j.buf, true, nil
+		}
+		o, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.orow = o.Clone()
+		if j.C != nil {
+			j.C.IndexProbes++
+		}
+		j.matches = j.idx.Lookup(o[j.OuterCol])
+	}
+}
+
+// Close implements Op.
+func (j *IndexJoin) Close() error { return j.Outer.Close() }
+
+// AntiJoin emits the outer tuples that have NO match in the inner
+// operator on a (possibly composite) key — the NOT EXISTS subquery of
+// the paper's SQL1/SQL5 listings.
+type AntiJoin struct {
+	Outer    Op
+	OuterKey []int
+	Inner    Op
+	InnerKey []int
+	C        *Counters
+
+	seen map[string]bool
+}
+
+// NewAntiJoin filters outer tuples whose key appears in inner.
+func NewAntiJoin(outer Op, outerKey []int, inner Op, innerKey []int, c *Counters) *AntiJoin {
+	return &AntiJoin{Outer: outer, OuterKey: outerKey, Inner: inner, InnerKey: innerKey, C: c}
+}
+
+// Columns implements Op.
+func (j *AntiJoin) Columns() []string { return j.Outer.Columns() }
+
+// Open implements Op.
+func (j *AntiJoin) Open() error {
+	if err := j.Outer.Open(); err != nil {
+		return err
+	}
+	if err := j.Inner.Open(); err != nil {
+		return err
+	}
+	j.seen = make(map[string]bool)
+	for {
+		r, ok, err := j.Inner.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.seen[keyString(r, j.InnerKey)] = true
+	}
+	return j.Inner.Close()
+}
+
+// Next implements Op.
+func (j *AntiJoin) Next() (relstore.Row, bool, error) {
+	for {
+		r, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if j.C != nil {
+			j.C.IndexProbes++
+		}
+		if !j.seen[keyString(r, j.OuterKey)] {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Op.
+func (j *AntiJoin) Close() error { return j.Outer.Close() }

@@ -1,0 +1,130 @@
+// Package experiments drives the reproduction of every table and
+// figure in the paper's evaluation (Section 6): Table 1 (space
+// requirements), Table 2 (query performance of all nine methods across
+// predicate selectivities and ranking schemes), Table 3 (path length
+// l=4), Figure 11 (Zipfian topology-frequency distributions), Figure 12
+// (the most frequent Protein-DNA topologies), the vary-k experiment and
+// the instance-retrieval cost experiment of Section 6.2.4.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+// Setup configures one experimental environment.
+type Setup struct {
+	// Scale multiplies the synthetic database size (see
+	// biozon.DefaultConfig).
+	Scale int
+	// Seed drives the generator.
+	Seed int64
+	// PruneThreshold is the Fast-Top pruning threshold, scaled to the
+	// generated data (the paper used 2M on the full Biozon).
+	PruneThreshold int
+	// L is the path-length bound (3 for most experiments).
+	L int
+	// MaxPathsPerClass caps the per-class representatives during
+	// topology computation.
+	MaxPathsPerClass int
+}
+
+// DefaultSetup returns the environment used by the benchmark harness.
+func DefaultSetup() Setup {
+	return Setup{Scale: 2, Seed: 42, PruneThreshold: 6, L: 3, MaxPathsPerClass: 64}
+}
+
+// Pairs used across the experiments (Table 1 lists five pairs; Figure
+// 11 plots PD, DU, PI and PU).
+var (
+	PairPD = [2]string{biozon.Protein, biozon.DNA}
+	PairPI = [2]string{biozon.Protein, biozon.Interaction}
+	PairPU = [2]string{biozon.Protein, biozon.Unigene}
+	PairDI = [2]string{biozon.DNA, biozon.Interaction}
+	PairDU = [2]string{biozon.DNA, biozon.Unigene}
+)
+
+// Table1Pairs lists the entity-set pairs of the paper's Table 1.
+func Table1Pairs() [][2]string {
+	return [][2]string{PairPD, PairPI, PairPU, PairDI, PairDU}
+}
+
+// Env is a fully precomputed experimental environment: the generated
+// database, its graph, and one method store per entity-set pair.
+type Env struct {
+	Setup  Setup
+	DB     *relstore.DB
+	G      *graph.Graph
+	SG     *graph.SchemaGraph
+	Stores map[[2]string]*methods.Store
+}
+
+// NewEnv generates the database and precomputes stores for all
+// experiment pairs.
+func NewEnv(s Setup) (*Env, error) {
+	cfg := biozon.DefaultConfig(s.Scale)
+	cfg.Seed = s.Seed
+	db := biozon.Generate(cfg)
+	sg := biozon.SchemaGraph()
+	g, err := graph.Build(db, sg)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Setup: s, DB: db, G: g, SG: sg, Stores: map[[2]string]*methods.Store{}}
+	for _, pair := range Table1Pairs() {
+		st, err := methods.BuildStoreFromGraph(db, g, sg, pair[0], pair[1], methods.StoreConfig{
+			Opts: core.Options{
+				MaxLen:           s.L,
+				MaxCombinations:  4096,
+				MaxPathsPerClass: s.MaxPathsPerClass,
+			},
+			PruneThreshold: s.PruneThreshold,
+			Scores:         ranking.Schemes(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building store %v: %w", pair, err)
+		}
+		env.Stores[pair] = st
+	}
+	return env, nil
+}
+
+// Store returns the precomputed store for a pair.
+func (e *Env) Store(pair [2]string) *methods.Store { return e.Stores[pair] }
+
+// SelLevels are the paper's three predicate selectivities.
+var SelLevels = []string{"selective", "medium", "unselective"}
+
+// PredFor builds the desc-keyword predicate of the given selectivity
+// level for an entity table.
+func PredFor(t *relstore.Table, level string) (relstore.Pred, error) {
+	return biozon.SelectivityPred(t.Schema, level)
+}
+
+// Measure runs f reps times and returns the fastest wall-clock seconds
+// (warm-cache timing, matching the paper's methodology of averaging
+// warm runs).
+func Measure(reps int, f func() error) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := -1.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		sec := time.Since(start).Seconds()
+		if best < 0 || sec < best {
+			best = sec
+		}
+	}
+	return best, nil
+}

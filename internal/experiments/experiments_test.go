@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"toposearch/internal/methods"
+)
+
+// smallEnv builds a scale-1 environment shared across the tests.
+var cachedEnv *Env
+
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	if cachedEnv != nil {
+		return cachedEnv
+	}
+	env, err := NewEnv(Setup{Scale: 1, Seed: 42, PruneThreshold: 3, L: 3, MaxPathsPerClass: 64})
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	cachedEnv = env
+	return env
+}
+
+func TestTable1ShowsSpaceReduction(t *testing.T) {
+	env := smallEnv(t)
+	reports := Table1(env)
+	if len(reports) != 5 {
+		t.Fatalf("got %d reports, want 5", len(reports))
+	}
+	reduced := 0
+	for _, r := range reports {
+		if r.AllTopsRows == 0 {
+			continue
+		}
+		if r.Ratio < 1 {
+			reduced++
+		}
+	}
+	if reduced == 0 {
+		t.Error("no pair shows space reduction")
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, reports)
+	if !strings.Contains(buf.String(), "Ratio") {
+		t.Error("PrintTable1 missing header")
+	}
+}
+
+func TestFig11Zipfian(t *testing.T) {
+	env := smallEnv(t)
+	series := Fig11(env)
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4 (PD, DU, PI, PU)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Freqs) < 3 {
+			t.Errorf("pair %v has only %d topologies", s.Pair, len(s.Freqs))
+			continue
+		}
+		if s.Slope >= -0.3 {
+			t.Errorf("pair %v log-log slope %.2f: not Zipf-like", s.Pair, s.Slope)
+		}
+		// Frequencies must be non-increasing.
+		for i := 1; i < len(s.Freqs); i++ {
+			if s.Freqs[i] > s.Freqs[i-1] {
+				t.Errorf("pair %v frequencies not sorted", s.Pair)
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig11(&buf, series)
+	if !strings.Contains(buf.String(), "slope") {
+		t.Error("PrintFig11 missing fit")
+	}
+}
+
+func TestFig12FrequentAreSimple(t *testing.T) {
+	env := smallEnv(t)
+	rows := Fig12(env, 10)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The paper's observation: the most frequent topologies have simple
+	// structure, most no more complicated than a path.
+	paths := 0
+	for _, r := range rows {
+		if r.IsPath {
+			paths++
+		}
+	}
+	if paths < len(rows)/2 {
+		t.Errorf("only %d/%d frequent topologies are paths", paths, len(rows))
+	}
+	if rows[0].Freq < rows[len(rows)-1].Freq {
+		t.Error("rows not in frequency order")
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "structure") {
+		t.Error("PrintFig12 missing header")
+	}
+}
+
+func TestTable2GridAgreesAcrossMethods(t *testing.T) {
+	env := smallEnv(t)
+	cells, err := Table2(env, Table2Options{K: 10, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 methods (SQL excluded here; see TestTable2Shapes) x 9
+	// selectivity combos x 3 rankings = 216 cells.
+	if len(cells) != 216 {
+		t.Errorf("got %d cells, want 216", len(cells))
+	}
+	// All top-k methods must agree on result counts per
+	// (sel1, sel2, ranking).
+	type key struct{ s1, s2, rk string }
+	counts := map[key]map[string]int{}
+	for _, c := range cells {
+		switch c.Method {
+		case methods.MethodSQL, methods.MethodFullTop, methods.MethodFastTop:
+			continue
+		}
+		k := key{c.Sel1, c.Sel2, c.Ranking}
+		if counts[k] == nil {
+			counts[k] = map[string]int{}
+		}
+		counts[k][c.Method] = c.Results
+	}
+	for k, byMethod := range counts {
+		ref := -1
+		for m, n := range byMethod {
+			if ref == -1 {
+				ref = n
+			}
+			if n != ref {
+				t.Errorf("%v: %s returned %d results, others %d", k, m, n, ref)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, cells)
+	if !strings.Contains(buf.String(), "protein=selective") {
+		t.Error("PrintTable2 missing block header")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	// One selective/selective cell with the SQL strawman included: the
+	// headline shape is that SQL is at least an order of magnitude
+	// slower than Full-Top (the full grid is exercised by the harness).
+	env := smallEnv(t)
+	st := env.Store(PairPI)
+	p1, err := PredFor(st.T1, "selective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PredFor(st.T2, "selective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := methods.Query{Pred1: p1, Pred2: p2}
+	sqlSec, err := Measure(1, func() error {
+		_, runErr := st.SQLMethod(q)
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSec, err := Measure(1, func() error {
+		_, runErr := st.FullTop(q)
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqlSec < 10*fullSec {
+		t.Errorf("SQL %.4fs vs Full-Top %.4fs: strawman not slow enough", sqlSec, fullSec)
+	}
+}
+
+func TestTable3RunsAndRestoresEnv(t *testing.T) {
+	env := smallEnv(t)
+	before := env.Store(PairPI).TopInfo.NumRows()
+	res, err := Table3(env, Table3Options{K: 10, Reps: 1, UseWeakRules: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 27 {
+		t.Errorf("got %d cells, want 27", len(res.Cells))
+	}
+	if res.Space.AllTopsRows == 0 {
+		t.Error("empty l=4 AllTops")
+	}
+	// The environment's l=3 store must be restored.
+	after := env.Store(PairPI).TopInfo.NumRows()
+	if before != after {
+		t.Errorf("PI store not restored: %d -> %d topologies", before, after)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, res)
+	if !strings.Contains(buf.String(), "precomputation") {
+		t.Error("PrintTable3 missing precomputation line")
+	}
+}
+
+func TestVaryK(t *testing.T) {
+	env := smallEnv(t)
+	cells, err := VaryK(env, []int{1, 5, 25}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Errorf("got %d cells, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if c.Results > c.K {
+			t.Errorf("k=%d returned %d results", c.K, c.Results)
+		}
+	}
+	var buf bytes.Buffer
+	PrintVaryK(&buf, cells)
+	if !strings.Contains(buf.String(), "ranking") {
+		t.Error("PrintVaryK missing header")
+	}
+}
+
+func TestInstanceRetrieval(t *testing.T) {
+	env := smallEnv(t)
+	cells, err := InstanceRetrieval(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	witnessed := 0
+	for _, c := range cells {
+		if c.Pairs != 0 && c.Pairs < c.Freq {
+			t.Errorf("TID %d: %d pairs < freq %d", c.TID, c.Pairs, c.Freq)
+		}
+		if c.Witnessed {
+			witnessed++
+		}
+	}
+	if witnessed == 0 {
+		t.Error("no witnesses materialized")
+	}
+	var buf bytes.Buffer
+	PrintInstanceRetrieval(&buf, cells)
+	if !strings.Contains(buf.String(), "witnessed") {
+		t.Error("missing header")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	n := 0
+	sec, err := Measure(3, func() error { n++; return nil })
+	if err != nil || n != 3 || sec < 0 {
+		t.Errorf("Measure: n=%d sec=%v err=%v", n, sec, err)
+	}
+	if _, err := Measure(1, func() error { return errTest }); err == nil {
+		t.Error("Measure swallowed error")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

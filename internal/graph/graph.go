@@ -1,0 +1,82 @@
+package graph
+
+import "fmt"
+
+// HalfEdge is one direction of an undirected typed edge.
+type HalfEdge struct {
+	To   NodeID
+	Type TypeID // relationship type
+	ID   int64  // relationship tuple id
+}
+
+// Graph is the labeled undirected data graph G = (V, E) of Section 2.1.
+type Graph struct {
+	NodeTypes *TypeTable
+	EdgeTypes *TypeTable
+
+	nodeType map[NodeID]TypeID
+	byType   map[TypeID][]NodeID
+	adj      map[NodeID][]HalfEdge
+	numEdges int
+}
+
+// New returns an empty graph with fresh type tables.
+func New() *Graph {
+	return &Graph{
+		NodeTypes: NewTypeTable(),
+		EdgeTypes: NewTypeTable(),
+		nodeType:  make(map[NodeID]TypeID),
+		byType:    make(map[TypeID][]NodeID),
+		adj:       make(map[NodeID][]HalfEdge),
+	}
+}
+
+// AddNode registers an entity with its type. Re-adding an existing node
+// with a different type is an error.
+func (g *Graph) AddNode(id NodeID, t TypeID) error {
+	if old, ok := g.nodeType[id]; ok {
+		if old != t {
+			return fmt.Errorf("graph: node %d already has type %s, cannot retype to %s",
+				id, g.NodeTypes.Name(old), g.NodeTypes.Name(t))
+		}
+		return nil
+	}
+	g.nodeType[id] = t
+	g.byType[t] = append(g.byType[t], id)
+	return nil
+}
+
+// AddEdge registers an undirected typed edge between two existing nodes.
+func (g *Graph) AddEdge(id int64, a, b NodeID, t TypeID) error {
+	if _, ok := g.nodeType[a]; !ok {
+		return fmt.Errorf("graph: edge %d references unknown node %d", id, a)
+	}
+	if _, ok := g.nodeType[b]; !ok {
+		return fmt.Errorf("graph: edge %d references unknown node %d", id, b)
+	}
+	g.adj[a] = append(g.adj[a], HalfEdge{To: b, Type: t, ID: id})
+	g.adj[b] = append(g.adj[b], HalfEdge{To: a, Type: t, ID: id})
+	g.numEdges++
+	return nil
+}
+
+// NodeType returns a node's type.
+func (g *Graph) NodeType(id NodeID) (TypeID, bool) {
+	t, ok := g.nodeType[id]
+	return t, ok
+}
+
+// Neighbors returns the adjacency list of a node (shared; do not mutate).
+func (g *Graph) Neighbors(id NodeID) []HalfEdge { return g.adj[id] }
+
+// NodesOfType returns all nodes of an entity type (shared; do not mutate).
+func (g *Graph) NodesOfType(t TypeID) []NodeID { return g.byType[t] }
+
+// NumNodes returns the entity count.
+func (g *Graph) NumNodes() int { return len(g.nodeType) }
+
+// NumEdges returns the relationship count.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Degree returns the number of incident edges of a node.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"fmt"
+
+	"toposearch/internal/relstore"
+)
+
+// Edge IDs inside the graph are namespaced by relationship set so that
+// tuple IDs from different relationship tables never collide:
+// edgeID = relIdx<<edgeIDShift | tupleID.
+const edgeIDShift = 40
+
+// EncodeEdgeID maps (relationship set index, tuple ID) to a
+// graph-global edge ID.
+func EncodeEdgeID(relIdx int, tupleID int64) int64 {
+	return int64(relIdx)<<edgeIDShift | tupleID
+}
+
+// DecodeEdgeID recovers the relationship set index and the relational
+// tuple ID from a graph edge ID.
+func DecodeEdgeID(eid int64) (relIdx int, tupleID int64) {
+	return int(eid >> edgeIDShift), eid & (1<<edgeIDShift - 1)
+}
+
+// Build constructs the labeled data graph from a relational database
+// according to the schema graph's table mappings (Section 2.1: "when
+// mapping a relational database to a graph data model, we identify each
+// object/relationship by the value of the primary key of the associated
+// table").
+func Build(db *relstore.DB, sg *SchemaGraph) (*Graph, error) {
+	g := New()
+	for _, es := range sg.Entities {
+		t := db.Table(es.Table)
+		if t == nil {
+			return nil, fmt.Errorf("graph: entity set %q: no table %q", es.Name, es.Table)
+		}
+		if t.Schema.KeyCol < 0 {
+			return nil, fmt.Errorf("graph: entity table %q needs a primary key", es.Table)
+		}
+		tid := g.NodeTypes.Intern(es.Name)
+		var buildErr error
+		t.Scan(func(_ int32, r relstore.Row) bool {
+			id := NodeID(r[t.Schema.KeyCol].Int)
+			if err := g.AddNode(id, tid); err != nil {
+				buildErr = fmt.Errorf("graph: entity set %q: %w (are entity IDs globally unique?)", es.Name, err)
+				return false
+			}
+			return true
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+	}
+	for relIdx, rs := range sg.Rels {
+		t := db.Table(rs.Table)
+		if t == nil {
+			return nil, fmt.Errorf("graph: relationship set %q: no table %q", rs.Name, rs.Table)
+		}
+		aCol, ok := t.Schema.ColIndex(rs.ACol)
+		if !ok {
+			return nil, fmt.Errorf("graph: relationship table %q: no column %q", rs.Table, rs.ACol)
+		}
+		bCol, ok := t.Schema.ColIndex(rs.BCol)
+		if !ok {
+			return nil, fmt.Errorf("graph: relationship table %q: no column %q", rs.Table, rs.BCol)
+		}
+		tid := g.EdgeTypes.Intern(rs.Name)
+		var buildErr error
+		t.Scan(func(pos int32, r relstore.Row) bool {
+			var eid int64
+			if t.Schema.KeyCol >= 0 {
+				eid = EncodeEdgeID(relIdx, r[t.Schema.KeyCol].Int)
+			} else {
+				eid = EncodeEdgeID(relIdx, int64(pos))
+			}
+			a, b := NodeID(r[aCol].Int), NodeID(r[bCol].Int)
+			if err := g.AddEdge(eid, a, b, tid); err != nil {
+				buildErr = fmt.Errorf("graph: relationship set %q: %w", rs.Name, err)
+				return false
+			}
+			return true
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"strings"
+)
+
+// Path is a simple instance-level path: an alternating sequence of
+// entity IDs and relationship tuple IDs. Nodes has one more element
+// than Edges.
+type Path struct {
+	Nodes []NodeID
+	Edges []int64  // relationship tuple ids
+	Types []TypeID // edge types, parallel to Edges
+}
+
+// Len returns the number of edges (the paper's path length).
+func (p Path) Len() int { return len(p.Edges) }
+
+// Start and End return the path's endpoints.
+func (p Path) Start() NodeID { return p.Nodes[0] }
+
+// End returns the last node of the path.
+func (p Path) End() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// Clone deep-copies the path.
+func (p Path) Clone() Path {
+	return Path{
+		Nodes: append([]NodeID(nil), p.Nodes...),
+		Edges: append([]int64(nil), p.Edges...),
+		Types: append([]TypeID(nil), p.Types...),
+	}
+}
+
+// Reverse returns the path traversed from End to Start.
+func (p Path) Reverse() Path {
+	n := len(p.Nodes)
+	out := Path{
+		Nodes: make([]NodeID, n),
+		Edges: make([]int64, len(p.Edges)),
+		Types: make([]TypeID, len(p.Types)),
+	}
+	for i, v := range p.Nodes {
+		out.Nodes[n-1-i] = v
+	}
+	for i := range p.Edges {
+		out.Edges[len(p.Edges)-1-i] = p.Edges[i]
+		out.Types[len(p.Types)-1-i] = p.Types[i]
+	}
+	return out
+}
+
+// PathSig is the direction-normalized sequence of node and edge type
+// labels along a path. Two simple paths are isomorphic as labeled
+// graphs exactly when their signatures are equal, so PathSig is the
+// compact form of the path equivalence classes of Definition 1 (a fact
+// verified against the general canonicalizer in the test suite).
+type PathSig string
+
+// Labels splits the signature back into its label sequence.
+func (s PathSig) Labels() []string { return strings.Split(string(s), "|") }
+
+// Len returns the path length (edge count) encoded in the signature.
+func (s PathSig) Len() int { return len(s.Labels()) / 2 }
+
+func normalizeSig(labels []string) PathSig {
+	fwd := strings.Join(labels, "|")
+	rev := make([]string, len(labels))
+	for i, l := range labels {
+		rev[len(labels)-1-i] = l
+	}
+	bwd := strings.Join(rev, "|")
+	if bwd < fwd {
+		return PathSig(bwd)
+	}
+	return PathSig(fwd)
+}
+
+// Signature computes the path's direction-normalized type signature.
+func (g *Graph) Signature(p Path) PathSig {
+	labels := make([]string, 0, 2*len(p.Edges)+1)
+	t, _ := g.NodeType(p.Nodes[0])
+	labels = append(labels, g.NodeTypes.Name(t))
+	for i := range p.Edges {
+		labels = append(labels, g.EdgeTypes.Name(p.Types[i]))
+		nt, _ := g.NodeType(p.Nodes[i+1])
+		labels = append(labels, g.NodeTypes.Name(nt))
+	}
+	return normalizeSig(labels)
+}
+
+// SimplePaths enumerates PS(a, b, maxLen): every simple path between a
+// and b of length 1..maxLen (Section 2.1). The visit function receives
+// a path that is only valid for the duration of the call; clone it to
+// retain it. Enumeration stops early if visit returns false.
+func (g *Graph) SimplePaths(a, b NodeID, maxLen int, visit func(Path) bool) {
+	if _, ok := g.NodeType(a); !ok {
+		return
+	}
+	if _, ok := g.NodeType(b); !ok {
+		return
+	}
+	onPath := map[NodeID]bool{a: true}
+	cur := Path{Nodes: []NodeID{a}}
+	stop := false
+	var dfs func(at NodeID)
+	dfs = func(at NodeID) {
+		if stop || len(cur.Edges) == maxLen {
+			return
+		}
+		for _, he := range g.adj[at] {
+			if stop {
+				return
+			}
+			if onPath[he.To] {
+				continue
+			}
+			cur.Nodes = append(cur.Nodes, he.To)
+			cur.Edges = append(cur.Edges, he.ID)
+			cur.Types = append(cur.Types, he.Type)
+			if he.To == b {
+				if !visit(cur) {
+					stop = true
+				}
+			} else {
+				onPath[he.To] = true
+				dfs(he.To)
+				delete(onPath, he.To)
+			}
+			cur.Nodes = cur.Nodes[:len(cur.Nodes)-1]
+			cur.Edges = cur.Edges[:len(cur.Edges)-1]
+			cur.Types = cur.Types[:len(cur.Types)-1]
+		}
+	}
+	dfs(a)
+}
+
+// PathsAlong materializes every simple instance path conforming to the
+// given schema path, starting from node a. This is the graph-native
+// equivalent of the single SQL join query the Topology Computation
+// module issues per schema path (Section 4.1). The visit callback's
+// path is reused across calls; clone to retain.
+func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(Path) bool) {
+	startType, ok := g.NodeTypes.Lookup(sp.Start)
+	if !ok {
+		return
+	}
+	at, ok := g.NodeType(a)
+	if !ok || at != startType {
+		return
+	}
+	// Pre-intern step types; a missing type means no instances exist.
+	relTypes := make([]TypeID, len(sp.Steps))
+	nodeTypes := make([]TypeID, len(sp.Steps))
+	for i, st := range sp.Steps {
+		rt, ok := g.EdgeTypes.Lookup(sg.Rels[st.Rel].Name)
+		if !ok {
+			return
+		}
+		nt, ok := g.NodeTypes.Lookup(st.Next)
+		if !ok {
+			return
+		}
+		relTypes[i] = rt
+		nodeTypes[i] = nt
+	}
+	onPath := map[NodeID]bool{a: true}
+	cur := Path{Nodes: []NodeID{a}}
+	stop := false
+	var dfs func(at NodeID, step int)
+	dfs = func(at NodeID, step int) {
+		if stop {
+			return
+		}
+		if step == len(sp.Steps) {
+			if !visit(cur) {
+				stop = true
+			}
+			return
+		}
+		for _, he := range g.adj[at] {
+			if stop {
+				return
+			}
+			if he.Type != relTypes[step] || onPath[he.To] {
+				continue
+			}
+			if t, _ := g.NodeType(he.To); t != nodeTypes[step] {
+				continue
+			}
+			cur.Nodes = append(cur.Nodes, he.To)
+			cur.Edges = append(cur.Edges, he.ID)
+			cur.Types = append(cur.Types, he.Type)
+			onPath[he.To] = true
+			dfs(he.To, step+1)
+			delete(onPath, he.To)
+			cur.Nodes = cur.Nodes[:len(cur.Nodes)-1]
+			cur.Edges = cur.Edges[:len(cur.Edges)-1]
+			cur.Types = cur.Types[:len(cur.Types)-1]
+		}
+	}
+	dfs(a, 0)
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RelSet describes one relationship set of the schema: its name (edge
+// type) and the two entity sets it connects, together with the backing
+// relational table and endpoint columns.
+type RelSet struct {
+	Name  string // edge type label, e.g. "encodes"
+	A, B  string // entity sets, e.g. "Protein", "DNA"
+	Table string // backing table, e.g. "Encodes"
+	ACol  string // column holding the A-side entity ID
+	BCol  string // column holding the B-side entity ID
+}
+
+// EntitySet describes one entity set: its name (node type) and backing
+// table whose primary key is the entity ID.
+type EntitySet struct {
+	Name  string
+	Table string
+}
+
+// SchemaGraph is the schema of Figure 1: entity sets connected by
+// relationship sets. It supports the schema-path enumeration that the
+// Topology Computation module starts from (Section 4.1).
+type SchemaGraph struct {
+	Entities []EntitySet
+	Rels     []RelSet
+
+	entIdx map[string]int
+	// adjacency: entity set -> outgoing (relIdx, other entity set, fromA)
+	adj map[string][]schemaArc
+}
+
+type schemaArc struct {
+	rel   int    // index into Rels
+	next  string // entity set reached
+	fromA bool   // true when traversing A->B
+}
+
+// NewSchemaGraph validates and indexes a schema.
+func NewSchemaGraph(entities []EntitySet, rels []RelSet) (*SchemaGraph, error) {
+	sg := &SchemaGraph{
+		Entities: entities,
+		Rels:     rels,
+		entIdx:   make(map[string]int, len(entities)),
+		adj:      make(map[string][]schemaArc),
+	}
+	for i, e := range entities {
+		if e.Name == "" {
+			return nil, fmt.Errorf("graph: entity set %d has no name", i)
+		}
+		if _, dup := sg.entIdx[e.Name]; dup {
+			return nil, fmt.Errorf("graph: duplicate entity set %q", e.Name)
+		}
+		sg.entIdx[e.Name] = i
+	}
+	for i, r := range rels {
+		if _, ok := sg.entIdx[r.A]; !ok {
+			return nil, fmt.Errorf("graph: relationship %q references unknown entity set %q", r.Name, r.A)
+		}
+		if _, ok := sg.entIdx[r.B]; !ok {
+			return nil, fmt.Errorf("graph: relationship %q references unknown entity set %q", r.Name, r.B)
+		}
+		sg.adj[r.A] = append(sg.adj[r.A], schemaArc{rel: i, next: r.B, fromA: true})
+		if r.A != r.B {
+			sg.adj[r.B] = append(sg.adj[r.B], schemaArc{rel: i, next: r.A, fromA: false})
+		}
+	}
+	return sg, nil
+}
+
+// HasEntitySet reports whether the schema defines the entity set.
+func (sg *SchemaGraph) HasEntitySet(name string) bool {
+	_, ok := sg.entIdx[name]
+	return ok
+}
+
+// EntitySetNames returns all entity set names, sorted.
+func (sg *SchemaGraph) EntitySetNames() []string {
+	out := make([]string, 0, len(sg.Entities))
+	for _, e := range sg.Entities {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaStep is one hop of a schema path.
+type SchemaStep struct {
+	Rel  int    // index into SchemaGraph.Rels
+	Next string // entity set reached after the hop
+}
+
+// SchemaPath is a type-level path between two entity sets: the skeleton
+// of one path equivalence class. Unlike instance paths, schema paths may
+// revisit entity sets (P–D–P–D is a legal schema path; its instances
+// must still be simple).
+type SchemaPath struct {
+	Start string
+	Steps []SchemaStep
+}
+
+// Len returns the number of hops.
+func (p SchemaPath) Len() int { return len(p.Steps) }
+
+// End returns the final entity set.
+func (p SchemaPath) End() string {
+	if len(p.Steps) == 0 {
+		return p.Start
+	}
+	return p.Steps[len(p.Steps)-1].Next
+}
+
+// String renders the path as Protein-[encodes]-DNA-...
+func (p SchemaPath) String(sg *SchemaGraph) string {
+	var b strings.Builder
+	b.WriteString(p.Start)
+	for _, st := range p.Steps {
+		b.WriteString("-[")
+		b.WriteString(sg.Rels[st.Rel].Name)
+		b.WriteString("]-")
+		b.WriteString(st.Next)
+	}
+	return b.String()
+}
+
+// TypeSignature returns the direction-normalized label sequence of the
+// schema path, shared with instance-path signatures.
+func (p SchemaPath) TypeSignature(sg *SchemaGraph) PathSig {
+	labels := make([]string, 0, 2*len(p.Steps)+1)
+	labels = append(labels, p.Start)
+	for _, st := range p.Steps {
+		labels = append(labels, sg.Rels[st.Rel].Name, st.Next)
+	}
+	return normalizeSig(labels)
+}
+
+// EnumeratePaths returns every schema path from entity set `from` to
+// entity set `to` with 1..maxLen hops, in deterministic order. Schema
+// paths may revisit entity sets; the instance-level simplicity
+// constraint is applied later when paths are materialized.
+func (sg *SchemaGraph) EnumeratePaths(from, to string, maxLen int) ([]SchemaPath, error) {
+	if !sg.HasEntitySet(from) {
+		return nil, fmt.Errorf("graph: unknown entity set %q", from)
+	}
+	if !sg.HasEntitySet(to) {
+		return nil, fmt.Errorf("graph: unknown entity set %q", to)
+	}
+	var out []SchemaPath
+	steps := make([]SchemaStep, 0, maxLen)
+	var dfs func(cur string)
+	dfs = func(cur string) {
+		if len(steps) > 0 && cur == to {
+			cp := make([]SchemaStep, len(steps))
+			copy(cp, steps)
+			out = append(out, SchemaPath{Start: from, Steps: cp})
+		}
+		if len(steps) == maxLen {
+			return
+		}
+		for _, arc := range sg.adj[cur] {
+			steps = append(steps, SchemaStep{Rel: arc.rel, Next: arc.next})
+			dfs(arc.next)
+			steps = steps[:len(steps)-1]
+		}
+	}
+	dfs(from)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Steps) != len(out[j].Steps) {
+			return len(out[i].Steps) < len(out[j].Steps)
+		}
+		return out[i].String(sg) < out[j].String(sg)
+	})
+	return out, nil
+}
+
+// EntityPairs returns all unordered pairs of entity sets, sorted; used
+// by the Topology Computation module, which precomputes AllTops for
+// every pair of entity sets (Section 4.1).
+func (sg *SchemaGraph) EntityPairs() [][2]string {
+	names := sg.EntitySetNames()
+	var out [][2]string
+	for i := 0; i < len(names); i++ {
+		for j := i; j < len(names); j++ {
+			out = append(out, [2]string{names[i], names[j]})
+		}
+	}
+	return out
+}

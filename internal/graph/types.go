@@ -1,0 +1,57 @@
+// Package graph implements the labeled-graph view of a relational
+// database used throughout the paper (Section 2.1): entities become
+// typed nodes, binary relationships become typed undirected edges, and
+// both schema-level and instance-level bounded simple paths can be
+// enumerated. It also defines path signatures, the compact form of the
+// path equivalence classes of Definition 1.
+package graph
+
+import "fmt"
+
+// TypeID is an interned node or edge type label.
+type TypeID int32
+
+// TypeTable interns type names. Node types and edge types use separate
+// tables so that an entity set and a relationship set may share a name
+// (in Biozon both a table and an edge are called "interaction").
+type TypeTable struct {
+	names []string
+	idx   map[string]TypeID
+}
+
+// NewTypeTable returns an empty intern table.
+func NewTypeTable() *TypeTable {
+	return &TypeTable{idx: make(map[string]TypeID)}
+}
+
+// Intern returns the TypeID for the name, allocating one if needed.
+func (tt *TypeTable) Intern(name string) TypeID {
+	if id, ok := tt.idx[name]; ok {
+		return id
+	}
+	id := TypeID(len(tt.names))
+	tt.names = append(tt.names, name)
+	tt.idx[name] = id
+	return id
+}
+
+// Lookup returns the TypeID for a name without allocating.
+func (tt *TypeTable) Lookup(name string) (TypeID, bool) {
+	id, ok := tt.idx[name]
+	return id, ok
+}
+
+// Name returns the name of a TypeID.
+func (tt *TypeTable) Name(id TypeID) string {
+	if int(id) < 0 || int(id) >= len(tt.names) {
+		return fmt.Sprintf("type#%d", id)
+	}
+	return tt.names[id]
+}
+
+// Len returns the number of interned types.
+func (tt *TypeTable) Len() int { return len(tt.names) }
+
+// NodeID identifies an entity. The paper assumes object IDs of different
+// biological types do not overlap; the mapping layer enforces that.
+type NodeID int64

@@ -1,0 +1,368 @@
+package methods_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+func figure3Store(t *testing.T, threshold int) *methods.Store {
+	t.Helper()
+	db := biozon.Figure3DB()
+	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: threshold,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+	return s
+}
+
+// paperQuery is Q1 = {(Protein, desc.ct('enzyme')), (DNA, type='mRNA')}.
+func paperQuery(t *testing.T, s *methods.Store, rk string, k int) methods.Query {
+	t.Helper()
+	p1, err := relstore.Contains(s.T1.Schema, "desc", "enzyme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := relstore.Eq(s.T2.Schema, "type", relstore.StrVal("mRNA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return methods.Query{Pred1: p1, Pred2: p2, K: k, Ranking: rk}
+}
+
+func TestPaperExampleAllMethodsAgree(t *testing.T) {
+	s := figure3Store(t, 0) // prune T1 and T2
+	q := paperQuery(t, s, ranking.Freq, 0)
+
+	// The paper's expected answer: exactly four topologies T1-T4
+	// (Definition 3 example: 3-Topology(Q,G) = {T1, T2, T3, T4}).
+	want := map[core.TopologyID]bool{}
+	for _, tid := range s.Res.TopsOf(biozon.Protein, biozon.DNA, biozon.P32, biozon.D214) {
+		want[tid] = true
+	}
+	for _, tid := range s.Res.TopsOf(biozon.Protein, biozon.DNA, biozon.P78, biozon.D215) {
+		want[tid] = true
+	}
+	for _, tid := range s.Res.TopsOf(biozon.Protein, biozon.DNA, biozon.P44, biozon.D742) {
+		want[tid] = true
+	}
+	if len(want) != 4 {
+		t.Fatalf("expected result has %d topologies, want 4", len(want))
+	}
+
+	for _, m := range []string{methods.MethodSQL, methods.MethodFullTop, methods.MethodFastTop} {
+		res, err := s.Run(m, q)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		got := map[core.TopologyID]bool{}
+		for _, it := range res.Items {
+			got[it.TID] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s returned %v, want %v", m, keys(got), keys(want))
+		}
+	}
+	// The triangle topology of pair (34,215) must NOT appear: protein
+	// 34 does not satisfy the 'enzyme' predicate.
+	res, _ := s.FullTop(q)
+	if len(res.Items) != 4 {
+		t.Errorf("FullTop returned %d topologies, want 4", len(res.Items))
+	}
+}
+
+func keys(m map[core.TopologyID]bool) []core.TopologyID {
+	var out []core.TopologyID
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestPaperExampleTopKMethodsAgree(t *testing.T) {
+	s := figure3Store(t, 0)
+	topK := []string{
+		methods.MethodFullTopK, methods.MethodFastTopK,
+		methods.MethodFullTopKET, methods.MethodFastTopKET,
+		methods.MethodFullTopOpt, methods.MethodFastTopOpt,
+	}
+	for _, rk := range ranking.Names() {
+		for _, k := range []int{1, 2, 4, 10} {
+			q := paperQuery(t, s, rk, k)
+			ref, err := s.FullTopK(q)
+			if err != nil {
+				t.Fatalf("FullTopK: %v", err)
+			}
+			for _, m := range topK[1:] {
+				res, err := s.Run(m, q)
+				if err != nil {
+					t.Fatalf("%s (rk=%s k=%d): %v", m, rk, k, err)
+				}
+				if !reflect.DeepEqual(res.Items, ref.Items) {
+					t.Errorf("%s (rk=%s k=%d) = %v, want %v", m, rk, k, res.Items, ref.Items)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperExampleNoPruning(t *testing.T) {
+	// Threshold 1: nothing pruned; Fast == Full trivially; the merge
+	// path is a no-op.
+	s := figure3Store(t, 1)
+	if len(s.PrunedTIDs) != 0 {
+		t.Fatalf("pruned = %v, want none", s.PrunedTIDs)
+	}
+	q := paperQuery(t, s, ranking.Freq, 0)
+	full, err := s.FullTop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.FastTop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Items, fast.Items) {
+		t.Errorf("Fast %v != Full %v without pruning", fast.Items, full.Items)
+	}
+}
+
+func TestHDGJVariantAgrees(t *testing.T) {
+	s := figure3Store(t, 0)
+	for _, rk := range ranking.Names() {
+		q := paperQuery(t, s, rk, 3)
+		ref, err := s.FullTopKET(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.UseHDGJ = true
+		got, err := s.FullTopKET(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Items, got.Items) {
+			t.Errorf("HDGJ variant (rk=%s) = %v, want %v", rk, got.Items, ref.Items)
+		}
+	}
+}
+
+// TestGeneratedCrossMethodEquivalence is the load-bearing integration
+// test: on a synthetic Zipfian database, every method must return the
+// same result set, across selectivities, rankings, k values and pruning
+// thresholds.
+func TestGeneratedCrossMethodEquivalence(t *testing.T) {
+	db := biozon.Generate(biozon.DefaultConfig(1))
+	for _, threshold := range []int{2, 8} {
+		s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+			methods.StoreConfig{
+				Opts:           core.DefaultOptions(),
+				PruneThreshold: threshold,
+				Scores:         ranking.Schemes(),
+			})
+		if err != nil {
+			t.Fatalf("BuildStore: %v", err)
+		}
+		if threshold == 2 && len(s.PrunedTIDs) == 0 {
+			t.Error("threshold 2 pruned nothing; generator may be too sparse")
+		}
+		for _, sel := range []string{"selective", "medium", "unselective"} {
+			p1, err := biozon.SelectivityPred(s.T1.Schema, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := relstore.Eq(s.T2.Schema, "type", relstore.StrVal("mRNA"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Non-top-k agreement. The SQL strawman re-derives every
+			// topology from scratch per candidate, so exercise it only
+			// on the selective predicate to keep the suite fast.
+			q := methods.Query{Pred1: p1, Pred2: p2}
+			ref, err := s.FullTop(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nonTopK := []string{methods.MethodFastTop}
+			if sel == "selective" {
+				nonTopK = append(nonTopK, methods.MethodSQL)
+			}
+			for _, m := range nonTopK {
+				res, err := s.Run(m, q)
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				if !reflect.DeepEqual(res.Items, ref.Items) {
+					t.Errorf("thr=%d sel=%s: %s returned %d items, Full-Top %d: %v vs %v",
+						threshold, sel, m, len(res.Items), len(ref.Items),
+						res.TIDs(), ref.TIDs())
+				}
+			}
+			// Top-k agreement.
+			for _, rk := range ranking.Names() {
+				for _, k := range []int{1, 5, 20} {
+					qk := methods.Query{Pred1: p1, Pred2: p2, K: k, Ranking: rk}
+					refK, err := s.FullTopK(qk)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range []string{
+						methods.MethodFastTopK, methods.MethodFullTopKET,
+						methods.MethodFastTopKET, methods.MethodFullTopOpt,
+						methods.MethodFastTopOpt,
+					} {
+						res, err := s.Run(m, qk)
+						if err != nil {
+							t.Fatalf("%s: %v", m, err)
+						}
+						if !reflect.DeepEqual(res.Items, refK.Items) {
+							t.Errorf("thr=%d sel=%s rk=%s k=%d: %s = %v, want %v",
+								threshold, sel, rk, k, m, res.Items, refK.Items)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpaceReport(t *testing.T) {
+	db := biozon.Generate(biozon.DefaultConfig(1))
+	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: 2,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Space()
+	if r.AllTopsRows == 0 {
+		t.Fatal("empty AllTops")
+	}
+	if r.LeftTopsRows >= r.AllTopsRows {
+		t.Errorf("pruning did not shrink: %d -> %d rows", r.AllTopsRows, r.LeftTopsRows)
+	}
+	if r.Ratio <= 0 || r.Ratio >= 1 {
+		t.Errorf("space ratio = %v, want in (0,1)", r.Ratio)
+	}
+}
+
+func TestExplainOptAndPlans(t *testing.T) {
+	db := biozon.Generate(biozon.DefaultConfig(1))
+	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: 2,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := biozon.SelectivityPred(s.T1.Schema, "unselective")
+	q := methods.Query{Pred1: p1, Pred2: relstore.True{}, K: 10, Ranking: ranking.Rare}
+	plan, choice, err := s.ExplainOpt(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == "" || len(choice.CostByPlan) != 3 {
+		t.Errorf("ExplainOpt plan=%q costs=%v", plan, choice.CostByPlan)
+	}
+	// The Opt run must report the plan it chose.
+	res, err := s.FastTopKOpt(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != choice.Kind {
+		t.Errorf("executed plan %v != explained plan %v", res.Plan, choice.Kind)
+	}
+}
+
+func TestQueryResultHelpers(t *testing.T) {
+	s := figure3Store(t, 0)
+	q := paperQuery(t, s, ranking.Freq, 2)
+	res, err := s.FullTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TIDs()) != len(res.Items) {
+		t.Error("TIDs length mismatch")
+	}
+	if res.Counters.IndexProbes == 0 {
+		t.Error("no probes counted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := biozon.Figure3DB()
+	if _, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.Protein,
+		methods.StoreConfig{Opts: core.DefaultOptions(), Scores: ranking.Schemes()}); err == nil {
+		t.Error("self-pair store accepted")
+	}
+	s := figure3Store(t, 0)
+	if _, err := s.Run("nope", methods.Query{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	// ET without ranking.
+	if _, err := s.FullTopKET(methods.Query{K: 3}); err == nil {
+		t.Error("ET without ranking accepted")
+	}
+	// Opt without ranking.
+	if _, err := s.FastTopKOpt(methods.Query{K: 3}); err == nil {
+		t.Error("Opt without ranking accepted")
+	}
+	// Unknown ranking.
+	if _, err := s.FullTopK(paperQueryBadRanking(s)); err == nil {
+		t.Error("unknown ranking accepted")
+	}
+}
+
+func paperQueryBadRanking(s *methods.Store) methods.Query {
+	p1, _ := relstore.Contains(s.T1.Schema, "desc", "enzyme")
+	return methods.Query{Pred1: p1, Pred2: relstore.True{}, K: 1, Ranking: "bogus"}
+}
+
+func TestCountersShapeETvsRegular(t *testing.T) {
+	// On an unselective query, the ET method should do less total work
+	// than the regular top-k (the Table 2 shape).
+	db := biozon.Generate(biozon.DefaultConfig(2))
+	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: 4,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := biozon.SelectivityPred(s.T1.Schema, "unselective")
+	p2, _ := biozon.SelectivityPred(s.T2.Schema, "unselective")
+	q := methods.Query{Pred1: p1, Pred2: p2, K: 10, Ranking: ranking.Rare}
+	reg, err := s.FullTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := s.FullTopKET(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regWork := reg.Counters.IndexProbes + reg.Counters.RowsScanned
+	etWork := et.Counters.IndexProbes + et.Counters.RowsScanned
+	if etWork >= regWork {
+		t.Errorf("unselective: ET work (%d) should be below regular (%d)", etWork, regWork)
+	}
+	if fmt.Sprint(reg.TIDs()) != fmt.Sprint(et.TIDs()) {
+		t.Errorf("results differ: %v vs %v", reg.TIDs(), et.TIDs())
+	}
+}

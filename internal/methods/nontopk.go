@@ -1,0 +1,158 @@
+package methods
+
+import (
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/graph"
+	"toposearch/internal/relstore"
+)
+
+// SQLMethod is the strawman of Section 3.1: for every candidate
+// topology — the paper restricts candidates to topologies with at least
+// some corresponding entities, "close to 200" — issue one query that
+// checks whether a predicate-satisfying pair is related by exactly that
+// topology. All topology computation happens at query time: per
+// candidate, the method re-enumerates paths and re-derives topologies
+// from scratch, which is why it is orders of magnitude slower than the
+// precomputation-based methods.
+func (s *Store) SQLMethod(q Query) (QueryResult, error) {
+	var c engine.Counters
+	opts := s.opts()
+
+	// Candidate set: every topology known for the entity-set pair.
+	candidates := make([]core.TopologyID, 0, s.TopInfo.NumRows())
+	s.TopInfo.Scan(func(_ int32, r relstore.Row) bool {
+		candidates = append(candidates, core.TopologyID(r[0].Int))
+		return true
+	})
+
+	// Selected entity-1 nodes and the entity-2 acceptance test.
+	var starts []graph.NodeID
+	s.T1.Scan(func(_ int32, r relstore.Row) bool {
+		c.RowsScanned++
+		if q.Pred1 == nil || q.Pred1.Eval(r) {
+			starts = append(starts, graph.NodeID(r[s.T1.Schema.KeyCol].Int))
+		}
+		return true
+	})
+	accept2 := func(b graph.NodeID) bool {
+		row, ok := s.T2.LookupPK(int64(b))
+		if !ok {
+			return false
+		}
+		c.IndexProbes++
+		return q.Pred2 == nil || q.Pred2.Eval(row)
+	}
+
+	var items []Item
+	for _, tid := range candidates {
+		found := false
+		// One "SQL query" per topology: enumerate, from scratch, the
+		// topologies of every qualifying pair until one matches tid.
+		for _, a := range starts {
+			acc := make(map[graph.NodeID][]graph.Path)
+			for _, sp := range s.sigToPath {
+				s.G.PathsAlong(s.SG, sp, a, func(p graph.Path) bool {
+					c.IndexProbes++
+					b := p.End()
+					if !accept2(b) {
+						return true
+					}
+					acc[b] = append(acc[b], p.Clone())
+					return true
+				})
+			}
+			for _, paths := range acc {
+				classes := make(map[graph.PathSig][]graph.Path)
+				for _, p := range paths {
+					sig := s.G.Signature(p)
+					classes[sig] = append(classes[sig], p)
+				}
+				tids := core.TopologiesFromClasses(s.G, s.Res.Reg, classes, opts)
+				for _, got := range tids {
+					if got == tid {
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			items = append(items, Item{TID: tid})
+		}
+	}
+	its, err := s.itemsForTIDs(tidsOf(items), q.Ranking)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sortItemsByTID(its)
+	return QueryResult{Items: its, Counters: c}, nil
+}
+
+func tidsOf(items []Item) []core.TopologyID {
+	out := make([]core.TopologyID, len(items))
+	for i, it := range items {
+		out[i] = it.TID
+	}
+	return out
+}
+
+// FullTop is the Section 3.2 method: a single join query over the
+// precomputed AllTops table.
+//
+//	SELECT DISTINCT AT.TID FROM ES1 A, ES2 B, AllTops AT
+//	WHERE pred1(A) AND pred2(B) AND A.ID = AT.E1 AND B.ID = AT.E2
+func (s *Store) FullTop(q Query) (QueryResult, error) {
+	var c engine.Counters
+	plan, tidCol, err := s.topsJoinPlan(s.AllTops, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	tids, err := distinctTIDs(plan, tidCol, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	items, err := s.itemsForTIDs(tids, q.Ranking)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sortItemsByTID(items)
+	return QueryResult{Items: items, Counters: c}, nil
+}
+
+// FastTop is the Section 4.3 method (query SQL1): the same join over
+// the much smaller LeftTops table, plus one on-line existence check per
+// pruned topology against the base data, guarded by the exception
+// table.
+func (s *Store) FastTop(q Query) (QueryResult, error) {
+	var c engine.Counters
+	plan, tidCol, err := s.topsJoinPlan(s.LeftTops, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	tids, err := distinctTIDs(plan, tidCol, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	for _, tid := range s.PrunedTIDs {
+		ok, err := s.prunedExists(tid, q, &c)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		if ok {
+			tids = append(tids, tid)
+		}
+	}
+	items, err := s.itemsForTIDs(tids, q.Ranking)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sortItemsByTID(items)
+	return QueryResult{Items: items, Counters: c}, nil
+}

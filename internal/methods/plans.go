@@ -1,0 +1,200 @@
+package methods
+
+import (
+	"fmt"
+
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/graph"
+	"toposearch/internal/relstore"
+)
+
+// topsJoinPlan builds the regular (Figure 14 style) join pipeline:
+//
+//	sigma(ES1) -> IndexJoin Tops on E1 -> IndexJoin sigma(ES2) on E2
+//
+// driving from the selected entity-1 rows, as the commercial plans do.
+// It returns the plan and the position of the Tops TID column.
+func (s *Store) topsJoinPlan(tops *relstore.Table, q Query, c *engine.Counters) (engine.Op, int, error) {
+	scanA := engine.NewScan(s.T1, "A", q.Pred1, c)
+	idA := engine.MustColIndex(scanA, "A.ID")
+	j1, err := engine.NewIndexJoin(scanA, idA, tops, "T", "E1", nil, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	e2 := engine.MustColIndex(j1, "T.E2")
+	j2, err := engine.NewIndexJoin(j1, e2, s.T2, "B", "ID", q.Pred2, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	return j2, engine.MustColIndex(j2, "T.TID"), nil
+}
+
+// distinctTIDs drains a plan and returns the distinct TIDs.
+func distinctTIDs(plan engine.Op, tidCol int, c *engine.Counters) ([]core.TopologyID, error) {
+	dist := engine.NewDistinct(plan, []int{tidCol})
+	rows, err := engine.Drain(dist)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.TuplesOut += int64(len(rows))
+	}
+	out := make([]core.TopologyID, len(rows))
+	for i, r := range rows {
+		out[i] = core.TopologyID(r[tidCol].Int)
+	}
+	return out, nil
+}
+
+// pathJoinPlan builds the existence-check pipeline for a pruned path
+// topology (the lower sub-queries of SQL1/SQL5): a chain of index joins
+// over the relationship tables along the topology's schema path,
+// starting from the selected entity-1 rows and ending at the selected
+// entity-2 rows, with a residual filter enforcing instance-path
+// simplicity. It returns the plan plus the column positions of the two
+// endpoint IDs.
+func (s *Store) pathJoinPlan(sp graph.SchemaPath, q Query, c *engine.Counters) (engine.Op, int, int, error) {
+	var cur engine.Op = engine.NewScan(s.T1, "A", q.Pred1, c)
+	nodeCols := []int{engine.MustColIndex(cur, "A.ID")}
+	curCol := nodeCols[0]
+	prevType := sp.Start
+	for i, st := range sp.Steps {
+		rel := s.SG.Rels[st.Rel]
+		relTab := s.DB.Table(rel.Table)
+		if relTab == nil {
+			return nil, 0, 0, fmt.Errorf("methods: no relationship table %q", rel.Table)
+		}
+		var nearCol, farCol string
+		switch {
+		case prevType == rel.A && st.Next == rel.B:
+			nearCol, farCol = rel.ACol, rel.BCol
+		case prevType == rel.B && st.Next == rel.A:
+			nearCol, farCol = rel.BCol, rel.ACol
+		default:
+			return nil, 0, 0, fmt.Errorf("methods: schema path step %d does not fit relationship %q", i, rel.Name)
+		}
+		alias := fmt.Sprintf("R%d", i)
+		j, err := engine.NewIndexJoin(cur, curCol, relTab, alias, nearCol, nil, c)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cur = j
+		curCol = engine.MustColIndex(cur, alias+"."+farCol)
+		nodeCols = append(nodeCols, curCol)
+		prevType = st.Next
+	}
+	// Join the far endpoint against the selected entity-2 rows.
+	j, err := engine.NewIndexJoin(cur, curCol, s.T2, "B", "ID", q.Pred2, c)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cur = j
+	endCol := engine.MustColIndex(cur, "B.ID")
+	// Enforce simple paths: all node IDs along the chain distinct.
+	cols := append([]int(nil), nodeCols...)
+	cur = engine.NewFuncFilter(cur, "all-nodes-distinct", func(r relstore.Row) bool {
+		for x := 0; x < len(cols); x++ {
+			for y := x + 1; y < len(cols); y++ {
+				if r[cols[x]].Int == r[cols[y]].Int {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return cur, nodeCols[0], endCol, nil
+}
+
+// prunedExists runs the SQL5 check for one pruned topology: does some
+// predicate-satisfying pair match the pruned topology's path and not
+// appear in the exception table?
+func (s *Store) prunedExists(tid core.TopologyID, q Query, c *engine.Counters) (bool, error) {
+	sp, err := s.schemaPathFor(tid)
+	if err != nil {
+		return false, err
+	}
+	plan, startCol, endCol, err := s.pathJoinPlan(sp, q, c)
+	if err != nil {
+		return false, err
+	}
+	// NOT EXISTS (SELECT 1 FROM ExcpTops e WHERE e.E1=A.ID AND
+	// e.E2=B.ID AND e.TID = tid).
+	excpPred := relstore.MustEq(s.ExcpTops.Schema, "TID", relstore.IntVal(int64(tid)))
+	inner := engine.NewScan(s.ExcpTops, "EX", excpPred, c)
+	e1 := engine.MustColIndex(inner, "EX.E1")
+	e2 := engine.MustColIndex(inner, "EX.E2")
+	anti := engine.NewAntiJoin(plan, []int{startCol, endCol}, inner, []int{e1, e2}, c)
+	lim := engine.NewLimit(anti, 1)
+	rows, err := engine.Drain(lim)
+	if err != nil {
+		return false, err
+	}
+	return len(rows) == 1, nil
+}
+
+// etPlan builds the Figure 15 early-termination pipeline over the given
+// Tops table and drains it: an ordered scan of TopInfo in descending
+// score order feeding a DGJ stack, topped by DistinctGroups(k).
+func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, error) {
+	if q.Ranking == "" {
+		return nil, fmt.Errorf("methods: ET plans need a ranking")
+	}
+	scoreCol := core.ScoreColumn(q.Ranking)
+	ti, err := engine.NewOrderedScan(s.TopInfo, "TI", scoreCol, true, nil, c)
+	if err != nil {
+		return nil, err
+	}
+	base := engine.NewGroupBase(ti)
+	tidCol := engine.MustColIndex(base, "TI.TID")
+	g1, err := engine.NewIDGJ(base, tidCol, tops, "T", "TID", nil, c)
+	if err != nil {
+		return nil, err
+	}
+	e1 := engine.MustColIndex(g1, "T.E1")
+	var g2 engine.GroupOp
+	if q.UseHDGJ {
+		g2, err = engine.NewHDGJ(g1, e1, s.T1, "A", "ID", q.Pred1, c)
+	} else {
+		g2, err = engine.NewIDGJ(g1, e1, s.T1, "A", "ID", q.Pred1, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e2 := engine.MustColIndex(g2, "T.E2")
+	g3, err := engine.NewIDGJ(g2, e2, s.T2, "B", "ID", q.Pred2, c)
+	if err != nil {
+		return nil, err
+	}
+	top := engine.NewDistinctGroups(g3, k)
+	rows, err := engine.Drain(top)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.TuplesOut += int64(len(rows))
+	}
+	scoreIdx := engine.MustColIndex(base, "TI."+scoreCol)
+	items := make([]Item, len(rows))
+	for i, r := range rows {
+		items[i] = Item{TID: core.TopologyID(r[tidCol].Int), Score: r[scoreIdx].Int}
+	}
+	return items, nil
+}
+
+// itemsForTIDs attaches ranking scores to a TID list (no ranking: zero
+// scores).
+func (s *Store) itemsForTIDs(tids []core.TopologyID, rk string) ([]Item, error) {
+	items := make([]Item, len(tids))
+	for i, tid := range tids {
+		items[i] = Item{TID: tid}
+		if rk != "" {
+			sc, err := s.scoreOf(tid, rk)
+			if err != nil {
+				return nil, err
+			}
+			items[i].Score = sc
+		}
+	}
+	return items, nil
+}

@@ -1,0 +1,123 @@
+package methods
+
+import (
+	"fmt"
+	"sort"
+
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/optimizer"
+	"toposearch/internal/relstore"
+)
+
+// Query is the 2-query of Definition 3 plus the top-k controls: local
+// predicates on both entity sets, the number of results wanted, and the
+// ranking scheme.
+type Query struct {
+	Pred1 relstore.Pred // constraint on ES1 (nil = TRUE)
+	Pred2 relstore.Pred // constraint on ES2 (nil = TRUE)
+	K     int           // top-k for the *-k methods
+	// Ranking names the score column ("freq", "rare", "domain").
+	Ranking string
+	// UseHDGJ switches the ET plans' middle join to the HDGJ
+	// implementation — the "worst plan" variant of Table 2.
+	UseHDGJ bool
+}
+
+// Item is one ranked result.
+type Item struct {
+	TID   core.TopologyID
+	Score int64
+}
+
+// QueryResult is a method's answer: topologies (rank order for top-k
+// methods, ID order otherwise), the physical work counters, and the
+// plan the optimizer chose (Opt methods only).
+type QueryResult struct {
+	Items    []Item
+	Counters engine.Counters
+	Plan     optimizer.PlanKind
+}
+
+// TIDs lists the result topology IDs in order.
+func (r QueryResult) TIDs() []core.TopologyID {
+	out := make([]core.TopologyID, len(r.Items))
+	for i, it := range r.Items {
+		out[i] = it.TID
+	}
+	return out
+}
+
+// Method names, as used by the harness and the Run dispatcher.
+const (
+	MethodSQL        = "sql"
+	MethodFullTop    = "full-top"
+	MethodFastTop    = "fast-top"
+	MethodFullTopK   = "full-top-k"
+	MethodFastTopK   = "fast-top-k"
+	MethodFullTopKET = "full-top-k-et"
+	MethodFastTopKET = "fast-top-k-et"
+	MethodFullTopOpt = "full-top-k-opt"
+	MethodFastTopOpt = "fast-top-k-opt"
+)
+
+// AllMethods lists every method in the order of the paper's Table 2.
+func AllMethods() []string {
+	return []string{
+		MethodSQL,
+		MethodFullTop, MethodFastTop,
+		MethodFullTopK, MethodFastTopK,
+		MethodFullTopKET, MethodFastTopKET,
+		MethodFullTopOpt, MethodFastTopOpt,
+	}
+}
+
+// Run dispatches a query to the named method.
+func (s *Store) Run(method string, q Query) (QueryResult, error) {
+	switch method {
+	case MethodSQL:
+		return s.SQLMethod(q)
+	case MethodFullTop:
+		return s.FullTop(q)
+	case MethodFastTop:
+		return s.FastTop(q)
+	case MethodFullTopK:
+		return s.FullTopK(q)
+	case MethodFastTopK:
+		return s.FastTopK(q)
+	case MethodFullTopKET:
+		return s.FullTopKET(q)
+	case MethodFastTopKET:
+		return s.FastTopKET(q)
+	case MethodFullTopOpt:
+		return s.FullTopKOpt(q)
+	case MethodFastTopOpt:
+		return s.FastTopKOpt(q)
+	default:
+		return QueryResult{}, fmt.Errorf("methods: unknown method %q", method)
+	}
+}
+
+// rankedBefore is the total result order of the top-k methods:
+// descending score, ties broken by ascending topology ID.
+func rankedBefore(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.TID < b.TID
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return rankedBefore(items[i], items[j]) })
+}
+
+func sortItemsByTID(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].TID < items[j].TID })
+}
+
+func trimK(items []Item, k int) []Item {
+	if k > 0 && len(items) > k {
+		return items[:k]
+	}
+	return items
+}

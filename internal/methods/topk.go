@@ -1,0 +1,118 @@
+package methods
+
+import (
+	"toposearch/internal/engine"
+	"toposearch/internal/relstore"
+)
+
+// topKOverTops runs the regular top-k pipeline (SQL3/SQL4 upper
+// sub-query) over the given Tops table: join, attach scores, distinct,
+// order by score, fetch k.
+func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, error) {
+	plan, tidCol, err := s.topsJoinPlan(tops, q, c)
+	if err != nil {
+		return nil, err
+	}
+	tids, err := distinctTIDs(plan, tidCol, c)
+	if err != nil {
+		return nil, err
+	}
+	items, err := s.itemsForTIDs(tids, q.Ranking)
+	if err != nil {
+		return nil, err
+	}
+	sortItems(items)
+	return items, nil
+}
+
+// FullTopK is SQL3 over AllTops: compute every topology result, order
+// by score, fetch the first k.
+func (s *Store) FullTopK(q Query) (QueryResult, error) {
+	var c engine.Counters
+	items, err := s.topKOverTops(s.AllTops, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Items: trimK(items, q.K), Counters: c}, nil
+}
+
+// FastTopK is the Fast-Top-k method of Section 5.1 (queries SQL4 and
+// SQL5): first the top-k over LeftTops; then, only when a pruned
+// topology could still enter the result — the result is underfull or
+// the pruned topology's score beats the current k-th score — run the
+// per-topology existence check with the exception-table guard.
+func (s *Store) FastTopK(q Query) (QueryResult, error) {
+	var c engine.Counters
+	items, err := s.topKOverTops(s.LeftTops, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	items = trimK(items, q.K)
+	items, err = s.mergePruned(items, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Items: items, Counters: c}, nil
+}
+
+// mergePruned applies the SQL4 cut-off and runs SQL5 for each pruned
+// topology that could still reach the top k.
+func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, error) {
+	if len(s.PrunedTIDs) == 0 {
+		return items, nil
+	}
+	for _, tid := range s.PrunedTIDs {
+		score := int64(0)
+		if q.Ranking != "" {
+			var err error
+			score, err = s.scoreOf(tid, q.Ranking)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cand := Item{TID: tid, Score: score}
+		if q.K > 0 && len(items) >= q.K && !rankedBefore(cand, items[len(items)-1]) {
+			// SQL4 cut-off: this pruned topology cannot displace the
+			// current k-th result under the (score desc, TID asc)
+			// total order.
+			continue
+		}
+		ok, err := s.prunedExists(tid, q, c)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			items = append(items, Item{TID: tid, Score: score})
+			sortItems(items)
+			items = trimK(items, q.K)
+		}
+	}
+	sortItems(items)
+	return trimK(items, q.K), nil
+}
+
+// FullTopKET is the early-termination method over AllTops (no pruning):
+// the Figure 15 DGJ stack, stopping after k groups produce a witness.
+func (s *Store) FullTopKET(q Query) (QueryResult, error) {
+	var c engine.Counters
+	items, err := s.etPlan(s.AllTops, q, q.K, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Items: items, Counters: c}, nil
+}
+
+// FastTopKET is the Fast-Top-k-ET method of Section 5.3: the DGJ stack
+// over LeftTops plus the SQL5 merging of pruned topologies.
+func (s *Store) FastTopKET(q Query) (QueryResult, error) {
+	var c engine.Counters
+	items, err := s.etPlan(s.LeftTops, q, q.K, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	items, err = s.mergePruned(items, q, &c)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Items: items, Counters: c}, nil
+}

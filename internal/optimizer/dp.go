@@ -1,0 +1,326 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements the Section 5.4.1 extension of a System-R style
+// optimizer: bottom-up dynamic programming over join orders where, at
+// each step, the enumerator considers regular hash joins alongside DGJ
+// joins, and retains the least-cost plan per (relation subset,
+// interesting order, early-termination property). The early-termination
+// property is the new "interesting property": a plan has it when every
+// operator from the group source upward supports advanceToNextGroup, so
+// a top-k consumer can skip group remainders. Such plans are not
+// comparable to cheaper plans without the property — they are kept
+// separately, exactly as interesting orders are.
+
+// Relation is one input of a SQL6-class query (Section 5.4):
+//
+//	SELECT DISTINCT O1.ID, O1.score FROM O1..On
+//	WHERE local_predicate(Oi) AND O1 join O2 join ... join On
+//	ORDER BY O1.score DESC FETCH FIRST k ROWS ONLY
+type Relation struct {
+	Name string
+	// Rows is the relation's cardinality.
+	Rows float64
+	// Rho is the local predicate's selectivity.
+	Rho float64
+	// ProbeCost is the cost of one index lookup on its join attribute
+	// (DefaultProbeCostET for DGJ access paths).
+	ProbeCost float64
+	// GroupSource marks the relation whose tuples define the groups
+	// and carry the score (TopInfo); it must have a score-ordered
+	// index for ET plans to exist.
+	GroupSource bool
+	// Groups is the number of distinct groups (only meaningful on the
+	// group source).
+	Groups float64
+}
+
+// DPEdge is a join edge with its selectivity: joining relations A and B
+// produces |A| * |B| * Sel tuples.
+type DPEdge struct {
+	A, B int
+	Sel  float64
+}
+
+// DPQuery is the optimizer input.
+type DPQuery struct {
+	Relations []Relation
+	Edges     []DPEdge
+	// K is the FETCH FIRST k value; 0 disables the top-k discount.
+	K int
+}
+
+// DPPlan is a physical plan produced by the enumerator.
+type DPPlan struct {
+	Op    string // "scan", "scoreScan", "hashJoin", "IDGJ", "sort"
+	Rel   int    // leaf relation (for scans and DGJ inners)
+	Left  *DPPlan
+	Right *DPPlan
+
+	Cost float64 // cost before any top-k discount
+	Rows float64 // output cardinality estimate
+
+	// ScoreOrdered is the interesting order: tuples emerge in score
+	// order of the group source.
+	ScoreOrdered bool
+	// ET is the early-termination interesting property.
+	ET bool
+
+	// EffectiveCost is the cost after the top-k early-termination
+	// discount (equals Cost for non-ET plans).
+	EffectiveCost float64
+}
+
+// String renders the plan as a tree.
+func (p *DPPlan) String() string {
+	var b strings.Builder
+	p.render(&b, "")
+	return b.String()
+}
+
+func (p *DPPlan) render(b *strings.Builder, indent string) {
+	props := ""
+	if p.ET {
+		props += " [ET]"
+	}
+	if p.ScoreOrdered {
+		props += " [score-ordered]"
+	}
+	fmt.Fprintf(b, "%s%s(rel=%d, cost=%.1f, rows=%.1f)%s\n", indent, p.Op, p.Rel, p.Cost, p.Rows, props)
+	if p.Left != nil {
+		p.Left.render(b, indent+"  ")
+	}
+	if p.Right != nil {
+		p.Right.render(b, indent+"  ")
+	}
+}
+
+// planKey is the memo key: subset plus interesting properties.
+type planKey struct {
+	subset  uint32
+	ordered bool
+	et      bool
+}
+
+// EnumerateDP runs the dynamic program and returns the overall cheapest
+// plan for the query (by effective cost, so ET plans are credited with
+// their early-termination savings when K > 0).
+func EnumerateDP(q DPQuery) (*DPPlan, error) {
+	n := len(q.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: no relations")
+	}
+	if n > 20 {
+		return nil, fmt.Errorf("optimizer: too many relations (%d)", n)
+	}
+	adj := make(map[int]map[int]float64) // a -> b -> sel
+	for _, e := range q.Edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return nil, fmt.Errorf("optimizer: edge %v out of range", e)
+		}
+		if adj[e.A] == nil {
+			adj[e.A] = map[int]float64{}
+		}
+		if adj[e.B] == nil {
+			adj[e.B] = map[int]float64{}
+		}
+		adj[e.A][e.B] = e.Sel
+		adj[e.B][e.A] = e.Sel
+	}
+
+	best := make(map[planKey]*DPPlan)
+	consider := func(subset uint32, p *DPPlan) {
+		k := planKey{subset: subset, ordered: p.ScoreOrdered, et: p.ET}
+		if cur, ok := best[k]; !ok || p.Cost < cur.Cost {
+			best[k] = p
+		}
+	}
+
+	// Base plans: plain scans, plus the score-ordered scan for the
+	// group source.
+	for i, r := range q.Relations {
+		subset := uint32(1) << i
+		consider(subset, &DPPlan{
+			Op: "scan", Rel: i,
+			Cost: r.Rows * cScan,
+			Rows: r.Rows * r.Rho,
+		})
+		if r.GroupSource {
+			consider(subset, &DPPlan{
+				Op: "scoreScan", Rel: i,
+				Cost:         r.Rows * cScan,
+				Rows:         r.Rows * r.Rho,
+				ScoreOrdered: true,
+				ET:           true, // each tuple is its own group
+			})
+		}
+	}
+
+	// Bottom-up over subset sizes: left-deep extension by one relation.
+	full := uint32(1)<<n - 1
+	for size := 1; size < n; size++ {
+		for subset := uint32(1); subset <= full; subset++ {
+			if bitCount(subset) != size {
+				continue
+			}
+			for _, ordered := range []bool{false, true} {
+				for _, et := range []bool{false, true} {
+					left, ok := best[planKey{subset, ordered, et}]
+					if !ok {
+						continue
+					}
+					for r := 0; r < n; r++ {
+						if subset&(1<<r) != 0 {
+							continue
+						}
+						sel, connected := joinSel(adj, subset, r)
+						if !connected {
+							continue
+						}
+						rel := q.Relations[r]
+						outRows := left.Rows * rel.Rows * rel.Rho * sel
+						newSubset := subset | 1<<r
+
+						// Regular hash join: build the (filtered) inner,
+						// probe per outer tuple. Destroys order and ET.
+						consider(newSubset, &DPPlan{
+							Op: "hashJoin", Rel: r, Left: left,
+							Cost: left.Cost + rel.Rows*cScan +
+								rel.Rows*rel.Rho*0.5 + left.Rows*cProbe,
+							Rows: outRows,
+						})
+						// IDGJ: index probes per outer tuple; preserves
+						// order and ET when the outer has them.
+						if left.ET {
+							probe := rel.ProbeCost
+							if probe == 0 {
+								probe = DefaultProbeCostET
+							}
+							consider(newSubset, &DPPlan{
+								Op: "IDGJ", Rel: r, Left: left,
+								Cost:         left.Cost + left.Rows*probe,
+								Rows:         outRows,
+								ScoreOrdered: left.ScoreOrdered,
+								ET:           true,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pick the overall winner by effective cost. Non-ordered complete
+	// plans must pay a final sort for the ORDER BY.
+	var winner *DPPlan
+	for _, ordered := range []bool{false, true} {
+		for _, et := range []bool{false, true} {
+			p, ok := best[planKey{full, ordered, et}]
+			if !ok {
+				continue
+			}
+			cand := *p
+			if !p.ScoreOrdered {
+				g := groupCount(q)
+				sortCost := 0.0
+				if g > 1 {
+					sortCost = g * math.Log2(g+1) * cSort
+				}
+				cand = DPPlan{
+					Op: "sort", Left: p,
+					Cost: p.Cost + sortCost, Rows: p.Rows,
+					ScoreOrdered: true, ET: p.ET,
+				}
+			}
+			cand.EffectiveCost = cand.Cost
+			if cand.ET && q.K > 0 {
+				cand.EffectiveCost = cand.Cost * etDiscount(q)
+			}
+			if winner == nil || cand.EffectiveCost < winner.EffectiveCost {
+				w := cand
+				winner = &w
+			}
+		}
+	}
+	if winner == nil {
+		return nil, fmt.Errorf("optimizer: query graph is disconnected")
+	}
+	return winner, nil
+}
+
+// joinSel returns the combined selectivity of all edges between the
+// subset and relation r, and whether any exist.
+func joinSel(adj map[int]map[int]float64, subset uint32, r int) (float64, bool) {
+	sel := 1.0
+	connected := false
+	for a, m := range adj {
+		if subset&(1<<a) == 0 {
+			continue
+		}
+		if s, ok := m[r]; ok {
+			sel *= s
+			connected = true
+		}
+	}
+	return sel, connected
+}
+
+func groupCount(q DPQuery) float64 {
+	for _, r := range q.Relations {
+		if r.GroupSource {
+			if r.Groups > 0 {
+				return r.Groups
+			}
+			return r.Rows
+		}
+	}
+	return 0
+}
+
+// etDiscount estimates the fraction of work an ET plan performs: with m
+// groups and k requested, roughly k out of the groups that produce
+// results need to be processed. The precise per-group model is
+// StackStats.ETCost; the DP uses this coarse factor only to rank plan
+// shapes, and the final candidates can be re-costed exactly.
+func etDiscount(q DPQuery) float64 {
+	m := groupCount(q)
+	if m <= 0 {
+		return 1
+	}
+	// Probability a group yields a result, assuming predicates filter
+	// uniformly across groups.
+	rho := 1.0
+	for _, r := range q.Relations {
+		if !r.GroupSource {
+			rho *= r.Rho
+		}
+	}
+	if rho <= 0 {
+		return 1
+	}
+	expectedGroups := float64(q.K) / rho
+	if expectedGroups > m {
+		expectedGroups = m
+	}
+	f := expectedGroups / m
+	if f > 1 {
+		f = 1
+	}
+	if f < 1.0/m {
+		f = 1.0 / m
+	}
+	return f
+}
+
+func bitCount(v uint32) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,158 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// topologyQuery builds the paper's SQL4 join graph:
+// TopInfo (group source) - LeftTops - Protein - DNA.
+func topologyQuery(rho float64, k int) DPQuery {
+	return DPQuery{
+		Relations: []Relation{
+			{Name: "TopInfo", Rows: 400, Rho: 1, GroupSource: true, Groups: 400},
+			{Name: "LeftTops", Rows: 1200, Rho: 1, ProbeCost: DefaultProbeCostET},
+			{Name: "Protein", Rows: 20000, Rho: rho, ProbeCost: DefaultProbeCostET},
+			{Name: "DNA", Rows: 20000, Rho: rho, ProbeCost: DefaultProbeCostET},
+		},
+		Edges: []DPEdge{
+			{A: 0, B: 1, Sel: 1.0 / 400},   // TID = TID
+			{A: 1, B: 2, Sel: 1.0 / 20000}, // E1 = ID
+			{A: 1, B: 3, Sel: 1.0 / 20000}, // E2 = ID
+		},
+		K: k,
+	}
+}
+
+func TestDPUnselectivePicksETStack(t *testing.T) {
+	plan, err := EnumerateDP(topologyQuery(0.85, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.ET {
+		t.Errorf("unselective top-10 plan lacks ET property:\n%s", plan)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "IDGJ") || !strings.Contains(s, "scoreScan") {
+		t.Errorf("expected a DGJ stack over the score scan:\n%s", s)
+	}
+	// The ET plan must not need a final sort: order is preserved.
+	if strings.HasPrefix(s, "sort") {
+		t.Errorf("ET plan should not sort:\n%s", s)
+	}
+}
+
+func TestDPSelectivePicksRegularPlan(t *testing.T) {
+	plan, err := EnumerateDP(topologyQuery(0.02, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ET {
+		t.Errorf("highly selective plan should be regular:\n%s", plan)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "hashJoin") {
+		t.Errorf("expected hash joins:\n%s", s)
+	}
+	if !strings.Contains(s, "sort") {
+		t.Errorf("regular plan must sort for the ORDER BY:\n%s", s)
+	}
+}
+
+func TestDPWithoutTopKIgnoresET(t *testing.T) {
+	// K=0: no early-termination benefit, so the ET discount is off and
+	// the cheaper raw-cost plan wins.
+	plan, err := EnumerateDP(topologyQuery(0.85, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EffectiveCost != plan.Cost {
+		t.Error("no-k plan should not be discounted")
+	}
+}
+
+func TestDPPropertiesPropagate(t *testing.T) {
+	plan, err := EnumerateDP(topologyQuery(0.85, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the winning stack: every IDGJ node must sit on an ET child.
+	var walk func(p *DPPlan)
+	walk = func(p *DPPlan) {
+		if p == nil {
+			return
+		}
+		if p.Op == "IDGJ" && (p.Left == nil || !p.Left.ET) {
+			t.Errorf("IDGJ over a non-ET child:\n%s", plan)
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(plan)
+}
+
+func TestDPErrors(t *testing.T) {
+	if _, err := EnumerateDP(DPQuery{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	// Disconnected join graph.
+	q := DPQuery{
+		Relations: []Relation{
+			{Name: "A", Rows: 10, Rho: 1},
+			{Name: "B", Rows: 10, Rho: 1},
+		},
+	}
+	if _, err := EnumerateDP(q); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	// Edge out of range.
+	q.Edges = []DPEdge{{A: 0, B: 7, Sel: 1}}
+	if _, err := EnumerateDP(q); err == nil {
+		t.Error("bad edge accepted")
+	}
+}
+
+func TestDPCardinalityEstimates(t *testing.T) {
+	plan, err := EnumerateDP(topologyQuery(0.5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rows <= 0 {
+		t.Errorf("non-positive cardinality: %v", plan.Rows)
+	}
+	if plan.Cost <= 0 || plan.EffectiveCost <= 0 {
+		t.Errorf("non-positive cost: %v / %v", plan.Cost, plan.EffectiveCost)
+	}
+	if plan.EffectiveCost > plan.Cost {
+		t.Error("effective cost above raw cost")
+	}
+}
+
+func TestDPScalesToWiderQueries(t *testing.T) {
+	// A 6-relation star around the Tops relation still enumerates.
+	q := DPQuery{
+		Relations: []Relation{
+			{Name: "TopInfo", Rows: 100, Rho: 1, GroupSource: true, Groups: 100},
+			{Name: "Tops", Rows: 1000, Rho: 1},
+			{Name: "R2", Rows: 5000, Rho: 0.5},
+			{Name: "R3", Rows: 5000, Rho: 0.5},
+			{Name: "R4", Rows: 5000, Rho: 0.5},
+			{Name: "R5", Rows: 5000, Rho: 0.5},
+		},
+		Edges: []DPEdge{
+			{A: 0, B: 1, Sel: 1.0 / 100},
+			{A: 1, B: 2, Sel: 1.0 / 5000},
+			{A: 1, B: 3, Sel: 1.0 / 5000},
+			{A: 2, B: 4, Sel: 1.0 / 5000},
+			{A: 3, B: 5, Sel: 1.0 / 5000},
+		},
+		K: 5,
+	}
+	plan, err := EnumerateDP(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || plan.Cost <= 0 {
+		t.Fatal("no plan")
+	}
+}

@@ -1,0 +1,49 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExplainInput names the relations of a top-k topology query for plan
+// rendering.
+type ExplainInput struct {
+	TopInfo  string // e.g. "TopInfo_Protein_DNA"
+	Tops     string // e.g. "LeftTops_Protein_DNA"
+	Entity1  string // e.g. "Protein (desc.ct('enzyme'))"
+	Entity2  string // e.g. "DNA (type='mRNA')"
+	ScoreCol string // e.g. "SCORE_freq"
+	K        int
+}
+
+// Explain renders the chosen plan as an operator tree in the style of
+// Figures 14 and 15.
+func Explain(kind PlanKind, in ExplainInput) string {
+	var b strings.Builder
+	switch kind {
+	case PlanRegular:
+		fmt.Fprintf(&b, "Fetch first %d\n", in.K)
+		b.WriteString("└─ Sort (" + in.ScoreCol + " desc)\n")
+		b.WriteString("   └─ Distinct (TID)\n")
+		b.WriteString("      └─ HashJoin (TID)\n")
+		b.WriteString("         ├─ HashJoin (E2 = ID)\n")
+		b.WriteString("         │  ├─ HashJoin (E1 = ID)\n")
+		b.WriteString("         │  │  ├─ seqScan " + in.Tops + "\n")
+		b.WriteString("         │  │  └─ idxScan " + in.Entity1 + "\n")
+		b.WriteString("         │  └─ idxScan " + in.Entity2 + "\n")
+		b.WriteString("         └─ idxScan " + in.TopInfo + "\n")
+	case PlanETIndex:
+		fmt.Fprintf(&b, "DistinctGroups (k=%d)\n", in.K)
+		b.WriteString("└─ IDGJ (E2 = ID) σ " + in.Entity2 + "\n")
+		b.WriteString("   └─ IDGJ (E1 = ID) σ " + in.Entity1 + "\n")
+		b.WriteString("      └─ IDGJ (TID = TID) " + in.Tops + "\n")
+		b.WriteString("         └─ idxScan " + in.TopInfo + " (" + in.ScoreCol + " order)\n")
+	case PlanETHash:
+		fmt.Fprintf(&b, "DistinctGroups (k=%d)\n", in.K)
+		b.WriteString("└─ IDGJ (E2 = ID) σ " + in.Entity2 + "\n")
+		b.WriteString("   └─ HDGJ (E1 = ID) σ " + in.Entity1 + "\n")
+		b.WriteString("      └─ IDGJ (TID = TID) " + in.Tops + "\n")
+		b.WriteString("         └─ idxScan " + in.TopInfo + " (" + in.ScoreCol + " order)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// twoKeyJoins builds the standard topology-query stack: two key joins
+// (LeftTops.E1 = Protein.ID, LeftTops.E2 = DNA.ID) with predicate
+// selectivities rho1 and rho2.
+func twoKeyJoins(nP, nD, rho1, rho2 float64) []JoinStats {
+	return []JoinStats{
+		{N: nP, I: 1, Rho: rho1, S: 1 / nP},
+		{N: nD, I: 1, Rho: rho2, S: 1 / nD},
+	}
+}
+
+func TestChainsKeyJoins(t *testing.T) {
+	c := computeChains(twoKeyJoins(1000, 2000, 0.5, 0.2))
+	// x2 (last op): probability a tuple entering the DNA join produces
+	// a result = rho2 = 0.2.
+	if math.Abs(c.x[1]-0.2) > 1e-9 {
+		t.Errorf("x2 = %v, want 0.2", c.x[1])
+	}
+	// x1 = rho1 * rho2 = 0.1.
+	if math.Abs(c.x[0]-0.1) > 1e-9 {
+		t.Errorf("x1 = %v, want 0.1", c.x[0])
+	}
+	// delta2 = I2 = 1; delta1 = I1 + rho1*delta2 = 1.5.
+	if math.Abs(c.delta[1]-1) > 1e-9 || math.Abs(c.delta[0]-1.5) > 1e-9 {
+		t.Errorf("delta = %v, want [1.5 1]", c.delta[:2])
+	}
+}
+
+func TestGroupParams(t *testing.T) {
+	s := StackStats{
+		Cards: []float64{10, 1},
+		Joins: twoKeyJoins(1000, 2000, 0.5, 0.2),
+	}
+	p := s.Params()
+	// np for a 10-tuple group with x1=0.1: 0.9^10.
+	want := math.Pow(0.9, 10)
+	if math.Abs(p[0].NP-want) > 1e-9 {
+		t.Errorf("np = %v, want %v", p[0].NP, want)
+	}
+	// nc = np * card * delta1.
+	if math.Abs(p[0].NC-want*10*1.5) > 1e-9 {
+		t.Errorf("nc = %v, want %v", p[0].NC, want*10*1.5)
+	}
+	// Single-tuple group: np = 0.9, ec = x1 * (I1 + I2) = 0.1*2.
+	if math.Abs(p[1].NP-0.9) > 1e-9 {
+		t.Errorf("np single = %v", p[1].NP)
+	}
+	if math.Abs(p[1].EC-0.2) > 1e-9 {
+		t.Errorf("ec single = %v, want 0.2", p[1].EC)
+	}
+	// EC grows with group size but stays bounded by expected work.
+	if p[0].EC <= p[1].EC {
+		t.Errorf("EC(card=10)=%v should exceed EC(card=1)=%v", p[0].EC, p[1].EC)
+	}
+}
+
+func TestETCostMonotonicInK(t *testing.T) {
+	s := StackStats{
+		Cards: []float64{50, 40, 30, 20, 10},
+		Joins: twoKeyJoins(1000, 2000, 0.5, 0.5),
+	}
+	prev := 0.0
+	for k := 1; k <= 5; k++ {
+		c := s.ETCost(k)
+		if c < prev {
+			t.Errorf("ETCost(%d) = %v < ETCost(%d) = %v", k, c, k-1, prev)
+		}
+		prev = c
+	}
+	if s.ETCost(0) != 0 {
+		t.Error("ETCost(0) != 0")
+	}
+	if (StackStats{}).ETCost(3) != 0 {
+		t.Error("empty stack cost != 0")
+	}
+}
+
+func TestETCostSelectivityShape(t *testing.T) {
+	// The paper's headline trade-off: ET is cheap for unselective
+	// predicates (first tuples match, groups are skipped immediately)
+	// and expensive for selective ones (many tuples probed per group).
+	cards := make([]float64, 100)
+	for i := range cards {
+		cards[i] = 200
+	}
+	unselective := StackStats{Cards: cards, Joins: twoKeyJoins(5000, 5000, 0.85, 0.85)}
+	selective := StackStats{Cards: cards, Joins: twoKeyJoins(5000, 5000, 0.15, 0.15)}
+	cu, cs := unselective.ETCost(10), selective.ETCost(10)
+	if cu >= cs {
+		t.Errorf("ET unselective (%v) should be cheaper than selective (%v)", cu, cs)
+	}
+}
+
+func TestGeomSums(t *testing.T) {
+	// Closed forms match direct summation.
+	f := func(qRaw, hRaw uint8) bool {
+		q := float64(qRaw%99) / 100.0
+		h := float64(hRaw%50 + 1)
+		s0, s1 := geomSums(q, h)
+		var w0, w1 float64
+		for j := 1; j <= int(h); j++ {
+			w0 += math.Pow(q, float64(j-1))
+			w1 += float64(j-1) * math.Pow(q, float64(j-1))
+		}
+		return math.Abs(s0-w0) < 1e-6 && math.Abs(s1-w1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Edge cases.
+	if s0, s1 := geomSums(0.5, 0); s0 != 0 || s1 != 0 {
+		t.Error("h=0 sums nonzero")
+	}
+	if s0, _ := geomSums(1, 5); s0 != 5 {
+		t.Error("q=1 sum wrong")
+	}
+	if s0, s1 := geomSums(0, 5); s0 != 1 || s1 != 0 {
+		t.Error("q=0 sums wrong")
+	}
+}
+
+func TestRegularCostShape(t *testing.T) {
+	small := RegularCost(RegularStats{Entity1Rows: 100, TopsMatches: 50, Rho2: 0.5, Groups: 10})
+	big := RegularCost(RegularStats{Entity1Rows: 100000, TopsMatches: 50000, Rho2: 0.5, Groups: 500})
+	if small >= big {
+		t.Errorf("regular cost not increasing with size: %v vs %v", small, big)
+	}
+	// Regular cost is independent of k: it always processes everything.
+	again := RegularCost(RegularStats{Entity1Rows: 100, TopsMatches: 50, Rho2: 0.5, Groups: 10})
+	if again != small {
+		t.Error("RegularCost not deterministic")
+	}
+}
+
+// paperScenario builds the Fast-Top-k vs Fast-Top-k-ET decision inputs
+// for a pruned store: 400 leftover topologies with small per-group
+// cardinalities (frequent topologies were pruned), entity tables of
+// 20k rows, and the given predicate selectivity on both sides.
+func paperScenario(rho float64) (RegularStats, StackStats) {
+	nGroups := 400
+	cardPerGroup := 3.0
+	cards := make([]float64, nGroups)
+	for i := range cards {
+		cards[i] = cardPerGroup
+	}
+	joins := []JoinStats{
+		{N: 20000, I: DefaultProbeCostET, Rho: rho, S: 1.0 / 20000},
+		{N: 20000, I: DefaultProbeCostET, Rho: rho, S: 1.0 / 20000},
+	}
+	stack := StackStats{Cards: cards, Joins: joins}
+	topsRows := cardPerGroup * float64(nGroups)
+	reg := RegularStats{
+		Entity1Rows: 20000 * rho,
+		TopsMatches: topsRows * rho,
+		Rho2:        rho,
+		Groups:      float64(nGroups),
+	}
+	return reg, stack
+}
+
+func TestChooseMatchesPaperShape(t *testing.T) {
+	// Selective predicates (15%), k=10: the regular plan wins — Table 2
+	// selective rows, where Fast-Top-k beats Fast-Top-k-ET.
+	reg, stack := paperScenario(0.15)
+	choice := Choose(reg, stack, 10)
+	if choice.Kind != PlanRegular {
+		t.Errorf("selective choice = %v (costs %v), want regular", choice.Kind, choice.CostByPlan)
+	}
+
+	// Unselective predicates (85%): ET wins (Table 2 unselective rows).
+	reg, stack = paperScenario(0.85)
+	choice = Choose(reg, stack, 10)
+	if choice.Kind != PlanETIndex {
+		t.Errorf("unselective choice = %v (costs %v), want et-idgj", choice.Kind, choice.CostByPlan)
+	}
+
+	// Medium (50%): ET should also win, but by less.
+	regM, stackM := paperScenario(0.5)
+	choiceM := Choose(regM, stackM, 10)
+	if choiceM.Kind == PlanETHash {
+		t.Errorf("medium choice = et-hdgj (costs %v)", choiceM.CostByPlan)
+	}
+	// Costs are reported for all plans.
+	if len(choice.CostByPlan) != 3 {
+		t.Errorf("CostByPlan has %d entries", len(choice.CostByPlan))
+	}
+	// The HDGJ plan must be the worst choice for selective queries —
+	// the paper's "worst plan" column (2467s vs 9.65s best ET).
+	regS, stackS := paperScenario(0.15)
+	cs := Choose(regS, stackS, 10).CostByPlan
+	if cs[PlanETHash] <= cs[PlanETIndex] {
+		t.Errorf("HDGJ (%v) should be worse than IDGJ (%v) for selective", cs[PlanETHash], cs[PlanETIndex])
+	}
+}
+
+func TestHDGJCostVsIDGJ(t *testing.T) {
+	// With tiny inner relations, rescanning per group (HDGJ) can beat
+	// index probes; with huge inners it must lose.
+	cards := []float64{100, 100, 100}
+	smallInner := StackStats{Cards: cards, Joins: []JoinStats{{N: 4, I: 1, Rho: 0.9, S: 0.25}}}
+	hugeInner := StackStats{Cards: cards, Joins: []JoinStats{{N: 1e6, I: 1, Rho: 0.9, S: 1e-6}}}
+	if HDGJCost(hugeInner, 2) <= hugeInner.ETCost(2) {
+		t.Error("HDGJ should lose with a huge inner relation")
+	}
+	if HDGJCost(smallInner, 2) <= 0 {
+		t.Error("HDGJ cost must be positive")
+	}
+	if HDGJCost(StackStats{}, 2) != 0 || HDGJCost(smallInner, 0) != 0 {
+		t.Error("HDGJ edge cases wrong")
+	}
+}
+
+func TestExplainRendersAllPlans(t *testing.T) {
+	in := ExplainInput{
+		TopInfo:  "TopInfo_Protein_DNA",
+		Tops:     "LeftTops_Protein_DNA",
+		Entity1:  "Protein (desc.ct('enzyme'))",
+		Entity2:  "DNA (type='mRNA')",
+		ScoreCol: "SCORE_freq",
+		K:        10,
+	}
+	for _, kind := range []PlanKind{PlanRegular, PlanETIndex, PlanETHash} {
+		s := Explain(kind, in)
+		if !strings.Contains(s, "LeftTops_Protein_DNA") {
+			t.Errorf("%v plan missing table name:\n%s", kind, s)
+		}
+		switch kind {
+		case PlanRegular:
+			if !strings.Contains(s, "Sort") || !strings.Contains(s, "HashJoin") {
+				t.Errorf("regular plan missing operators:\n%s", s)
+			}
+		case PlanETIndex:
+			if !strings.Contains(s, "IDGJ") || strings.Contains(s, "HDGJ") {
+				t.Errorf("et-idgj plan wrong:\n%s", s)
+			}
+		case PlanETHash:
+			if !strings.Contains(s, "HDGJ") {
+				t.Errorf("et-hdgj plan missing HDGJ:\n%s", s)
+			}
+		}
+	}
+	if PlanRegular.String() != "regular" || PlanETIndex.String() != "et-idgj" ||
+		PlanETHash.String() != "et-hdgj" || PlanKind(99).String() != "unknown" {
+		t.Error("PlanKind names wrong")
+	}
+}
+
+func TestJoinStatsMatches(t *testing.T) {
+	j := JoinStats{N: 1000, S: 0.002}
+	if j.Matches() != 2 {
+		t.Errorf("Matches = %v, want 2", j.Matches())
+	}
+	s := StackStats{Cards: []float64{1}, Joins: []JoinStats{j}}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,63 @@
+// Package ranking provides the three topology scoring schemes of the
+// paper's evaluation (Section 6.1): Freq favours common topologies,
+// Rare favours uncommon ones, and Domain stands in for the
+// domain-expert ranking with a deterministic structural score that
+// rewards the features the paper's biologist found significant
+// (interaction nodes, cyclic interplay of multiple path classes — see
+// Figure 16 and Section 6.2.1).
+package ranking
+
+import "toposearch/internal/core"
+
+// Scheme names.
+const (
+	Freq   = "freq"
+	Rare   = "rare"
+	Domain = "domain"
+)
+
+// Names lists the schemes in the order the paper's tables use.
+func Names() []string { return []string{Freq, Domain, Rare} }
+
+// Schemes returns the score functions keyed by scheme name.
+func Schemes() map[string]core.ScoreFunc {
+	return map[string]core.ScoreFunc{
+		Freq:   FreqScore,
+		Rare:   RareScore,
+		Domain: DomainScore,
+	}
+}
+
+// FreqScore ranks common topologies first.
+func FreqScore(_ *core.TopInfo, freq int) int64 { return int64(freq) }
+
+// RareScore ranks rare topologies first.
+func RareScore(_ *core.TopInfo, freq int) int64 { return -int64(freq) }
+
+// DomainScore is the structural stand-in for the expert ranking:
+// topologies that weave several path classes into a cyclic structure
+// through interactions score highest; bare frequent paths score lowest.
+func DomainScore(info *core.TopInfo, freq int) int64 {
+	var s int64
+	for _, l := range info.Graph.Labels {
+		if l == "Interaction" {
+			s += 40
+		}
+	}
+	if info.NumEdges >= info.NumNodes { // contains a cycle
+		s += 25
+	}
+	if n := len(info.Sigs); n > 1 {
+		s += int64(15 * (n - 1))
+	}
+	if info.IsPath {
+		s -= 20
+	}
+	s += int64(info.NumNodes)
+	// Rareness is mildly interesting to the expert too; break ties
+	// away from the very frequent.
+	if freq > 100 {
+		s -= 5
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package ranking
+
+import (
+	"testing"
+
+	"toposearch/internal/canon"
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+)
+
+func pathInfo() *core.TopInfo {
+	return &core.TopInfo{
+		Graph: &canon.Graph{
+			Labels: []string{"Protein", "Unigene", "DNA"},
+			Edges: []canon.Edge{
+				{U: 0, V: 1, Label: "uni_encodes"},
+				{U: 1, V: 2, Label: "uni_contains"},
+			},
+		},
+		NumNodes: 3, NumEdges: 2,
+		Sigs:   []graph.PathSig{"a"},
+		IsPath: true,
+	}
+}
+
+func fig16Info() *core.TopInfo {
+	return &core.TopInfo{
+		Graph: &canon.Graph{
+			Labels: []string{"Protein", "Protein", "DNA", "Interaction"},
+			Edges: []canon.Edge{
+				{U: 0, V: 2, Label: "encodes"},
+				{U: 1, V: 2, Label: "encodes"},
+				{U: 0, V: 3, Label: "interaction"},
+				{U: 1, V: 3, Label: "interaction"},
+			},
+		},
+		NumNodes: 4, NumEdges: 4,
+		Sigs:   []graph.PathSig{"a", "b"},
+		IsPath: false,
+	}
+}
+
+func TestFreqAndRareAreOpposites(t *testing.T) {
+	info := pathInfo()
+	for _, f := range []int{0, 1, 100, 5000} {
+		if FreqScore(info, f) != -RareScore(info, f) {
+			t.Errorf("freq/rare not mirrored at %d", f)
+		}
+	}
+	if FreqScore(info, 10) <= FreqScore(info, 5) {
+		t.Error("FreqScore not increasing")
+	}
+	if RareScore(info, 10) >= RareScore(info, 5) {
+		t.Error("RareScore not decreasing")
+	}
+}
+
+func TestDomainPrefersFigure16OverPath(t *testing.T) {
+	path := DomainScore(pathInfo(), 1000)
+	motif := DomainScore(fig16Info(), 3)
+	if motif <= path {
+		t.Errorf("domain score: motif %d <= frequent path %d", motif, path)
+	}
+	// The interaction node, the cycle, and the extra class each
+	// contribute.
+	noCycle := fig16Info()
+	noCycle.NumEdges = 3 // pretend the cycle is broken
+	if DomainScore(noCycle, 3) >= motif {
+		t.Error("cycle bonus missing")
+	}
+}
+
+func TestDomainFrequencyPenalty(t *testing.T) {
+	info := fig16Info()
+	if DomainScore(info, 101) >= DomainScore(info, 99) {
+		t.Error("very frequent topologies should be slightly penalized")
+	}
+}
+
+func TestSchemesComplete(t *testing.T) {
+	s := Schemes()
+	if len(s) != 3 {
+		t.Fatalf("schemes = %d, want 3", len(s))
+	}
+	for _, name := range Names() {
+		if s[name] == nil {
+			t.Errorf("missing scheme %q", name)
+		}
+	}
+	if Names()[0] != Freq {
+		t.Error("paper order starts with Freq")
+	}
+}

@@ -1,0 +1,74 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DB is a catalog of tables — the "Base Data" box of the paper's system
+// architecture (Figure 10).
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers an empty table for the schema. It fails if a
+// table with the same name already exists.
+func (db *DB) CreateTable(s *Schema) (*Table, error) {
+	if _, dup := db.tables[s.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", s.Name)
+	}
+	t := NewTable(s)
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *DB) MustCreateTable(s *Schema) *Table {
+	t, err := db.CreateTable(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DropTable removes a table from the catalog (used when the Topology
+// Pruning module discards the temporary AllTops table, Section 4).
+func (db *DB) DropTable(name string) {
+	delete(db.tables, name)
+}
+
+// Table returns the named table, or nil if absent.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// MustTable returns the named table or panics.
+func (db *DB) MustTable(name string) *Table {
+	t := db.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("relstore: no table %q", name))
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ApproxBytes sums ApproxBytes over all tables.
+func (db *DB) ApproxBytes() int64 {
+	var b int64
+	for _, t := range db.tables {
+		b += t.ApproxBytes()
+	}
+	return b
+}

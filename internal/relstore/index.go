@@ -1,0 +1,108 @@
+package relstore
+
+import "sort"
+
+// HashIndex is an equality index on one column: value -> row positions.
+// It models the hash indices the paper's engine probes in index
+// nested-loop joins (cost parameter I_i in Section 5.4.3).
+type HashIndex struct {
+	Col int
+	m   map[Value][]int32
+}
+
+func newHashIndex(col int) *HashIndex {
+	return &HashIndex{Col: col, m: make(map[Value][]int32)}
+}
+
+func (ix *HashIndex) add(v Value, pos int32) { ix.m[v] = append(ix.m[v], pos) }
+
+// Lookup returns the positions of all rows whose indexed column equals v.
+// The returned slice is shared; callers must not mutate it.
+func (ix *HashIndex) Lookup(v Value) []int32 { return ix.m[v] }
+
+// NumKeys returns the number of distinct values in the index.
+func (ix *HashIndex) NumKeys() int { return len(ix.m) }
+
+// OrderedIndex is a sorted permutation of row positions by one column,
+// supporting range scans and ordered iteration (used for score-ordered
+// access to TopInfo in the early-termination plans, Figure 15).
+type OrderedIndex struct {
+	Col  int
+	perm []int32 // row positions sorted by column value
+	t    *Table
+}
+
+func newOrderedIndex(t *Table, col int) *OrderedIndex {
+	ix := &OrderedIndex{Col: col, t: t}
+	ix.perm = make([]int32, len(t.rows))
+	for i := range ix.perm {
+		ix.perm[i] = int32(i)
+	}
+	sort.SliceStable(ix.perm, func(a, b int) bool {
+		return t.rows[ix.perm[a]][col].Compare(t.rows[ix.perm[b]][col]) < 0
+	})
+	return ix
+}
+
+func (ix *OrderedIndex) add(pos int32) {
+	v := ix.t.rows[pos][ix.Col]
+	at := sort.Search(len(ix.perm), func(i int) bool {
+		return ix.t.rows[ix.perm[i]][ix.Col].Compare(v) > 0
+	})
+	ix.perm = append(ix.perm, 0)
+	copy(ix.perm[at+1:], ix.perm[at:])
+	ix.perm[at] = pos
+}
+
+// Len returns the number of indexed rows.
+func (ix *OrderedIndex) Len() int { return len(ix.perm) }
+
+// At returns the row position at sorted rank i (ascending by value).
+func (ix *OrderedIndex) At(i int) int32 { return ix.perm[i] }
+
+// Scan visits row positions in ascending column order; descending if
+// desc is set. Ties are always visited in insertion order (the scan is
+// stable in both directions), so plans that consume a descending score
+// order break ties identically to an explicit (score DESC, key ASC)
+// sort. The visit function returns false to stop early.
+func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
+	if desc {
+		hi := len(ix.perm)
+		for hi > 0 {
+			// Find the run of equal values ending at hi-1.
+			lo := hi - 1
+			v := ix.t.rows[ix.perm[lo]][ix.Col]
+			for lo > 0 && ix.t.rows[ix.perm[lo-1]][ix.Col].Compare(v) == 0 {
+				lo--
+			}
+			for i := lo; i < hi; i++ {
+				if !visit(ix.perm[i]) {
+					return
+				}
+			}
+			hi = lo
+		}
+		return
+	}
+	for _, p := range ix.perm {
+		if !visit(p) {
+			return
+		}
+	}
+}
+
+// Range visits row positions with lo <= value <= hi in ascending order.
+func (ix *OrderedIndex) Range(lo, hi Value, visit func(pos int32) bool) {
+	start := sort.Search(len(ix.perm), func(i int) bool {
+		return ix.t.rows[ix.perm[i]][ix.Col].Compare(lo) >= 0
+	})
+	for i := start; i < len(ix.perm); i++ {
+		p := ix.perm[i]
+		if ix.t.rows[p][ix.Col].Compare(hi) > 0 {
+			return
+		}
+		if !visit(p) {
+			return
+		}
+	}
+}

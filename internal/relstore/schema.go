@@ -1,0 +1,99 @@
+package relstore
+
+import "fmt"
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is the shape of a relation: an ordered list of typed columns,
+// optionally with a single-column integer primary key.
+type Schema struct {
+	Name   string
+	Cols   []Column
+	KeyCol int // index of the primary-key column, or -1
+
+	colIdx map[string]int
+}
+
+// NewSchema builds a schema. key names the primary-key column ("" for
+// none); a key column must have type TInt, mirroring the paper's
+// databases where every biological object carries an integer ID.
+func NewSchema(name string, cols []Column, key string) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relstore: schema needs a name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relstore: schema %q needs at least one column", name)
+	}
+	s := &Schema{Name: name, Cols: cols, KeyCol: -1, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relstore: schema %q: column %d has no name", name, i)
+		}
+		if _, dup := s.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: schema %q: duplicate column %q", name, c.Name)
+		}
+		s.colIdx[c.Name] = i
+	}
+	if key != "" {
+		i, ok := s.colIdx[key]
+		if !ok {
+			return nil, fmt.Errorf("relstore: schema %q: key column %q not found", name, key)
+		}
+		if cols[i].Type != TInt {
+			return nil, fmt.Errorf("relstore: schema %q: key column %q must be INT", name, key)
+		}
+		s.KeyCol = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known schemas.
+func MustSchema(name string, cols []Column, key string) *Schema {
+	s, err := NewSchema(name, cols, key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the position of the named column.
+func (s *Schema) ColIndex(name string) (int, bool) {
+	i, ok := s.colIdx[name]
+	return i, ok
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.Cols) }
+
+// CheckRow validates that a row matches the schema's arity and types.
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("relstore: table %q: row has %d values, schema has %d columns", s.Name, len(r), len(s.Cols))
+	}
+	for i, v := range r {
+		if v.Kind != s.Cols[i].Type {
+			return fmt.Errorf("relstore: table %q: column %q: value %s has type %s, want %s",
+				s.Name, s.Cols[i].Name, v, v.Kind, s.Cols[i].Type)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE-like line.
+func (s *Schema) String() string {
+	out := s.Name + "("
+	for i, c := range s.Cols {
+		if i > 0 {
+			out += ", "
+		}
+		out += c.Name + " " + c.Type.String()
+		if i == s.KeyCol {
+			out += " PRIMARY KEY"
+		}
+	}
+	return out + ")"
+}

@@ -1,0 +1,91 @@
+package relstore
+
+import "strings"
+
+// maxTrackedValues bounds the per-column exact frequency map; beyond it
+// the column keeps only NDV/min/max, like a real system's histogram cap.
+const maxTrackedValues = 4096
+
+// ColStats summarizes one column for selectivity estimation.
+type ColStats struct {
+	NDV int   // number of distinct values
+	Min Value // minimum value (by Compare order)
+	Max Value // maximum value
+	// Freq maps value -> exact occurrence count while the column has at
+	// most maxTrackedValues distinct values; nil afterwards.
+	Freq map[Value]int
+	// TokenFreq maps whitespace token -> number of rows containing it,
+	// for string columns (supports ct() keyword selectivity).
+	TokenFreq map[string]int
+}
+
+// TableStats holds per-table statistics.
+type TableStats struct {
+	Rows int
+	cols []*ColStats
+}
+
+// Col returns the statistics of column i.
+func (st *TableStats) Col(i int) *ColStats {
+	if st == nil || i < 0 || i >= len(st.cols) {
+		return nil
+	}
+	return st.cols[i]
+}
+
+// Stats returns (building lazily) the table's statistics. The result is
+// invalidated by Insert.
+func (t *Table) Stats() *TableStats {
+	if t.stats != nil {
+		return t.stats
+	}
+	st := &TableStats{Rows: len(t.rows), cols: make([]*ColStats, len(t.Schema.Cols))}
+	for c := range t.Schema.Cols {
+		cs := &ColStats{Freq: make(map[Value]int)}
+		if t.Schema.Cols[c].Type == TString {
+			cs.TokenFreq = make(map[string]int)
+		}
+		first := true
+		for _, r := range t.rows {
+			v := r[c]
+			if first {
+				cs.Min, cs.Max = v, v
+				first = false
+			} else {
+				if v.Compare(cs.Min) < 0 {
+					cs.Min = v
+				}
+				if v.Compare(cs.Max) > 0 {
+					cs.Max = v
+				}
+			}
+			if cs.Freq != nil {
+				cs.Freq[v]++
+				if len(cs.Freq) > maxTrackedValues {
+					cs.NDV = len(cs.Freq)
+					cs.Freq = nil
+				}
+			}
+			if cs.TokenFreq != nil {
+				seen := map[string]bool{}
+				for _, tok := range strings.Fields(v.Str) {
+					if !seen[tok] {
+						seen[tok] = true
+						cs.TokenFreq[tok]++
+					}
+				}
+				if len(cs.TokenFreq) > 4*maxTrackedValues {
+					cs.TokenFreq = nil
+				}
+			}
+		}
+		if cs.Freq != nil {
+			cs.NDV = len(cs.Freq)
+		} else if cs.NDV == 0 {
+			cs.NDV = len(t.rows)
+		}
+		st.cols[c] = cs
+	}
+	t.stats = st
+	return st
+}

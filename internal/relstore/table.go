@@ -1,0 +1,194 @@
+package relstore
+
+import "fmt"
+
+// Table is an append-only in-memory relation with optional primary-key,
+// hash, and ordered secondary indices.
+type Table struct {
+	Schema *Schema
+
+	rows    []Row
+	pk      map[int64]int32
+	hash    map[int]*HashIndex
+	ordered map[int]*OrderedIndex
+
+	stats *TableStats // lazily computed, dropped on insert
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(s *Schema) *Table {
+	t := &Table{
+		Schema:  s,
+		hash:    make(map[int]*HashIndex),
+		ordered: make(map[int]*OrderedIndex),
+	}
+	if s.KeyCol >= 0 {
+		t.pk = make(map[int64]int32)
+	}
+	return t
+}
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the row stored at position pos. The row is shared; callers
+// must not mutate it.
+func (t *Table) Row(pos int32) Row { return t.rows[pos] }
+
+// Insert appends a row, maintaining all indices. It rejects rows that do
+// not match the schema or that duplicate the primary key.
+func (t *Table) Insert(r Row) error {
+	if err := t.Schema.CheckRow(r); err != nil {
+		return err
+	}
+	pos := int32(len(t.rows))
+	if t.pk != nil {
+		key := r[t.Schema.KeyCol].Int
+		if _, dup := t.pk[key]; dup {
+			return fmt.Errorf("relstore: table %q: duplicate primary key %d", t.Schema.Name, key)
+		}
+		t.pk[key] = pos
+	}
+	t.rows = append(t.rows, r)
+	for col, ix := range t.hash {
+		ix.add(r[col], pos)
+	}
+	for _, ix := range t.ordered {
+		ix.add(pos)
+	}
+	t.stats = nil
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for loaders of generated data.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// LookupPK returns the row with the given primary-key value.
+func (t *Table) LookupPK(id int64) (Row, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	pos, ok := t.pk[id]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[pos], true
+}
+
+// HasPK reports whether a row with the given primary key exists.
+func (t *Table) HasPK(id int64) bool {
+	if t.pk == nil {
+		return false
+	}
+	_, ok := t.pk[id]
+	return ok
+}
+
+// CreateHashIndex builds (or returns) an equality index on the column.
+func (t *Table) CreateHashIndex(col string) (*HashIndex, error) {
+	c, ok := t.Schema.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
+	}
+	if ix, ok := t.hash[c]; ok {
+		return ix, nil
+	}
+	ix := newHashIndex(c)
+	for pos, r := range t.rows {
+		ix.add(r[c], int32(pos))
+	}
+	t.hash[c] = ix
+	return ix, nil
+}
+
+// CreateOrderedIndex builds (or returns) an ordered index on the column.
+func (t *Table) CreateOrderedIndex(col string) (*OrderedIndex, error) {
+	c, ok := t.Schema.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
+	}
+	if ix, ok := t.ordered[c]; ok {
+		return ix, nil
+	}
+	ix := newOrderedIndex(t, c)
+	t.ordered[c] = ix
+	return ix, nil
+}
+
+// HashIndexOn returns the hash index on the column, if one exists.
+func (t *Table) HashIndexOn(col string) (*HashIndex, bool) {
+	c, ok := t.Schema.ColIndex(col)
+	if !ok {
+		return nil, false
+	}
+	ix, ok := t.hash[c]
+	return ix, ok
+}
+
+// OrderedIndexOn returns the ordered index on the column, if one exists.
+func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
+	c, ok := t.Schema.ColIndex(col)
+	if !ok {
+		return nil, false
+	}
+	ix, ok := t.ordered[c]
+	return ix, ok
+}
+
+// Lookup returns positions of rows whose column equals v, using a hash
+// index when available and a scan otherwise.
+func (t *Table) Lookup(col string, v Value) ([]int32, error) {
+	c, ok := t.Schema.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
+	}
+	if ix, ok := t.hash[c]; ok {
+		return ix.Lookup(v), nil
+	}
+	var out []int32
+	for pos, r := range t.rows {
+		if r[c].Equal(v) {
+			out = append(out, int32(pos))
+		}
+	}
+	return out, nil
+}
+
+// Scan visits every row in insertion order until visit returns false.
+func (t *Table) Scan(visit func(pos int32, r Row) bool) {
+	for pos, r := range t.rows {
+		if !visit(int32(pos), r) {
+			return
+		}
+	}
+}
+
+// ApproxBytes estimates the storage footprint of the table in bytes,
+// counting values, rows, and index entries. Used to reproduce the
+// paper's space-requirement comparison (Table 1).
+func (t *Table) ApproxBytes() int64 {
+	var b int64
+	for _, r := range t.rows {
+		b += 24 // slice header
+		for _, v := range r {
+			b += 24 + int64(len(v.Str)) // Value struct + string bytes
+		}
+	}
+	if t.pk != nil {
+		b += int64(len(t.pk)) * 12
+	}
+	for _, ix := range t.hash {
+		b += int64(len(ix.m)) * 32
+		for _, ps := range ix.m {
+			b += int64(len(ps)) * 4
+		}
+	}
+	for _, ix := range t.ordered {
+		b += int64(len(ix.perm)) * 4
+	}
+	return b
+}

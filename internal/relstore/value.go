@@ -1,0 +1,113 @@
+// Package relstore implements the in-memory relational storage substrate
+// used by the topology-search system: catalogs, typed tables, hash and
+// ordered secondary indices, predicate evaluation, and per-column
+// statistics for selectivity estimation.
+//
+// The paper evaluates its methods on IBM DB2; relstore plays that role
+// here. It supports exactly the physical capabilities the paper's SQL
+// listings require — primary-key lookups, index scans, full scans, and
+// statistics — with the same asymptotics, so the relative cost trade-offs
+// measured in the paper carry over.
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColType identifies the type of a column.
+type ColType uint8
+
+// Supported column types.
+const (
+	TInt    ColType = iota // 64-bit signed integer
+	TString                // UTF-8 string
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Value is a single typed cell. The zero value is the integer 0.
+//
+// Value is a comparable struct so it can be used directly as a map key in
+// hash indices and hash joins.
+type Value struct {
+	Kind ColType
+	Int  int64
+	Str  string
+}
+
+// IntVal returns an integer Value.
+func IntVal(i int64) Value { return Value{Kind: TInt, Int: i} }
+
+// StrVal returns a string Value.
+func StrVal(s string) Value { return Value{Kind: TString, Str: s} }
+
+// IsNullish reports whether v is the zero value of its kind (used only for
+// diagnostics; the engine has no SQL NULL, matching the paper's queries,
+// none of which involve NULLs).
+func (v Value) IsNullish() bool {
+	switch v.Kind {
+	case TInt:
+		return v.Int == 0
+	default:
+		return v.Str == ""
+	}
+}
+
+// Compare orders two values. Values of different kinds order by kind,
+// which gives a total order over all values (needed by ordered indices
+// and sort operators).
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case TInt:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.Str, o.Str)
+	}
+}
+
+// Equal reports whether two values are identical.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String renders the value for plans and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case TInt:
+		return strconv.FormatInt(v.Int, 10)
+	default:
+		return "'" + v.Str + "'"
+	}
+}
+
+// Row is a tuple of values, positionally matching a Schema's columns.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

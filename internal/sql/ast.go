@@ -1,0 +1,87 @@
+package sql
+
+import "fmt"
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Qualifier string // alias or table name; may be empty
+	Column    string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+// SelectItem is one output column (optionally a literal for the
+// paper's "SELECT distinct T2, score(T2)" style constants).
+type SelectItem struct {
+	Col      ColRef
+	IsLit    bool
+	LitInt   int64
+	LitStr   string
+	IsStrLit bool
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// CondKind classifies a WHERE conjunct.
+type CondKind int
+
+// The condition kinds of the paper's dialect.
+const (
+	CondColEqCol  CondKind = iota // P.ID = AT.E1
+	CondColEqInt                  // e.TID = 7
+	CondColEqStr                  // D.type = 'mRNA'
+	CondContains                  // P.desc.ct('enzyme')
+	CondNotExists                 // NOT EXISTS (SELECT ...)
+)
+
+// Cond is one WHERE conjunct.
+type Cond struct {
+	Kind CondKind
+	L, R ColRef
+	Int  int64
+	Str  string
+	Sub  *Select // for CondNotExists
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	switch c.Kind {
+	case CondColEqCol:
+		return fmt.Sprintf("%s = %s", c.L, c.R)
+	case CondColEqInt:
+		return fmt.Sprintf("%s = %d", c.L, c.Int)
+	case CondColEqStr:
+		return fmt.Sprintf("%s = '%s'", c.L, c.Str)
+	case CondContains:
+		return fmt.Sprintf("%s.ct('%s')", c.L, c.Str)
+	case CondNotExists:
+		return "NOT EXISTS (...)"
+	default:
+		return "?"
+	}
+}
+
+// Select is one SELECT block; Union chains additional blocks (SQL set
+// union with duplicate elimination, as in SQL1/SQL3).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    []Cond
+
+	Union *Select
+
+	OrderBy   *ColRef
+	OrderDesc bool
+	FetchK    int // 0 = no FETCH FIRST clause
+}

@@ -1,0 +1,282 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement (with optional UNION chain, ORDER
+// BY and FETCH FIRST) in the paper's dialect.
+func Parse(src string) (*Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY / FETCH apply to the whole union chain.
+	if p.matchKeyword("ORDER") {
+		if !p.expectKeyword("BY") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = &col
+		if p.matchKeyword("DESC") {
+			sel.OrderDesc = true
+		} else {
+			p.matchKeyword("ASC")
+		}
+	}
+	if p.matchKeyword("FETCH") {
+		if !p.expectKeyword("FIRST") {
+			return nil, p.errf("expected FIRST after FETCH")
+		}
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected row count after FETCH FIRST")
+		}
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k < 0 {
+			return nil, p.errf("bad FETCH count %q", t.text)
+		}
+		sel.FetchK = k
+		if !p.expectKeyword("ROWS") || !p.expectKeyword("ONLY") {
+			return nil, p.errf("expected ROWS ONLY")
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF token
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) backup() {
+	if p.pos > 0 {
+		p.pos--
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *parser) matchKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) bool { return p.matchKeyword(kw) }
+
+func (p *parser) parseSelect() (*Select, error) {
+	if !p.matchKeyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	sel := &Select{}
+	if p.matchKeyword("DISTINCT") {
+		sel.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if !p.matchKeyword("FROM") {
+		return nil, p.errf("expected FROM")
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected table name, got %q", t.text)
+		}
+		ref := TableRef{Table: t.text, Alias: t.text}
+		if nt := p.peek(); nt.kind == tokIdent && !isKeyword(nt.text) {
+			ref.Alias = p.next().text
+		}
+		sel.From = append(sel.From, ref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.matchKeyword("WHERE") {
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, c)
+			if !p.matchKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.matchKeyword("UNION") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union = sub
+	}
+	return sel, nil
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "NOT": true, "EXISTS": true, "UNION": true,
+	"ORDER": true, "BY": true, "DESC": true, "ASC": true,
+	"FETCH": true, "FIRST": true, "ROWS": true, "ONLY": true, "AS": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return SelectItem{}, p.errf("bad number %q", t.text)
+		}
+		return SelectItem{IsLit: true, LitInt: v}, nil
+	case tokString:
+		p.next()
+		return SelectItem{IsLit: true, IsStrLit: true, LitStr: t.text}, nil
+	case tokIdent:
+		col, err := p.parseColRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: col}, nil
+	default:
+		return SelectItem{}, p.errf("expected select item, got %q", t.text)
+	}
+}
+
+// parseColRef parses ident or ident.ident.
+func (p *parser) parseColRef() (ColRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return ColRef{}, p.errf("expected identifier, got %q", t.text)
+	}
+	if p.peek().kind == tokDot {
+		// Could be qualifier.column or column.ct(...) — look ahead.
+		p.next()
+		t2 := p.next()
+		if t2.kind != tokIdent {
+			return ColRef{}, p.errf("expected identifier after dot")
+		}
+		if strings.EqualFold(t2.text, "ct") && p.peek().kind == tokLParen {
+			// It was column.ct( — rewind so parseCond sees it.
+			p.backup() // t2
+			p.backup() // dot
+			return ColRef{Column: t.text}, nil
+		}
+		return ColRef{Qualifier: t.text, Column: t2.text}, nil
+	}
+	return ColRef{Column: t.text}, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	if p.matchKeyword("NOT") {
+		if !p.expectKeyword("EXISTS") {
+			return Cond{}, p.errf("expected EXISTS after NOT")
+		}
+		if p.next().kind != tokLParen {
+			return Cond{}, p.errf("expected ( after NOT EXISTS")
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return Cond{}, err
+		}
+		if p.next().kind != tokRParen {
+			return Cond{}, p.errf("expected ) closing NOT EXISTS")
+		}
+		return Cond{Kind: CondNotExists, Sub: sub}, nil
+	}
+	left, err := p.parseColRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	// col.ct('word') — possibly with a qualifier consumed into left.
+	if p.peek().kind == tokDot {
+		p.next()
+		t := p.next()
+		if !strings.EqualFold(t.text, "ct") {
+			return Cond{}, p.errf("expected ct after %s.", left)
+		}
+		if p.next().kind != tokLParen {
+			return Cond{}, p.errf("expected ( after ct")
+		}
+		w := p.next()
+		if w.kind != tokString {
+			return Cond{}, p.errf("ct() needs a string literal")
+		}
+		if p.next().kind != tokRParen {
+			return Cond{}, p.errf("expected ) closing ct")
+		}
+		return Cond{Kind: CondContains, L: left, Str: w.text}, nil
+	}
+	if p.next().kind != tokEq {
+		p.backup()
+		return Cond{}, p.errf("expected = or .ct after %s", left)
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Cond{}, p.errf("bad number %q", t.text)
+		}
+		return Cond{Kind: CondColEqInt, L: left, Int: v}, nil
+	case tokString:
+		p.next()
+		return Cond{Kind: CondColEqStr, L: left, Str: t.text}, nil
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondColEqCol, L: left, R: right}, nil
+	default:
+		return Cond{}, p.errf("expected value after =")
+	}
+}

@@ -1,0 +1,426 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"toposearch/internal/engine"
+	"toposearch/internal/relstore"
+)
+
+// Compile translates a parsed statement into an executable engine plan
+// over the database: filtered scans, index nested-loop joins in a
+// greedy selectivity order, anti joins for NOT EXISTS, projection,
+// distinct, sort and limit.
+func Compile(db *relstore.DB, sel *Select, c *engine.Counters) (engine.Op, error) {
+	var branches []engine.Op
+	for s := sel; s != nil; s = s.Union {
+		op, err := compileBlock(db, s, c)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, op)
+	}
+	var plan engine.Op
+	if len(branches) == 1 {
+		plan = branches[0]
+	} else {
+		w := len(branches[0].Columns())
+		for i, b := range branches[1:] {
+			if len(b.Columns()) != w {
+				return nil, fmt.Errorf("sql: UNION branch %d has %d columns, first has %d",
+					i+2, len(b.Columns()), w)
+			}
+		}
+		plan = engine.NewConcat(branches...)
+		// SQL UNION eliminates duplicates.
+		plan = engine.NewDistinct(plan, allCols(plan))
+	}
+	if sel.OrderBy != nil {
+		idx, err := findCol(plan, *sel.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		plan = engine.NewSort(plan, idx, sel.OrderDesc, c)
+	}
+	if sel.FetchK > 0 {
+		plan = engine.NewLimit(plan, sel.FetchK)
+	}
+	return plan, nil
+}
+
+// Run compiles and drains a statement, returning the output column
+// names and rows.
+func Run(db *relstore.DB, src string, c *engine.Counters) ([]string, []relstore.Row, error) {
+	sel, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := Compile(db, sel, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := engine.Drain(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Columns(), rows, nil
+}
+
+func allCols(op engine.Op) []int {
+	out := make([]int, len(op.Columns()))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func findCol(op engine.Op, ref ColRef) (int, error) {
+	cols := op.Columns()
+	var hit = -1
+	for i, c := range cols {
+		qualifier, col, _ := strings.Cut(c, ".")
+		if col == "" { // unqualified output name
+			col = qualifier
+			qualifier = ""
+		}
+		if col != ref.Column {
+			continue
+		}
+		if ref.Qualifier != "" && qualifier != ref.Qualifier {
+			continue
+		}
+		if hit >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %s", ref)
+		}
+		hit = i
+	}
+	if hit < 0 {
+		return 0, fmt.Errorf("sql: column %s not found among %v", ref, cols)
+	}
+	return hit, nil
+}
+
+type blockCtx struct {
+	db     *relstore.DB
+	tables map[string]*relstore.Table // alias -> table
+	local  map[string][]relstore.Pred // alias -> local predicates
+	joins  []Cond
+	anti   []Cond
+	outer  *blockCtx // enclosing block, for correlated subqueries
+}
+
+func newBlockCtx(db *relstore.DB, s *Select, outer *blockCtx) (*blockCtx, error) {
+	ctx := &blockCtx{
+		db:     db,
+		tables: map[string]*relstore.Table{},
+		local:  map[string][]relstore.Pred{},
+		outer:  outer,
+	}
+	for _, f := range s.From {
+		t := db.Table(f.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sql: unknown table %q", f.Table)
+		}
+		if _, dup := ctx.tables[f.Alias]; dup {
+			return nil, fmt.Errorf("sql: duplicate alias %q", f.Alias)
+		}
+		ctx.tables[f.Alias] = t
+	}
+	return ctx, nil
+}
+
+// resolveAlias finds which alias a column reference belongs to.
+func (ctx *blockCtx) resolveAlias(ref ColRef) (string, bool) {
+	if ref.Qualifier != "" {
+		_, ok := ctx.tables[ref.Qualifier]
+		return ref.Qualifier, ok
+	}
+	hit := ""
+	for alias, t := range ctx.tables {
+		if _, ok := t.Schema.ColIndex(ref.Column); ok {
+			if hit != "" {
+				return "", false // ambiguous
+			}
+			hit = alias
+		}
+	}
+	return hit, hit != ""
+}
+
+func compileBlock(db *relstore.DB, s *Select, c *engine.Counters) (engine.Op, error) {
+	ctx, err := newBlockCtx(db, s, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Classify conjuncts.
+	for _, cond := range s.Where {
+		switch cond.Kind {
+		case CondNotExists:
+			ctx.anti = append(ctx.anti, cond)
+		case CondColEqCol:
+			la, lok := ctx.resolveAlias(cond.L)
+			ra, rok := ctx.resolveAlias(cond.R)
+			if !lok || !rok {
+				return nil, fmt.Errorf("sql: cannot resolve %s", cond)
+			}
+			if la == ra {
+				return nil, fmt.Errorf("sql: same-relation equality %s not supported", cond)
+			}
+			ctx.joins = append(ctx.joins, cond)
+		default:
+			alias, ok := ctx.resolveAlias(cond.L)
+			if !ok {
+				return nil, fmt.Errorf("sql: cannot resolve %s", cond)
+			}
+			p, err := localPred(ctx.tables[alias], cond)
+			if err != nil {
+				return nil, err
+			}
+			ctx.local[alias] = append(ctx.local[alias], p)
+		}
+	}
+	plan, err := ctx.buildJoinTree(c)
+	if err != nil {
+		return nil, err
+	}
+	// Anti joins for NOT EXISTS.
+	for _, cond := range ctx.anti {
+		plan, err = ctx.buildAntiJoin(plan, cond.Sub, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Projection.
+	return projectItems(plan, s.Items)
+}
+
+func localPred(t *relstore.Table, cond Cond) (relstore.Pred, error) {
+	switch cond.Kind {
+	case CondColEqInt:
+		return relstore.Eq(t.Schema, cond.L.Column, relstore.IntVal(cond.Int))
+	case CondColEqStr:
+		return relstore.Eq(t.Schema, cond.L.Column, relstore.StrVal(cond.Str))
+	case CondContains:
+		return relstore.Contains(t.Schema, cond.L.Column, cond.Str)
+	default:
+		return nil, fmt.Errorf("sql: %s is not a local predicate", cond)
+	}
+}
+
+// buildJoinTree picks the most selective filtered relation as the
+// driver and extends it with index nested-loop joins along the equality
+// conjuncts — the standard shape of the paper's plans.
+func (ctx *blockCtx) buildJoinTree(c *engine.Counters) (engine.Op, error) {
+	// Choose the starting alias: smallest estimated output.
+	start := ""
+	bestEst := 0.0
+	for alias, t := range ctx.tables {
+		est := float64(t.NumRows())
+		for _, p := range ctx.local[alias] {
+			est *= p.Sel(t)
+		}
+		if start == "" || est < bestEst {
+			start, bestEst = alias, est
+		}
+	}
+	if start == "" {
+		return nil, fmt.Errorf("sql: no tables in FROM")
+	}
+	planned := map[string]bool{start: true}
+	var plan engine.Op = engine.NewScan(ctx.tables[start], start,
+		relstore.And(ctx.local[start]...), c)
+
+	used := make([]bool, len(ctx.joins))
+	for len(planned) < len(ctx.tables) {
+		progressed := false
+		for i, j := range ctx.joins {
+			if used[i] {
+				continue
+			}
+			la, _ := ctx.resolveAlias(j.L)
+			ra, _ := ctx.resolveAlias(j.R)
+			var outerRef, innerRef ColRef
+			var innerAlias string
+			switch {
+			case planned[la] && !planned[ra]:
+				outerRef, innerRef, innerAlias = j.L, j.R, ra
+			case planned[ra] && !planned[la]:
+				outerRef, innerRef, innerAlias = j.R, j.L, la
+			default:
+				continue
+			}
+			outerCol, err := findCol(plan, ColRef{Qualifier: qualifierOf(outerRef, ctx), Column: outerRef.Column})
+			if err != nil {
+				return nil, err
+			}
+			inner := ctx.tables[innerAlias]
+			plan, err = engine.NewIndexJoin(plan, outerCol, inner, innerAlias,
+				innerRef.Column, relstore.And(ctx.local[innerAlias]...), c)
+			if err != nil {
+				return nil, err
+			}
+			planned[innerAlias] = true
+			used[i] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("sql: cross products are not supported (disconnected FROM)")
+		}
+	}
+	// Residual join predicates between already-planned relations (e.g.
+	// cycles in the join graph) become filters.
+	for i, j := range ctx.joins {
+		if used[i] {
+			continue
+		}
+		lIdx, err := findCol(plan, ColRef{Qualifier: qualifierOf(j.L, ctx), Column: j.L.Column})
+		if err != nil {
+			return nil, err
+		}
+		rIdx, err := findCol(plan, ColRef{Qualifier: qualifierOf(j.R, ctx), Column: j.R.Column})
+		if err != nil {
+			return nil, err
+		}
+		li, ri := lIdx, rIdx
+		plan = engine.NewFuncFilter(plan, j.String(), func(r relstore.Row) bool {
+			return r[li].Equal(r[ri])
+		})
+	}
+	return plan, nil
+}
+
+func qualifierOf(ref ColRef, ctx *blockCtx) string {
+	if ref.Qualifier != "" {
+		return ref.Qualifier
+	}
+	alias, _ := ctx.resolveAlias(ref)
+	return alias
+}
+
+// buildAntiJoin compiles NOT EXISTS (SELECT ... FROM inner WHERE
+// correlations AND locals) into an AntiJoin against the outer plan.
+func (ctx *blockCtx) buildAntiJoin(outer engine.Op, sub *Select, c *engine.Counters) (engine.Op, error) {
+	if sub == nil || len(sub.From) != 1 {
+		return nil, fmt.Errorf("sql: NOT EXISTS subquery must have exactly one table")
+	}
+	subCtx, err := newBlockCtx(ctx.db, sub, ctx)
+	if err != nil {
+		return nil, err
+	}
+	innerAlias := sub.From[0].Alias
+	inner := subCtx.tables[innerAlias]
+	var innerLocal []relstore.Pred
+	var outerKeys, innerKeys []int
+	var innerKeyCols []string
+	for _, cond := range sub.Where {
+		switch cond.Kind {
+		case CondColEqCol:
+			// One side inner, the other correlated to the outer block.
+			var innerRef, outerRef ColRef
+			if la, ok := subCtx.resolveAlias(cond.L); ok && la == innerAlias {
+				if _, ok := subCtx.resolveAlias(cond.R); ok {
+					return nil, fmt.Errorf("sql: %s: both sides inner", cond)
+				}
+				innerRef, outerRef = cond.L, cond.R
+			} else {
+				innerRef, outerRef = cond.R, cond.L
+			}
+			oIdx, err := findCol(outer, ColRef{Qualifier: qualifierOf(outerRef, ctx), Column: outerRef.Column})
+			if err != nil {
+				return nil, err
+			}
+			outerKeys = append(outerKeys, oIdx)
+			innerKeyCols = append(innerKeyCols, innerRef.Column)
+		case CondColEqInt, CondColEqStr, CondContains:
+			p, err := localPred(inner, cond)
+			if err != nil {
+				return nil, err
+			}
+			innerLocal = append(innerLocal, p)
+		default:
+			return nil, fmt.Errorf("sql: unsupported condition in NOT EXISTS: %s", cond)
+		}
+	}
+	innerScan := engine.NewScan(inner, innerAlias, relstore.And(innerLocal...), c)
+	for _, col := range innerKeyCols {
+		idx, err := findCol(innerScan, ColRef{Qualifier: innerAlias, Column: col})
+		if err != nil {
+			return nil, err
+		}
+		innerKeys = append(innerKeys, idx)
+	}
+	return engine.NewAntiJoin(outer, outerKeys, innerScan, innerKeys, c), nil
+}
+
+// litOp wraps a child, appending literal select items to every tuple.
+type litOp struct {
+	child engine.Op
+	cols  []string
+	items []SelectItem // in output order; IsLit entries add constants
+	picks []int        // child column index per non-literal item
+	buf   relstore.Row
+}
+
+func projectItems(plan engine.Op, items []SelectItem) (engine.Op, error) {
+	anyLit := false
+	for _, it := range items {
+		if it.IsLit {
+			anyLit = true
+		}
+	}
+	if !anyLit {
+		cols := make([]int, len(items))
+		for i, it := range items {
+			idx, err := findCol(plan, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = idx
+		}
+		return engine.NewProject(plan, cols), nil
+	}
+	op := &litOp{child: plan, items: items, picks: make([]int, len(items))}
+	for i, it := range items {
+		if it.IsLit {
+			op.picks[i] = -1
+			op.cols = append(op.cols, fmt.Sprintf("lit%d", i))
+			continue
+		}
+		idx, err := findCol(plan, it.Col)
+		if err != nil {
+			return nil, err
+		}
+		op.picks[i] = idx
+		op.cols = append(op.cols, plan.Columns()[idx])
+	}
+	return op, nil
+}
+
+// Columns implements engine.Op.
+func (o *litOp) Columns() []string { return o.cols }
+
+// Open implements engine.Op.
+func (o *litOp) Open() error { return o.child.Open() }
+
+// Next implements engine.Op.
+func (o *litOp) Next() (relstore.Row, bool, error) {
+	r, ok, err := o.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	o.buf = o.buf[:0]
+	for i, it := range o.items {
+		if o.picks[i] >= 0 {
+			o.buf = append(o.buf, r[o.picks[i]])
+		} else if it.IsStrLit {
+			o.buf = append(o.buf, relstore.StrVal(it.LitStr))
+		} else {
+			o.buf = append(o.buf, relstore.IntVal(it.LitInt))
+		}
+	}
+	return o.buf, true, nil
+}
+
+// Close implements engine.Op.
+func (o *litOp) Close() error { return o.child.Close() }

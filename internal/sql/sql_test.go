@@ -1,0 +1,298 @@
+package sql_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+	"toposearch/internal/sql"
+)
+
+func TestParseBasics(t *testing.T) {
+	sel, err := sql.Parse(`SELECT DISTINCT AT.TID
+		FROM Protein P, DNA D, AllTops AT
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND P.ID = AT.E1 AND D.ID = AT.E2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Distinct || len(sel.Items) != 1 || len(sel.From) != 3 || len(sel.Where) != 4 {
+		t.Errorf("parsed shape wrong: %+v", sel)
+	}
+	if sel.From[1].Alias != "D" || sel.From[1].Table != "DNA" {
+		t.Errorf("alias parsing wrong: %+v", sel.From[1])
+	}
+	if sel.Where[0].Kind != sql.CondContains || sel.Where[0].Str != "enzyme" {
+		t.Errorf("ct parsing wrong: %+v", sel.Where[0])
+	}
+	if sel.Where[1].Kind != sql.CondColEqStr {
+		t.Errorf("string equality wrong: %+v", sel.Where[1])
+	}
+	if sel.Where[2].Kind != sql.CondColEqCol {
+		t.Errorf("join cond wrong: %+v", sel.Where[2])
+	}
+}
+
+func TestParseOrderFetchUnionNotExists(t *testing.T) {
+	sel, err := sql.Parse(`SELECT DISTINCT LT.TID, TI.SCORE_freq
+		FROM LeftTops LT, TopInfo TI
+		WHERE LT.TID = TI.TID
+		UNION
+		SELECT DISTINCT 7, 42
+		FROM Protein P
+		WHERE P.ID = 1 AND NOT EXISTS (
+			SELECT 1 FROM ExcpTops e WHERE e.E1 = P.ID AND e.TID = 7)
+		ORDER BY SCORE_freq DESC
+		FETCH FIRST 10 ROWS ONLY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Union == nil {
+		t.Fatal("union missing")
+	}
+	if sel.OrderBy == nil || sel.OrderBy.Column != "SCORE_freq" || !sel.OrderDesc {
+		t.Errorf("order by wrong: %+v", sel.OrderBy)
+	}
+	if sel.FetchK != 10 {
+		t.Errorf("fetch = %d", sel.FetchK)
+	}
+	u := sel.Union
+	if len(u.Items) != 2 || !u.Items[0].IsLit || u.Items[0].LitInt != 7 {
+		t.Errorf("literal select items wrong: %+v", u.Items)
+	}
+	if len(u.Where) != 2 || u.Where[1].Kind != sql.CondNotExists {
+		t.Fatalf("NOT EXISTS missing: %+v", u.Where)
+	}
+	if len(u.Where[1].Sub.Where) != 2 {
+		t.Errorf("subquery conds: %+v", u.Where[1].Sub.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t WHERE a =",
+		"SELECT x FROM t WHERE a.ct(5)",
+		"SELECT x FROM t WHERE NOT a",
+		"SELECT x FROM t ORDER",
+		"SELECT x FROM t FETCH FIRST x ROWS ONLY",
+		"SELECT x FROM t trailing garbage()",
+		"SELECT x FROM t WHERE s = 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := sql.Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+// figure3WithStore materializes the topology tables for Figure 3 so the
+// paper's SQL listings can run against them.
+func figure3WithStore(t *testing.T) (*relstore.DB, *methods.Store) {
+	t.Helper()
+	db := biozon.Figure3DB()
+	st, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: 0,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, st
+}
+
+func TestSimpleSelect(t *testing.T) {
+	db, _ := figure3WithStore(t)
+	cols, rows, err := sql.Run(db,
+		`SELECT P.ID FROM Protein P WHERE P.desc.ct('enzyme')`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0] != "P.ID" {
+		t.Errorf("columns = %v", cols)
+	}
+	var ids []int64
+	for _, r := range rows {
+		ids = append(ids, r[0].Int)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if fmt.Sprint(ids) != "[32 44 78]" {
+		t.Errorf("enzymes = %v, want [32 44 78]", ids)
+	}
+}
+
+func TestJoinQueryMatchesFullTop(t *testing.T) {
+	db, st := figure3WithStore(t)
+	// Full-Top's query (Section 3.2) written as SQL against the
+	// materialized AllTops table.
+	_, rows, err := sql.Run(db, `
+		SELECT DISTINCT AT.TID
+		FROM Protein P, DNA D, AllTops_Protein_DNA AT
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND P.ID = AT.E1 AND D.ID = AT.E2`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, r := range rows {
+		got = append(got, r[0].Int)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+
+	p1, _ := relstore.Contains(st.T1.Schema, "desc", "enzyme")
+	p2, _ := relstore.Eq(st.T2.Schema, "type", relstore.StrVal("mRNA"))
+	ref, err := st.FullTop(methods.Query{Pred1: p1, Pred2: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, it := range ref.Items {
+		want = append(want, int64(it.TID))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("SQL result %v != Full-Top %v", got, want)
+	}
+}
+
+// TestSQL1Listing runs the paper's SQL1 query — the Fast-Top
+// evaluation — literally: the LeftTops join UNIONed with one
+// existence-check subquery per pruned topology, each guarded by NOT
+// EXISTS over the exception table. The result must equal the Fast-Top
+// method's answer (T1..T4).
+func TestSQL1Listing(t *testing.T) {
+	db, st := figure3WithStore(t)
+	if len(st.PrunedTIDs) != 2 {
+		t.Fatalf("expected 2 pruned topologies, got %v", st.PrunedTIDs)
+	}
+	// Identify which pruned topology is the encodes path (T1) and
+	// which is the PUD path (T2).
+	var t1, t2 int64 = -1, -1
+	for _, tid := range st.PrunedTIDs {
+		info := st.Res.Reg.Info(tid)
+		if info.NumEdges == 1 {
+			t1 = int64(tid)
+		} else {
+			t2 = int64(tid)
+		}
+	}
+	if t1 < 0 || t2 < 0 {
+		t.Fatalf("could not classify pruned topologies %v", st.PrunedTIDs)
+	}
+
+	query := fmt.Sprintf(`
+		SELECT DISTINCT LT.TID
+		FROM Protein P, DNA D, LeftTops_Protein_DNA LT
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND P.ID = LT.E1 AND D.ID = LT.E2
+		UNION
+		SELECT DISTINCT %d
+		FROM Protein P, DNA D, Encodes E
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND E.PID = P.ID AND E.DID = D.ID
+		  AND NOT EXISTS (SELECT 1 FROM ExcpTops_Protein_DNA e
+		                  WHERE e.E1 = P.ID AND e.E2 = D.ID AND e.TID = %d)
+		UNION
+		SELECT DISTINCT %d
+		FROM Protein P, DNA D, Uni_encodes UE, Uni_contains UC
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND UE.PID = P.ID AND UE.UID = UC.UID AND UC.DID = D.ID
+		  AND NOT EXISTS (SELECT 1 FROM ExcpTops_Protein_DNA e
+		                  WHERE e.E1 = P.ID AND e.E2 = D.ID AND e.TID = %d)`,
+		t1, t1, t2, t2)
+
+	var c engine.Counters
+	_, rows, err := sql.Run(db, query, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, r := range rows {
+		got = append(got, r[0].Int)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+
+	p1, _ := relstore.Contains(st.T1.Schema, "desc", "enzyme")
+	p2, _ := relstore.Eq(st.T2.Schema, "type", relstore.StrVal("mRNA"))
+	ref, err := st.FastTop(methods.Query{Pred1: p1, Pred2: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, it := range ref.Items {
+		want = append(want, int64(it.TID))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("SQL1 = %v, Fast-Top = %v", got, want)
+	}
+	if len(got) != 4 {
+		t.Errorf("SQL1 returned %d topologies, want 4 (T1..T4)", len(got))
+	}
+	if c.IndexProbes == 0 {
+		t.Error("no probes counted")
+	}
+}
+
+func TestOrderByFetch(t *testing.T) {
+	db, _ := figure3WithStore(t)
+	_, rows, err := sql.Run(db, `
+		SELECT TI.TID, TI.FREQ FROM TopInfo_Protein_DNA TI
+		WHERE TI.FREQ = 1
+		ORDER BY TID DESC
+		FETCH FIRST 2 ROWS ONLY`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0][0].Int < rows[1][0].Int {
+		t.Error("not descending")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db, _ := figure3WithStore(t)
+	bad := []string{
+		`SELECT x.ID FROM Nope x`,
+		`SELECT P.nope FROM Protein P`,
+		`SELECT P.ID FROM Protein P, DNA D`, // cross product
+		`SELECT P.ID FROM Protein P, Protein P`,
+		`SELECT P.ID FROM Protein P WHERE NOT EXISTS (SELECT 1 FROM Protein a, DNA b WHERE a.ID = b.ID)`,
+		`SELECT ID FROM Protein P, DNA D WHERE P.ID = D.ID`, // ambiguous ID output
+	}
+	for _, src := range bad {
+		if _, _, err := sql.Run(db, src, nil); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestResidualJoinFilter(t *testing.T) {
+	db, _ := figure3WithStore(t)
+	// A cyclic join graph: the triangle Protein-Unigene-DNA closed by
+	// the direct encodes edge. The third join condition becomes a
+	// residual filter. Protein 34 / Unigene 103 / DNA 215 is the only
+	// such triangle in Figure 3.
+	_, rows, err := sql.Run(db, `
+		SELECT DISTINCT UE.PID, UC.DID
+		FROM Uni_encodes UE, Uni_contains UC, Encodes E
+		WHERE UE.UID = UC.UID AND E.PID = UE.PID AND E.DID = UC.DID`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int != 34 || rows[0][1].Int != 215 {
+		t.Errorf("triangle = %v, want [(34,215)]", rows)
+	}
+}

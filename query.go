@@ -1,0 +1,45 @@
+package toposearch
+
+import (
+	"toposearch/internal/relstore"
+	"toposearch/internal/sql"
+)
+
+// QueryRows is a generic SQL result: column names plus rows of stringly
+// rendered values.
+type QueryRows struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query executes a SQL statement in the paper's dialect against the
+// database — base tables plus any AllTops/LeftTops/ExcpTops/TopInfo
+// tables materialized by searchers built on this DB. Supported syntax:
+//
+//	SELECT [DISTINCT] items FROM table [alias], ...
+//	WHERE col = col | col = literal | col.ct('word')
+//	      | NOT EXISTS (SELECT ...) [AND ...]
+//	[UNION select]
+//	[ORDER BY column [DESC]] [FETCH FIRST k ROWS ONLY]
+//
+// This lets the paper's own listings (SQL1–SQL5) run verbatim; see
+// internal/sql for the dialect details.
+func (db *DB) Query(stmt string) (*QueryRows, error) {
+	cols, rows, err := sql.Run(db.rel, stmt, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryRows{Columns: cols}
+	for _, r := range rows {
+		rendered := make([]string, len(r))
+		for i, v := range r {
+			if v.Kind == relstore.TString {
+				rendered[i] = v.Str
+			} else {
+				rendered[i] = v.String()
+			}
+		}
+		out.Rows = append(out.Rows, rendered)
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package toposearch
+
+import (
+	"fmt"
+	"strings"
+
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+)
+
+// SearcherConfig controls the offline phase of a Searcher.
+type SearcherConfig struct {
+	// MaxLen is the path-length bound l (default 3, as in the paper).
+	MaxLen int
+	// PruneThreshold prunes topologies relating more entity pairs than
+	// this from the precomputed tables (Fast-Top, Section 4.2). A
+	// negative value disables pruning.
+	PruneThreshold int
+	// MaxCombinations bounds the per-pair Definition 2 enumeration.
+	MaxCombinations int
+	// WeakPruning drops weak-relationship schema paths (Appendix B);
+	// meaningful for MaxLen >= 4.
+	WeakPruning bool
+}
+
+// DefaultSearcherConfig matches the paper's main experimental setup:
+// l = 3 with frequency pruning.
+func DefaultSearcherConfig() SearcherConfig {
+	return SearcherConfig{MaxLen: 3, PruneThreshold: 8, MaxCombinations: 4096}
+}
+
+// Searcher answers topology queries for one entity-set pair, using the
+// precomputed LeftTops/ExcpTops/TopInfo tables (the Fast-Top family).
+type Searcher struct {
+	db    *DB
+	store *methods.Store
+}
+
+// NewSearcher runs the offline phase (topology computation + pruning +
+// materialization) for the entity-set pair.
+func (db *DB) NewSearcher(es1, es2 string, cfg SearcherConfig) (*Searcher, error) {
+	opts := core.Options{
+		MaxLen:           cfg.MaxLen,
+		MaxCombinations:  cfg.MaxCombinations,
+		MaxPathsPerClass: 64,
+	}
+	if cfg.WeakPruning {
+		opts.Weak = core.DefaultWeakRules()
+	}
+	threshold := cfg.PruneThreshold
+	if threshold < 0 {
+		threshold = 1 << 40 // effectively no pruning
+	}
+	st, err := methods.BuildStoreFromGraph(db.rel, db.g, db.sg, es1, es2, methods.StoreConfig{
+		Opts:           opts,
+		PruneThreshold: threshold,
+		Scores:         ranking.Schemes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{db: db, store: st}, nil
+}
+
+// SearchQuery is a 2-query: constraints on both entity sets, plus
+// optional top-k controls and an evaluation method override.
+type SearchQuery struct {
+	Cons1, Cons2 []Constraint
+	// K limits the result to the k best topologies (0 = all).
+	K int
+	// Ranking orders results (RankFreq, RankRare, RankDomain);
+	// required when K > 0. Defaults to RankDomain when K > 0.
+	Ranking string
+	// Method overrides the evaluation strategy (one of the paper's
+	// nine method names, e.g. "fast-top-k-opt"). Empty picks
+	// fast-top-k-opt for top-k queries and fast-top otherwise.
+	Method string
+}
+
+// TopologyResult describes one result topology.
+type TopologyResult struct {
+	ID        int
+	Score     int64
+	Structure string // canonical structure rendering
+	Nodes     int
+	Edges     int
+	Classes   int // number of path equivalence classes unioned
+	IsPath    bool
+	Frequency int // entity pairs related by this topology (whole DB)
+}
+
+// SearchResult is the outcome of a Search.
+type SearchResult struct {
+	Topologies []TopologyResult
+	// Method is the evaluation method that ran.
+	Method string
+	// Plan is the physical strategy the optimizer chose (Opt methods).
+	Plan string
+}
+
+func (q SearchQuery) method() string {
+	if q.Method != "" {
+		return q.Method
+	}
+	if q.K > 0 {
+		return methods.MethodFastTopOpt
+	}
+	return methods.MethodFastTop
+}
+
+func (q SearchQuery) ranking() string {
+	if q.Ranking != "" {
+		return q.Ranking
+	}
+	if q.K > 0 {
+		return RankDomain
+	}
+	return ""
+}
+
+func (s *Searcher) compileQuery(q SearchQuery) (methods.Query, error) {
+	p1, _, err := s.db.compile(s.store.ES1, q.Cons1)
+	if err != nil {
+		return methods.Query{}, err
+	}
+	p2, _, err := s.db.compile(s.store.ES2, q.Cons2)
+	if err != nil {
+		return methods.Query{}, err
+	}
+	mq := methods.Query{Pred1: p1, Pred2: p2, K: q.K, Ranking: q.ranking()}
+	return mq, nil
+}
+
+// Search runs the query and returns the matching topologies.
+func (s *Searcher) Search(q SearchQuery) (*SearchResult, error) {
+	mq, err := s.compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	m := q.method()
+	res, err := s.store.Run(m, mq)
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchResult{Method: m, Plan: res.Plan.String()}
+	pd := s.store.Res.Pair(s.store.ES1, s.store.ES2)
+	for _, it := range res.Items {
+		info := s.store.Res.Reg.Info(it.TID)
+		out.Topologies = append(out.Topologies, TopologyResult{
+			ID:        int(it.TID),
+			Score:     it.Score,
+			Structure: info.Describe(),
+			Nodes:     info.NumNodes,
+			Edges:     info.NumEdges,
+			Classes:   len(info.Sigs),
+			IsPath:    info.IsPath,
+			Frequency: pd.Freq[it.TID],
+		})
+	}
+	return out, nil
+}
+
+// Explain returns the optimizer's plan choice and rendering for a
+// top-k query without executing it.
+func (s *Searcher) Explain(q SearchQuery) (string, error) {
+	mq, err := s.compileQuery(q)
+	if err != nil {
+		return "", err
+	}
+	if mq.Ranking == "" {
+		mq.Ranking = RankDomain
+	}
+	if mq.K == 0 {
+		mq.K = 10
+	}
+	plan, choice, err := s.store.ExplainOpt(mq, true)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("chosen plan: %s\n%s", choice.Kind, plan), nil
+}
+
+// Instances lists up to limit entity pairs related by the topology
+// (limit 0 = all).
+func (s *Searcher) Instances(topologyID int, limit int) [][2]int64 {
+	pairs := s.store.Res.Instances(s.store.ES1, s.store.ES2, core.TopologyID(topologyID))
+	if limit > 0 && len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	out := make([][2]int64, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]int64{int64(p[0]), int64(p[1])}
+	}
+	return out
+}
+
+// Witness renders, for one entity pair and topology, the concrete
+// paths whose union realizes the topology — one line per path, e.g.
+// "Protein:78 -[uni_encodes]- Unigene:103 -[uni_contains]- DNA:215".
+func (s *Searcher) Witness(a, b int64, topologyID int) ([]string, bool) {
+	w, ok := core.WitnessFor(s.db.g, s.store.Res.Reg,
+		graph.NodeID(a), graph.NodeID(b), core.TopologyID(topologyID), s.store.Cfg.Opts)
+	if !ok {
+		return nil, false
+	}
+	lines := make([]string, len(w.Paths))
+	for i, p := range w.Paths {
+		var sb strings.Builder
+		for j, n := range p.Nodes {
+			t, _ := s.db.g.NodeType(n)
+			fmt.Fprintf(&sb, "%s:%d", s.db.g.NodeTypes.Name(t), int64(n))
+			if j < len(p.Edges) {
+				fmt.Fprintf(&sb, " -[%s]- ", s.db.g.EdgeTypes.Name(p.Types[j]))
+			}
+		}
+		lines[i] = sb.String()
+	}
+	return lines, true
+}
+
+// Space reports the precomputed tables' storage footprint (the paper's
+// Table 1 row for this pair).
+func (s *Searcher) Space() methods.SpaceReport { return s.store.Space() }
+
+// PrunedCount reports how many topologies the offline phase pruned.
+func (s *Searcher) PrunedCount() int { return len(s.store.PrunedTIDs) }
+
+// TopologyCount reports how many distinct topologies were observed for
+// the pair.
+func (s *Searcher) TopologyCount() int { return s.store.TopInfo.NumRows() }
+
+// FrequencyRank returns (topologyID, frequency) pairs sorted by
+// descending frequency — the data behind the paper's Figures 11/12.
+func (s *Searcher) FrequencyRank() ([]int, []int) {
+	ids, freqs := s.store.Res.Pair(s.store.ES1, s.store.ES2).FrequencyRank()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out, freqs
+}

@@ -1,0 +1,273 @@
+package toposearch_test
+
+import (
+	"strings"
+	"testing"
+
+	"toposearch"
+)
+
+func figure3Searcher(t *testing.T) *toposearch.Searcher {
+	t.Helper()
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.PruneThreshold = 0 // prune the frequent paths, as in Figure 13
+	s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func paperSearch() toposearch.SearchQuery {
+	return toposearch.SearchQuery{
+		Cons1: []toposearch.Constraint{{Column: "desc", Keyword: "enzyme"}},
+		Cons2: []toposearch.Constraint{{Column: "type", Equals: "mRNA"}},
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumEntities() != 11 || db.NumRelationships() != 11 {
+		t.Errorf("db size = %d/%d, want 11/11", db.NumEntities(), db.NumRelationships())
+	}
+	if len(db.EntitySets()) != 7 {
+		t.Errorf("entity sets = %v", db.EntitySets())
+	}
+	s := figure3Searcher(t)
+	res, err := s.Search(paperSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's running example: exactly four topologies T1-T4.
+	if len(res.Topologies) != 4 {
+		for _, tp := range res.Topologies {
+			t.Logf("  %+v", tp)
+		}
+		t.Fatalf("got %d topologies, want 4", len(res.Topologies))
+	}
+	// One of them must be the self-contained T3/T4 family: 2 classes.
+	multi := 0
+	for _, tp := range res.Topologies {
+		if tp.Classes == 2 {
+			multi++
+		}
+		if tp.Structure == "" || tp.Nodes == 0 {
+			t.Errorf("incomplete result %+v", tp)
+		}
+		if tp.Frequency != 1 {
+			t.Errorf("frequency = %d, want 1", tp.Frequency)
+		}
+	}
+	if multi != 2 {
+		t.Errorf("two-class topologies = %d, want 2 (T3 and T4)", multi)
+	}
+	if res.Method != "fast-top" {
+		t.Errorf("default non-top-k method = %q", res.Method)
+	}
+}
+
+func TestPublicAPITopK(t *testing.T) {
+	s := figure3Searcher(t)
+	q := paperSearch()
+	q.K = 2
+	q.Ranking = toposearch.RankDomain
+	res, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Topologies) != 2 {
+		t.Fatalf("top-2 returned %d", len(res.Topologies))
+	}
+	// Domain ranking puts the complex (2-class) topologies first.
+	if res.Topologies[0].Classes != 2 {
+		t.Errorf("top domain-ranked topology has %d classes, want 2", res.Topologies[0].Classes)
+	}
+	if res.Topologies[0].Score < res.Topologies[1].Score {
+		t.Error("results not in score order")
+	}
+	if res.Method != "fast-top-k-opt" {
+		t.Errorf("default top-k method = %q", res.Method)
+	}
+	if res.Plan == "" {
+		t.Error("no plan reported")
+	}
+	// Method override.
+	q.Method = "full-top-k-et"
+	res2, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Topologies) != 2 || res2.Topologies[0].ID != res.Topologies[0].ID {
+		t.Errorf("method override disagrees: %+v vs %+v", res2.Topologies, res.Topologies)
+	}
+}
+
+func TestPublicAPIInstancesAndWitness(t *testing.T) {
+	s := figure3Searcher(t)
+	res, err := s.Search(paperSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWitness := false
+	for _, tp := range res.Topologies {
+		inst := s.Instances(tp.ID, 0)
+		if len(inst) == 0 {
+			t.Errorf("topology %d has no instances", tp.ID)
+			continue
+		}
+		if lim := s.Instances(tp.ID, 1); len(lim) != 1 {
+			t.Errorf("limit ignored: %d", len(lim))
+		}
+		lines, ok := s.Witness(inst[0][0], inst[0][1], tp.ID)
+		if !ok {
+			t.Errorf("no witness for topology %d pair %v", tp.ID, inst[0])
+			continue
+		}
+		foundWitness = true
+		for _, l := range lines {
+			if !strings.Contains(l, "-[") {
+				t.Errorf("malformed witness line %q", l)
+			}
+		}
+	}
+	if !foundWitness {
+		t.Error("no witnesses rendered")
+	}
+	// Nonexistent witness.
+	if _, ok := s.Witness(32, 215, res.Topologies[0].ID); ok {
+		t.Error("witness for unrelated pair")
+	}
+}
+
+func TestPublicAPIExplainAndStats(t *testing.T) {
+	s := figure3Searcher(t)
+	plan, err := s.Explain(paperSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "chosen plan:") {
+		t.Errorf("Explain output: %q", plan)
+	}
+	if s.TopologyCount() == 0 {
+		t.Error("no topologies")
+	}
+	if s.PrunedCount() == 0 {
+		t.Error("nothing pruned at threshold 0")
+	}
+	ids, freqs := s.FrequencyRank()
+	if len(ids) != s.TopologyCount() || len(freqs) != len(ids) {
+		t.Error("FrequencyRank size mismatch")
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i] > freqs[i-1] {
+			t.Error("FrequencyRank not descending")
+		}
+	}
+	sp := s.Space()
+	if sp.AllTopsRows == 0 || sp.Ratio <= 0 {
+		t.Errorf("Space report %+v", sp)
+	}
+}
+
+func TestPublicAPISynthetic(t *testing.T) {
+	db, err := toposearch.Synthetic(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumEntities() == 0 {
+		t.Fatal("empty synthetic db")
+	}
+	s, err := db.NewSearcher(toposearch.Protein, toposearch.Interaction, toposearch.DefaultSearcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Search(toposearch.SearchQuery{K: 5, Ranking: toposearch.RankFreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Topologies) == 0 {
+		t.Error("no topologies for unconstrained P-I query")
+	}
+	for i := 1; i < len(res.Topologies); i++ {
+		if res.Topologies[i].Score > res.Topologies[i-1].Score {
+			t.Error("scores not descending")
+		}
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewSearcher("Nope", toposearch.DNA, toposearch.DefaultSearcherConfig()); err == nil {
+		t.Error("unknown entity set accepted")
+	}
+	s := figure3Searcher(t)
+	// Bad constraint: neither keyword nor equals.
+	if _, err := s.Search(toposearch.SearchQuery{
+		Cons1: []toposearch.Constraint{{Column: "desc"}},
+	}); err == nil {
+		t.Error("empty constraint accepted")
+	}
+	// Bad column.
+	if _, err := s.Search(toposearch.SearchQuery{
+		Cons1: []toposearch.Constraint{{Column: "nope", Keyword: "x"}},
+	}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Bad method.
+	if _, err := s.Search(toposearch.SearchQuery{Method: "bogus"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestNoPruningConfig(t *testing.T) {
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.PruneThreshold = -1
+	s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PrunedCount() != 0 {
+		t.Errorf("pruned %d with pruning disabled", s.PrunedCount())
+	}
+}
+
+func TestPublicAPISQL(t *testing.T) {
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Searcher materializes the topology tables the SQL can query.
+	if _, err := db.NewSearcher(toposearch.Protein, toposearch.DNA,
+		toposearch.DefaultSearcherConfig()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+		SELECT DISTINCT AT.TID
+		FROM Protein P, DNA D, AllTops_Protein_DNA AT
+		WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+		  AND P.ID = AT.E1 AND D.ID = AT.E2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || len(res.Rows) != 4 {
+		t.Errorf("SQL over AllTops: cols=%v rows=%d, want 1 col 4 rows (T1..T4)",
+			res.Columns, len(res.Rows))
+	}
+	if _, err := db.Query("SELEC nope"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+}
