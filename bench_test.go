@@ -6,6 +6,7 @@
 package toposearch_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ var (
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchEnv, benchErr = experiments.NewEnv(experiments.Setup{
+		benchEnv, benchErr = experiments.NewEnv(context.Background(), experiments.Setup{
 			Scale: 1, Seed: 42, PruneThreshold: 3, L: 3, MaxPathsPerClass: 64,
 		})
 	})
@@ -48,9 +49,35 @@ func BenchmarkPrecompute(b *testing.B) {
 	opts := core.Options{MaxLen: 3, MaxCombinations: 4096, MaxPathsPerClass: 64}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Compute(e.G, e.SG, [][2]string{experiments.PairPD}, opts); err != nil {
+		if _, err := core.Compute(context.Background(), e.G, e.SG, [][2]string{experiments.PairPD}, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkComputeParallel measures the offline Topology Computation
+// module across worker counts: the same AllTops computation for every
+// Table 1 entity-set pair, sharded over 1, 2, 4 and 8 workers. The
+// workers=1 case is the sequential baseline; cmd/benchtab exposes the
+// same knob as -workers so the offline-phase speedup can be reported
+// at larger scales.
+func BenchmarkComputeParallel(b *testing.B) {
+	e := env(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := core.Options{
+				MaxLen: 3, MaxCombinations: 4096, MaxPathsPerClass: 64,
+				Parallelism: w,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(context.Background(), e.G, e.SG,
+					experiments.Table1Pairs(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -174,7 +201,7 @@ func l4Store(b *testing.B) *methods.Store {
 	l4Once.Do(func() {
 		cfg := biozon.DefaultConfig(1)
 		db := biozon.Generate(cfg)
-		l4St, l4Err = methods.BuildStore(db, biozon.SchemaGraph(),
+		l4St, l4Err = methods.BuildStore(context.Background(), db, biozon.SchemaGraph(),
 			biozon.Protein, biozon.Interaction, methods.StoreConfig{
 				Opts: core.Options{
 					MaxLen:           4,

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"toposearch/internal/biozon"
@@ -21,15 +23,20 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run")
-		scale = flag.Int("scale", 2, "synthetic database scale")
-		seed  = flag.Int64("seed", 42, "generator seed")
-		k     = flag.Int("k", 10, "top-k for the query experiments")
-		reps  = flag.Int("reps", 3, "timing repetitions (fastest wins)")
-		thr   = flag.Int("prune", 6, "pruning threshold")
-		sql   = flag.Bool("sql", true, "include the SQL strawman in table2")
+		exp     = flag.String("exp", "all", "experiment to run")
+		scale   = flag.Int("scale", 2, "synthetic database scale")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		k       = flag.Int("k", 10, "top-k for the query experiments")
+		reps    = flag.Int("reps", 3, "timing repetitions (fastest wins)")
+		thr     = flag.Int("prune", 6, "pruning threshold")
+		sql     = flag.Bool("sql", true, "include the SQL strawman in table2")
+		workers = flag.Int("workers", 0, "offline-phase worker count (0 = all cores)")
 	)
 	flag.Parse()
+
+	// Ctrl-C aborts the (long) offline precomputation cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	need := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -67,8 +74,9 @@ func main() {
 
 	fmt.Printf("building environment (scale %d, seed %d, prune %d)...\n", *scale, *seed, *thr)
 	start := time.Now()
-	env, err := experiments.NewEnv(experiments.Setup{
+	env, err := experiments.NewEnv(ctx, experiments.Setup{
 		Scale: *scale, Seed: *seed, PruneThreshold: *thr, L: 3, MaxPathsPerClass: 64,
+		Parallelism: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,7 +112,7 @@ func main() {
 	}
 	if need("table3") {
 		fmt.Println("== Table 3: l=4 space overhead and Fast-Top-k-Opt time ==")
-		res, err := experiments.Table3(env, experiments.Table3Options{K: *k, Reps: *reps})
+		res, err := experiments.Table3(ctx, env, experiments.Table3Options{K: *k, Reps: *reps})
 		if err != nil {
 			log.Fatal(err)
 		}

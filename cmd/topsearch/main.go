@@ -17,13 +17,16 @@
 //	-prune           pruning threshold (-1 disables)
 //	-explain         print the optimizer's plan choice
 //	-instances       print up to N instance pairs per topology
+//	-workers         offline-phase worker count (0 = all cores)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"toposearch"
@@ -47,8 +50,14 @@ func main() {
 		explain = flag.Bool("explain", false, "print the optimizer plan")
 		instN   = flag.Int("instances", 2, "instance pairs to print per topology")
 		weak    = flag.Bool("weak-pruning", false, "apply Appendix B weak-relationship rules")
+		workers = flag.Int("workers", 0, "offline-phase worker count (0 = all cores)")
 	)
 	flag.Parse()
+
+	// Ctrl-C aborts the offline computation and any running query with
+	// a context error instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var db *toposearch.DB
 	var err error
@@ -68,8 +77,9 @@ func main() {
 		PruneThreshold:  *prune,
 		MaxCombinations: 4096,
 		WeakPruning:     *weak,
+		Parallelism:     *workers,
 	}
-	s, err := db.NewSearcher(*es1, *es2, cfg)
+	s, err := db.NewSearcherContext(ctx, *es1, *es2, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +110,7 @@ func main() {
 		fmt.Println(plan)
 	}
 
-	res, err := s.Search(q)
+	res, err := s.SearchContext(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package toposearch_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"toposearch"
+)
+
+// TestNewSearcherContextCancelled asserts the offline phase aborts
+// promptly with the context's error when the context is already
+// cancelled — the table-stakes property for serving: a caller that
+// gives up must not leave a topology computation running.
+func TestNewSearcherContextCancelled(t *testing.T) {
+	db, err := toposearch.Synthetic(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA,
+		toposearch.DefaultSearcherConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewSearcherContext on cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchContextCancelled asserts a cancelled context aborts query
+// execution across representative methods, including the SQL strawman
+// whose start-node loop has its own cancellation checks.
+func TestSearchContextCancelled(t *testing.T) {
+	s := figure3Searcher(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, method := range []string{"", "sql", "full-top-k-et"} {
+		q := paperSearch()
+		q.Method = method
+		if method == "full-top-k-et" {
+			q.K, q.Ranking = 3, toposearch.RankDomain
+		}
+		if _, err := s.SearchContext(ctx, q); !errors.Is(err, context.Canceled) {
+			t.Fatalf("SearchContext(method=%q) on cancelled ctx: got %v, want context.Canceled", method, err)
+		}
+	}
+}
+
+// TestSearchContextBackground asserts the context-aware entry points
+// agree with the plain ones when the context never fires.
+func TestSearchContextBackground(t *testing.T) {
+	s := figure3Searcher(t)
+	plain, err := s.Search(paperSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := s.SearchContext(context.Background(), paperSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Topologies) != len(withCtx.Topologies) {
+		t.Fatalf("SearchContext returned %d topologies, Search returned %d",
+			len(withCtx.Topologies), len(plain.Topologies))
+	}
+}
+
+// TestSearcherParallelismSetting asserts the public Parallelism knob
+// produces the same precomputed tables as the sequential default.
+func TestSearcherParallelismSetting(t *testing.T) {
+	db, err := toposearch.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(par int) *toposearch.Searcher {
+		cfg := toposearch.DefaultSearcherConfig()
+		cfg.PruneThreshold = 0
+		cfg.Parallelism = par
+		s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	seq, par := build(1), build(8)
+	if seq.TopologyCount() != par.TopologyCount() {
+		t.Fatalf("TopologyCount: sequential %d vs parallel %d", seq.TopologyCount(), par.TopologyCount())
+	}
+	if seq.PrunedCount() != par.PrunedCount() {
+		t.Fatalf("PrunedCount: sequential %d vs parallel %d", seq.PrunedCount(), par.PrunedCount())
+	}
+	ids1, fr1 := seq.FrequencyRank()
+	ids2, fr2 := par.FrequencyRank()
+	for i := range ids1 {
+		if ids1[i] != ids2[i] || fr1[i] != fr2[i] {
+			t.Fatalf("FrequencyRank diverged at %d: (%d,%d) vs (%d,%d)",
+				i, ids1[i], fr1[i], ids2[i], fr2[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := toposearch.Figure3()
 	if err != nil {
 		log.Fatal(err)
@@ -24,14 +26,15 @@ func main() {
 
 	cfg := toposearch.DefaultSearcherConfig()
 	cfg.PruneThreshold = 0 // prune every frequent simple path, as in Figure 13
-	s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
+	cfg.Parallelism = 0    // offline phase on all cores (the result is identical at any setting)
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("offline phase: %d topologies computed, %d pruned\n\n",
 		s.TopologyCount(), s.PrunedCount())
 
-	res, err := s.Search(toposearch.SearchQuery{
+	res, err := s.SearchContext(ctx, toposearch.SearchQuery{
 		Cons1: []toposearch.Constraint{{Column: "desc", Keyword: "enzyme"}},
 		Cons2: []toposearch.Constraint{{Column: "type", Equals: "mRNA"}},
 	})

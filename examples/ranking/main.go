@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"toposearch"
 )
@@ -18,7 +20,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := db.NewSearcher(toposearch.Protein, toposearch.Unigene, toposearch.DefaultSearcherConfig())
+	// A deadline bounds the offline phase: past it, NewSearcherContext
+	// aborts at the next start node with context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.Unigene, toposearch.DefaultSearcherConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

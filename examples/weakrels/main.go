@@ -27,6 +27,7 @@ func main() {
 		cfg := toposearch.DefaultSearcherConfig()
 		cfg.MaxLen = 4
 		cfg.WeakPruning = weak
+		cfg.Parallelism = 0 // l=4 precomputation is the expensive case: use all cores
 		start := time.Now()
 		s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, cfg)
 		if err != nil {

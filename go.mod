@@ -1,0 +1,3 @@
+module toposearch
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 
 	"toposearch/internal/canon"
@@ -24,6 +25,10 @@ type Options struct {
 	// Weak optionally filters out weak-relationship schema paths before
 	// computation (Appendix B).
 	Weak *WeakRules
+	// Parallelism is the worker count of the offline computation: start
+	// nodes are sharded across this many workers (0 = GOMAXPROCS,
+	// 1 = sequential). Results are byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the options used across the reproduction:
@@ -40,6 +45,14 @@ func (o Options) withDefaults() Options {
 		o.MaxCombinations = 4096
 	}
 	return o
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PathClasses computes l-PathEC(a,b) (Definition 1): the simple paths

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"toposearch/internal/graph"
 )
@@ -94,11 +97,17 @@ func (res *Result) TopsOf(es1, es2 string, a, b graph.NodeID) []TopologyID {
 // path, groups paths by entity pair and equivalence class, and derives
 // each pair's l-topologies per Definition 2. Weak schema paths are
 // dropped when opts.Weak is set.
-func Compute(g *graph.Graph, sg *graph.SchemaGraph, pairs [][2]string, opts Options) (*Result, error) {
+//
+// Start nodes are sharded across opts.Parallelism workers; the output —
+// Entries order, Freq, class sets and registry ID assignment — is
+// byte-identical at every parallelism level. Cancellation is checked at
+// start-node granularity: when ctx is cancelled, Compute returns
+// ctx.Err() promptly without waiting for the remaining start nodes.
+func Compute(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, pairs [][2]string, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Reg: NewRegistry(), Opts: opts, Pairs: make(map[[2]string]*PairData)}
 	for _, pr := range pairs {
-		pd, err := computePair(g, sg, res.Reg, pr[0], pr[1], opts)
+		pd, err := computePair(ctx, g, sg, res.Reg, pr[0], pr[1], opts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +116,21 @@ func Compute(g *graph.Graph, sg *graph.SchemaGraph, pairs [][2]string, opts Opti
 	return res, nil
 }
 
-func computePair(g *graph.Graph, sg *graph.SchemaGraph, reg *Registry, es1, es2 string, opts Options) (*PairData, error) {
+// startOutput is the per-start-node work unit result: for each end
+// node b (ascending), the topology IDs in the producing worker's local
+// registry (ascending) and the pair's class signatures.
+type startOutput struct {
+	reg   *Registry // the worker-local registry the tids refer to
+	cells []cellOutput
+}
+
+type cellOutput struct {
+	b    graph.NodeID
+	tids []TopologyID // local registry IDs, ascending
+	sigs []graph.PathSig
+}
+
+func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg *Registry, es1, es2 string, opts Options) (*PairData, error) {
 	schemaPaths, err := sg.EnumeratePaths(es1, es2, opts.MaxLen)
 	if err != nil {
 		return nil, fmt.Errorf("core: computing %s-%s: %w", es1, es2, err)
@@ -134,38 +157,130 @@ func computePair(g *graph.Graph, sg *graph.SchemaGraph, reg *Registry, es1, es2 
 	}
 	starts := append([]graph.NodeID(nil), g.NodesOfType(t1)...)
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	for _, a := range starts {
-		acc := make(map[graph.NodeID][]graph.Path)
-		for _, sp := range schemaPaths {
-			g.PathsAlong(sg, sp, a, func(p graph.Path) bool {
-				b := p.End()
-				if selfPair && b <= a {
-					return true // counted from the smaller endpoint
+
+	// Phase 1: fan the start nodes out over a worker pool. Each worker
+	// interns topologies into its own local registry, so the hot path
+	// takes no locks; results land in the per-start slot, so no two
+	// goroutines share state beyond the atomic work counter.
+	workers := opts.workers()
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]startOutput, len(starts))
+	var next atomic.Int64
+	var ctxErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localReg := NewRegistry()
+			sc := g.NewScratch()
+			for {
+				// Cancellation is checked before claiming each start
+				// node (and, more finely, inside computeStart — one
+				// l=4 start node can run for seconds). ctx.Err() is
+				// sticky, so an abort inside the final unit is still
+				// observed here before the worker exits.
+				if err := ctx.Err(); err != nil {
+					ctxErr.Store(err)
+					return
 				}
-				acc[b] = append(acc[b], p.Clone())
-				return true
-			})
-		}
-		ends := make([]graph.NodeID, 0, len(acc))
-		for b := range acc {
-			ends = append(ends, b)
-		}
-		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-		for _, b := range ends {
-			classes := make(map[graph.PathSig][]graph.Path)
-			for _, p := range acc[b] {
-				classes[g.Signature(p)] = append(classes[g.Signature(p)], p)
+				i := int(next.Add(1)) - 1
+				if i >= len(starts) {
+					return
+				}
+				results[i] = computeStart(ctx, g, sg, localReg, sc, starts[i], schemaPaths, selfPair, opts)
 			}
-			for _, ps := range classes {
-				sortPaths(ps)
+		}()
+	}
+	wg.Wait()
+	if err, ok := ctxErr.Load().(error); ok {
+		return nil, fmt.Errorf("core: computing %s-%s: %w", es1, es2, err)
+	}
+
+	// Phase 2: merge in ascending start-node order. Adopting each
+	// cell's topologies in ascending local-ID order replays the exact
+	// registration order of a sequential run (a worker first sees any
+	// canonical form no later, in merge order, than the sequential loop
+	// would), so global IDs — and therefore Entries and Freq — come out
+	// byte-identical for every parallelism level.
+	for i := range results {
+		a := starts[i]
+		ro := &results[i]
+		for _, cell := range ro.cells {
+			gids := make([]TopologyID, len(cell.tids))
+			for j, lid := range cell.tids {
+				gids[j] = reg.Adopt(ro.reg.Info(lid))
 			}
-			tids := TopologiesFromClasses(g, reg, classes, opts)
-			for _, tid := range tids {
-				pd.Entries = append(pd.Entries, Entry{A: a, B: b, TID: tid})
+			sort.Slice(gids, func(x, y int) bool { return gids[x] < gids[y] })
+			for _, tid := range gids {
+				pd.Entries = append(pd.Entries, Entry{A: a, B: cell.b, TID: tid})
 				pd.Freq[tid]++
 			}
-			pd.classSets[pairKey{a, b}] = sortedSigs(classes)
+			pd.classSets[pairKey{a, cell.b}] = cell.sigs
 		}
 	}
 	return pd, nil
+}
+
+// cancelCheckStride is how many materialized paths a work unit lets
+// through between context checks inside the enumeration DFS.
+const cancelCheckStride = 1024
+
+// computeStart processes one start node: materialize every conforming
+// instance path from a, group by end node and equivalence class, and
+// derive each (a, b) cell's topologies into the worker-local registry.
+//
+// Cancellation is additionally checked every cancelCheckStride
+// materialized paths and before each (a, b) cell, so even a
+// pathologically expensive start node (l=4 with weak relationships)
+// aborts quickly. On abort the partial output is irrelevant: Compute
+// discards everything and returns ctx.Err().
+func computeStart(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, localReg *Registry, sc *graph.Scratch,
+	a graph.NodeID, schemaPaths []graph.SchemaPath, selfPair bool, opts Options) startOutput {
+	acc := make(map[graph.NodeID][]graph.Path)
+	npaths := 0
+	for _, sp := range schemaPaths {
+		g.PathsAlongScratch(sc, sg, sp, a, func(p graph.Path) bool {
+			npaths++
+			if npaths%cancelCheckStride == 0 && ctx.Err() != nil {
+				return false
+			}
+			b := p.End()
+			if selfPair && b <= a {
+				return true // counted from the smaller endpoint
+			}
+			acc[b] = append(acc[b], p.Clone())
+			return true
+		})
+		if ctx.Err() != nil {
+			return startOutput{reg: localReg}
+		}
+	}
+	ends := make([]graph.NodeID, 0, len(acc))
+	for b := range acc {
+		ends = append(ends, b)
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	out := startOutput{reg: localReg, cells: make([]cellOutput, 0, len(ends))}
+	for _, b := range ends {
+		if ctx.Err() != nil {
+			return out
+		}
+		classes := make(map[graph.PathSig][]graph.Path)
+		for _, p := range acc[b] {
+			sig := g.Signature(p)
+			classes[sig] = append(classes[sig], p)
+		}
+		for _, ps := range classes {
+			sortPaths(ps)
+		}
+		tids := TopologiesFromClasses(g, localReg, classes, opts)
+		out.cells = append(out.cells, cellOutput{b: b, tids: tids, sigs: sortedSigs(classes)})
+	}
+	return out
 }

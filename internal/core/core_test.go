@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func figure3(t *testing.T) (*graph.Graph, *graph.SchemaGraph) {
 func computePD(t *testing.T) (*core.Result, *graph.Graph, *graph.SchemaGraph) {
 	t.Helper()
 	g, sg := figure3(t)
-	res, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, core.DefaultOptions())
+	res, err := core.Compute(context.Background(), g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}
@@ -257,7 +258,7 @@ func TestComputeSelfPairNoDuplicates(t *testing.T) {
 func computePDWithPairs(t *testing.T, pairs [][2]string) (*core.Result, *graph.Graph, *graph.SchemaGraph) {
 	t.Helper()
 	g, sg := figure3(t)
-	res, err := core.Compute(g, sg, pairs, core.DefaultOptions())
+	res, err := core.Compute(context.Background(), g, sg, pairs, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}
@@ -478,11 +479,11 @@ func TestComputeWithWeakRulesShrinks(t *testing.T) {
 	g, sg := figure3(t)
 	optsAll := core.Options{MaxLen: 4, MaxCombinations: 4096}
 	optsWeak := core.Options{MaxLen: 4, MaxCombinations: 4096, Weak: core.DefaultWeakRules()}
-	resAll, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsAll)
+	resAll, err := core.Compute(context.Background(), g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsAll)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resWeak, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsWeak)
+	resWeak, err := core.Compute(context.Background(), g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, optsWeak)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+)
+
+func syntheticGraph(t *testing.T, scale int) (*graph.Graph, *graph.SchemaGraph) {
+	t.Helper()
+	sg := biozon.SchemaGraph()
+	g, err := graph.Build(biozon.Generate(biozon.DefaultConfig(scale)), sg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, sg
+}
+
+// registryRendering captures everything observable about a registry:
+// the canonical forms, class signatures, and structural flags, in ID
+// order.
+func registryRendering(t *testing.T, r *core.Registry) []string {
+	t.Helper()
+	var out []string
+	for _, info := range r.All() {
+		line := info.Canon
+		for _, s := range info.Sigs {
+			line += " / " + string(s)
+		}
+		if info.IsPath {
+			line += " [path]"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// TestComputeParallelDeterminism asserts the tentpole guarantee: the
+// offline computation is byte-identical at every parallelism level —
+// same Entries in the same order, same frequencies, same class sets,
+// and the same registry with the same ID assignment. Run under -race
+// this also exercises the worker pool for data races.
+func TestComputeParallelDeterminism(t *testing.T) {
+	g, sg := syntheticGraph(t, 1)
+	pairs := [][2]string{
+		{biozon.Protein, biozon.DNA},
+		{biozon.DNA, biozon.Unigene},
+		{biozon.Protein, biozon.Protein}, // self pair: counted from the smaller endpoint
+	}
+	compute := func(par int) *core.Result {
+		opts := core.DefaultOptions()
+		opts.Parallelism = par
+		res, err := core.Compute(context.Background(), g, sg, pairs, opts)
+		if err != nil {
+			t.Fatalf("Compute(parallelism=%d): %v", par, err)
+		}
+		return res
+	}
+	seq := compute(1)
+	for _, par := range []int{2, 8} {
+		got := compute(par)
+		if want, have := registryRendering(t, seq.Reg), registryRendering(t, got.Reg); !reflect.DeepEqual(want, have) {
+			t.Fatalf("parallelism %d: registry diverged:\nseq: %q\npar: %q", par, want, have)
+		}
+		for _, pr := range pairs {
+			pdSeq, pdPar := seq.Pair(pr[0], pr[1]), got.Pair(pr[0], pr[1])
+			if !reflect.DeepEqual(pdSeq.Entries, pdPar.Entries) {
+				t.Fatalf("parallelism %d: %v Entries diverged (%d vs %d rows)",
+					par, pr, len(pdSeq.Entries), len(pdPar.Entries))
+			}
+			if !reflect.DeepEqual(pdSeq.Freq, pdPar.Freq) {
+				t.Fatalf("parallelism %d: %v Freq diverged", par, pr)
+			}
+			if pdSeq.NumPairs() != pdPar.NumPairs() {
+				t.Fatalf("parallelism %d: %v NumPairs %d vs %d",
+					par, pr, pdSeq.NumPairs(), pdPar.NumPairs())
+			}
+			for _, e := range pdSeq.Entries {
+				if !reflect.DeepEqual(pdSeq.ClassSet(e.A, e.B), pdPar.ClassSet(e.A, e.B)) {
+					t.Fatalf("parallelism %d: %v ClassSet(%d,%d) diverged", par, pr, e.A, e.B)
+				}
+			}
+		}
+	}
+	if len(seq.Pair(biozon.Protein, biozon.DNA).Entries) == 0 {
+		t.Fatal("determinism test vacuous: no Protein-DNA entries computed")
+	}
+}
+
+// TestComputeCancellation asserts that an already-cancelled context
+// aborts the computation at the first start node with ctx.Err().
+func TestComputeCancellation(t *testing.T) {
+	g, sg := syntheticGraph(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := core.DefaultOptions()
+	opts.Parallelism = 4
+	_, err := core.Compute(ctx, g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compute on cancelled ctx: got %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -27,7 +28,7 @@ func randomEnv(seed int64) (*core.Result, *graph.Graph, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.Compute(g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, core.DefaultOptions())
+	res, err := core.Compute(context.Background(), g, sg, [][2]string{{biozon.Protein, biozon.DNA}}, core.DefaultOptions())
 	return res, g, err
 }
 

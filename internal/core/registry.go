@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"toposearch/internal/canon"
 	"toposearch/internal/graph"
@@ -43,8 +44,16 @@ func (ti *TopInfo) Describe() string {
 	return strings.ReplaceAll(ti.Canon, ";", " ; ")
 }
 
-// Registry interns topologies by canonical form and assigns IDs.
+// Registry interns topologies by canonical form and assigns IDs. All
+// methods are safe for concurrent use; note however that the order in
+// which topologies are first registered determines their IDs, so
+// callers that need deterministic IDs under parallelism must impose a
+// deterministic registration order themselves. The parallel Compute
+// path does this with a two-phase design: workers intern into local
+// registries, and the results are merged into the global registry in
+// sorted start-node order via Adopt.
 type Registry struct {
+	mu      sync.RWMutex
 	byCanon map[string]TopologyID
 	infos   []*TopInfo
 }
@@ -59,15 +68,15 @@ func NewRegistry() *Registry {
 // topology ID. Re-registering an isomorphic graph returns the existing
 // ID.
 func (r *Registry) Register(g *canon.Graph, sigs []graph.PathSig) TopologyID {
-	c := canon.Canonical(g)
+	c := canon.Canonical(g) // compute outside the lock; it is expensive
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if id, ok := r.byCanon[c]; ok {
 		return id
 	}
-	id := TopologyID(len(r.infos))
 	sorted := append([]graph.PathSig(nil), sigs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	r.infos = append(r.infos, &TopInfo{
-		ID:       id,
+	return r.add(&TopInfo{
 		Canon:    c,
 		Graph:    g,
 		NumNodes: g.NumNodes(),
@@ -75,18 +84,47 @@ func (r *Registry) Register(g *canon.Graph, sigs []graph.PathSig) TopologyID {
 		Sigs:     sorted,
 		IsPath:   g.IsPath(),
 	})
-	r.byCanon[c] = id
+}
+
+// Adopt interns a topology already described by another registry's
+// TopInfo, reusing its precomputed canonical form instead of
+// recanonicalizing. This is the merge half of the two-phase parallel
+// interning design: workers Register into worker-local registries, then
+// the merge loop Adopts each local entry into the global registry in a
+// deterministic order.
+func (r *Registry) Adopt(info *TopInfo) TopologyID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byCanon[info.Canon]; ok {
+		return id
+	}
+	clone := *info
+	return r.add(&clone)
+}
+
+// add appends a new TopInfo under r.mu; info.Canon must be absent.
+func (r *Registry) add(info *TopInfo) TopologyID {
+	id := TopologyID(len(r.infos))
+	info.ID = id
+	r.infos = append(r.infos, info)
+	r.byCanon[info.Canon] = id
 	return id
 }
 
 // Lookup finds the ID of a topology isomorphic to g.
 func (r *Registry) Lookup(g *canon.Graph) (TopologyID, bool) {
-	id, ok := r.byCanon[canon.Canonical(g)]
+	c := canon.Canonical(g)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.byCanon[c]
 	return id, ok
 }
 
-// Info returns the TopInfo for an ID.
+// Info returns the TopInfo for an ID. The returned TopInfo is immutable
+// after registration.
 func (r *Registry) Info(id TopologyID) *TopInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(r.infos) {
 		return nil
 	}
@@ -94,12 +132,21 @@ func (r *Registry) Info(id TopologyID) *TopInfo {
 }
 
 // Len returns the number of registered topologies.
-func (r *Registry) Len() int { return len(r.infos) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.infos)
+}
 
-// All returns every TopInfo in ID order (shared; do not mutate).
-func (r *Registry) All() []*TopInfo { return r.infos }
+// All returns a snapshot of every TopInfo in ID order (the TopInfos are
+// shared and immutable; do not mutate).
+func (r *Registry) All() []*TopInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*TopInfo(nil), r.infos...)
+}
 
 // String renders a summary.
 func (r *Registry) String() string {
-	return fmt.Sprintf("Registry(%d topologies)", len(r.infos))
+	return fmt.Sprintf("Registry(%d topologies)", r.Len())
 }

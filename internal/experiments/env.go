@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,6 +35,8 @@ type Setup struct {
 	// MaxPathsPerClass caps the per-class representatives during
 	// topology computation.
 	MaxPathsPerClass int
+	// Parallelism is the offline-phase worker count (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // DefaultSetup returns the environment used by the benchmark harness.
@@ -67,8 +70,8 @@ type Env struct {
 }
 
 // NewEnv generates the database and precomputes stores for all
-// experiment pairs.
-func NewEnv(s Setup) (*Env, error) {
+// experiment pairs. The context cancels the offline precomputation.
+func NewEnv(ctx context.Context, s Setup) (*Env, error) {
 	cfg := biozon.DefaultConfig(s.Scale)
 	cfg.Seed = s.Seed
 	db := biozon.Generate(cfg)
@@ -79,11 +82,12 @@ func NewEnv(s Setup) (*Env, error) {
 	}
 	env := &Env{Setup: s, DB: db, G: g, SG: sg, Stores: map[[2]string]*methods.Store{}}
 	for _, pair := range Table1Pairs() {
-		st, err := methods.BuildStoreFromGraph(db, g, sg, pair[0], pair[1], methods.StoreConfig{
+		st, err := methods.BuildStoreFromGraph(ctx, db, g, sg, pair[0], pair[1], methods.StoreConfig{
 			Opts: core.Options{
 				MaxLen:           s.L,
 				MaxCombinations:  4096,
 				MaxPathsPerClass: s.MaxPathsPerClass,
+				Parallelism:      s.Parallelism,
 			},
 			PruneThreshold: s.PruneThreshold,
 			Scores:         ranking.Schemes(),

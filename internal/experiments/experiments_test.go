@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func smallEnv(t *testing.T) *Env {
 	if cachedEnv != nil {
 		return cachedEnv
 	}
-	env, err := NewEnv(Setup{Scale: 1, Seed: 42, PruneThreshold: 3, L: 3, MaxPathsPerClass: 64})
+	env, err := NewEnv(context.Background(), Setup{Scale: 1, Seed: 42, PruneThreshold: 3, L: 3, MaxPathsPerClass: 64})
 	if err != nil {
 		t.Fatalf("NewEnv: %v", err)
 	}
@@ -186,7 +187,7 @@ func TestTable2Shapes(t *testing.T) {
 func TestTable3RunsAndRestoresEnv(t *testing.T) {
 	env := smallEnv(t)
 	before := env.Store(PairPI).TopInfo.NumRows()
-	res, err := Table3(env, Table3Options{K: 10, Reps: 1, UseWeakRules: true})
+	res, err := Table3(context.Background(), env, Table3Options{K: 10, Reps: 1, UseWeakRules: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,8 +37,9 @@ type Table3Options struct {
 
 // Table3 builds an l=4 store for the Protein-Interaction pair on the
 // environment's database and measures Fast-Top-k-Opt across the
-// selectivity grid and rankings.
-func Table3(env *Env, opts Table3Options) (*Table3Result, error) {
+// selectivity grid and rankings. The context cancels the (expensive)
+// l=4 precomputation.
+func Table3(ctx context.Context, env *Env, opts Table3Options) (*Table3Result, error) {
 	if opts.K == 0 {
 		opts.K = 10
 	}
@@ -51,6 +53,7 @@ func Table3(env *Env, opts Table3Options) (*Table3Result, error) {
 		MaxLen:           4,
 		MaxCombinations:  2048,
 		MaxPathsPerClass: opts.MaxPathsPerClass,
+		Parallelism:      env.Setup.Parallelism,
 	}
 	if opts.UseWeakRules {
 		copts.Weak = core.DefaultWeakRules()
@@ -58,7 +61,7 @@ func Table3(env *Env, opts Table3Options) (*Table3Result, error) {
 	var st *methods.Store
 	precomp, err := Measure(1, func() error {
 		var berr error
-		st, berr = methods.BuildStoreFromGraph(env.DB, env.G, env.SG,
+		st, berr = methods.BuildStoreFromGraph(ctx, env.DB, env.G, env.SG,
 			PairPI[0], PairPI[1], methods.StoreConfig{
 				Opts:           copts,
 				PruneThreshold: env.Setup.PruneThreshold,
@@ -106,12 +109,13 @@ func Table3(env *Env, opts Table3Options) (*Table3Result, error) {
 		env.DB.DropTable(core.TableName(kind, PairPI[0], PairPI[1]))
 	}
 	// Rebuild the l=3 tables for subsequent experiments.
-	st3, err := methods.BuildStoreFromGraph(env.DB, env.G, env.SG, PairPI[0], PairPI[1],
+	st3, err := methods.BuildStoreFromGraph(ctx, env.DB, env.G, env.SG, PairPI[0], PairPI[1],
 		methods.StoreConfig{
 			Opts: core.Options{
 				MaxLen:           env.Setup.L,
 				MaxCombinations:  4096,
 				MaxPathsPerClass: env.Setup.MaxPathsPerClass,
+				Parallelism:      env.Setup.Parallelism,
 			},
 			PruneThreshold: env.Setup.PruneThreshold,
 			Scores:         ranking.Schemes(),

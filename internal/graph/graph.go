@@ -7,6 +7,14 @@ type HalfEdge struct {
 	To   NodeID
 	Type TypeID // relationship type
 	ID   int64  // relationship tuple id
+
+	// toDense and toType are precomputed at AddEdge time so the
+	// path-enumeration DFS needs no map lookups: the dense index keys
+	// the slice-backed visited marks (graph node IDs are sparse
+	// per-type-namespaced primary keys) and toType answers the schema
+	// conformance check.
+	toDense int32
+	toType  TypeID
 }
 
 // Graph is the labeled undirected data graph G = (V, E) of Section 2.1.
@@ -18,6 +26,9 @@ type Graph struct {
 	byType   map[TypeID][]NodeID
 	adj      map[NodeID][]HalfEdge
 	numEdges int
+	// dense numbers nodes 0..NumNodes-1 in insertion order; it backs
+	// the Scratch visited marks.
+	dense map[NodeID]int32
 }
 
 // New returns an empty graph with fresh type tables.
@@ -28,6 +39,7 @@ func New() *Graph {
 		nodeType:  make(map[NodeID]TypeID),
 		byType:    make(map[TypeID][]NodeID),
 		adj:       make(map[NodeID][]HalfEdge),
+		dense:     make(map[NodeID]int32),
 	}
 }
 
@@ -43,19 +55,22 @@ func (g *Graph) AddNode(id NodeID, t TypeID) error {
 	}
 	g.nodeType[id] = t
 	g.byType[t] = append(g.byType[t], id)
+	g.dense[id] = int32(len(g.dense))
 	return nil
 }
 
 // AddEdge registers an undirected typed edge between two existing nodes.
 func (g *Graph) AddEdge(id int64, a, b NodeID, t TypeID) error {
-	if _, ok := g.nodeType[a]; !ok {
+	ta, ok := g.nodeType[a]
+	if !ok {
 		return fmt.Errorf("graph: edge %d references unknown node %d", id, a)
 	}
-	if _, ok := g.nodeType[b]; !ok {
+	tb, ok := g.nodeType[b]
+	if !ok {
 		return fmt.Errorf("graph: edge %d references unknown node %d", id, b)
 	}
-	g.adj[a] = append(g.adj[a], HalfEdge{To: b, Type: t, ID: id})
-	g.adj[b] = append(g.adj[b], HalfEdge{To: a, Type: t, ID: id})
+	g.adj[a] = append(g.adj[a], HalfEdge{To: b, Type: t, ID: id, toDense: g.dense[b], toType: tb})
+	g.adj[b] = append(g.adj[b], HalfEdge{To: a, Type: t, ID: id, toDense: g.dense[a], toType: ta})
 	g.numEdges++
 	return nil
 }

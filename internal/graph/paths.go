@@ -88,47 +88,87 @@ func (g *Graph) Signature(p Path) PathSig {
 	return normalizeSig(labels)
 }
 
+// Scratch is reusable state for the path-enumeration DFS: the
+// slice-backed on-path visited marks (indexed by the graph's dense
+// node numbering, since raw node IDs are sparse per-type-namespaced
+// primary keys) and the path buffers. Reusing one Scratch across many
+// SimplePathsScratch/PathsAlongScratch calls makes the hot DFS
+// allocation-free; the offline Topology Computation workers each own
+// one. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	marks []bool   // on-path flags, indexed by dense node index
+	cur   Path     // reusable path buffers
+	rel   []TypeID // PathsAlong step-type buffers
+	nodes []TypeID
+}
+
+// NewScratch returns a Scratch sized for this graph.
+func (g *Graph) NewScratch() *Scratch {
+	return &Scratch{marks: make([]bool, len(g.dense))}
+}
+
+// begin resets the path buffers to a single-node path rooted at a and
+// ensures the marks cover every node (the graph may have grown since
+// the Scratch was created). All marks are false between calls: the DFS
+// unwinds them on backtrack.
+func (sc *Scratch) begin(g *Graph, a NodeID) {
+	if len(sc.marks) < len(g.dense) {
+		sc.marks = make([]bool, len(g.dense))
+	}
+	sc.cur.Nodes = append(sc.cur.Nodes[:0], a)
+	sc.cur.Edges = sc.cur.Edges[:0]
+	sc.cur.Types = sc.cur.Types[:0]
+}
+
 // SimplePaths enumerates PS(a, b, maxLen): every simple path between a
 // and b of length 1..maxLen (Section 2.1). The visit function receives
 // a path that is only valid for the duration of the call; clone it to
 // retain it. Enumeration stops early if visit returns false.
 func (g *Graph) SimplePaths(a, b NodeID, maxLen int, visit func(Path) bool) {
+	g.SimplePathsScratch(g.NewScratch(), a, b, maxLen, visit)
+}
+
+// SimplePathsScratch is SimplePaths with caller-provided scratch state,
+// for hot loops that enumerate from many start nodes.
+func (g *Graph) SimplePathsScratch(sc *Scratch, a, b NodeID, maxLen int, visit func(Path) bool) {
 	if _, ok := g.NodeType(a); !ok {
 		return
 	}
 	if _, ok := g.NodeType(b); !ok {
 		return
 	}
-	onPath := map[NodeID]bool{a: true}
-	cur := Path{Nodes: []NodeID{a}}
+	sc.begin(g, a)
+	aDense := g.dense[a]
+	sc.marks[aDense] = true
+	defer func() { sc.marks[aDense] = false }()
 	stop := false
 	var dfs func(at NodeID)
 	dfs = func(at NodeID) {
-		if stop || len(cur.Edges) == maxLen {
+		if stop || len(sc.cur.Edges) == maxLen {
 			return
 		}
 		for _, he := range g.adj[at] {
 			if stop {
 				return
 			}
-			if onPath[he.To] {
+			if sc.marks[he.toDense] {
 				continue
 			}
-			cur.Nodes = append(cur.Nodes, he.To)
-			cur.Edges = append(cur.Edges, he.ID)
-			cur.Types = append(cur.Types, he.Type)
+			sc.cur.Nodes = append(sc.cur.Nodes, he.To)
+			sc.cur.Edges = append(sc.cur.Edges, he.ID)
+			sc.cur.Types = append(sc.cur.Types, he.Type)
 			if he.To == b {
-				if !visit(cur) {
+				if !visit(sc.cur) {
 					stop = true
 				}
 			} else {
-				onPath[he.To] = true
+				sc.marks[he.toDense] = true
 				dfs(he.To)
-				delete(onPath, he.To)
+				sc.marks[he.toDense] = false
 			}
-			cur.Nodes = cur.Nodes[:len(cur.Nodes)-1]
-			cur.Edges = cur.Edges[:len(cur.Edges)-1]
-			cur.Types = cur.Types[:len(cur.Types)-1]
+			sc.cur.Nodes = sc.cur.Nodes[:len(sc.cur.Nodes)-1]
+			sc.cur.Edges = sc.cur.Edges[:len(sc.cur.Edges)-1]
+			sc.cur.Types = sc.cur.Types[:len(sc.cur.Types)-1]
 		}
 	}
 	dfs(a)
@@ -140,6 +180,12 @@ func (g *Graph) SimplePaths(a, b NodeID, maxLen int, visit func(Path) bool) {
 // module issues per schema path (Section 4.1). The visit callback's
 // path is reused across calls; clone to retain.
 func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(Path) bool) {
+	g.PathsAlongScratch(g.NewScratch(), sg, sp, a, visit)
+}
+
+// PathsAlongScratch is PathsAlong with caller-provided scratch state,
+// for hot loops that materialize paths from many start nodes.
+func (g *Graph) PathsAlongScratch(sc *Scratch, sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(Path) bool) {
 	startType, ok := g.NodeTypes.Lookup(sp.Start)
 	if !ok {
 		return
@@ -149,8 +195,12 @@ func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(
 		return
 	}
 	// Pre-intern step types; a missing type means no instances exist.
-	relTypes := make([]TypeID, len(sp.Steps))
-	nodeTypes := make([]TypeID, len(sp.Steps))
+	if cap(sc.rel) < len(sp.Steps) {
+		sc.rel = make([]TypeID, len(sp.Steps))
+		sc.nodes = make([]TypeID, len(sp.Steps))
+	}
+	relTypes := sc.rel[:len(sp.Steps)]
+	nodeTypes := sc.nodes[:len(sp.Steps)]
 	for i, st := range sp.Steps {
 		rt, ok := g.EdgeTypes.Lookup(sg.Rels[st.Rel].Name)
 		if !ok {
@@ -163,8 +213,10 @@ func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(
 		relTypes[i] = rt
 		nodeTypes[i] = nt
 	}
-	onPath := map[NodeID]bool{a: true}
-	cur := Path{Nodes: []NodeID{a}}
+	sc.begin(g, a)
+	aDense := g.dense[a]
+	sc.marks[aDense] = true
+	defer func() { sc.marks[aDense] = false }()
 	stop := false
 	var dfs func(at NodeID, step int)
 	dfs = func(at NodeID, step int) {
@@ -172,7 +224,7 @@ func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(
 			return
 		}
 		if step == len(sp.Steps) {
-			if !visit(cur) {
+			if !visit(sc.cur) {
 				stop = true
 			}
 			return
@@ -181,21 +233,18 @@ func (g *Graph) PathsAlong(sg *SchemaGraph, sp SchemaPath, a NodeID, visit func(
 			if stop {
 				return
 			}
-			if he.Type != relTypes[step] || onPath[he.To] {
+			if he.Type != relTypes[step] || he.toType != nodeTypes[step] || sc.marks[he.toDense] {
 				continue
 			}
-			if t, _ := g.NodeType(he.To); t != nodeTypes[step] {
-				continue
-			}
-			cur.Nodes = append(cur.Nodes, he.To)
-			cur.Edges = append(cur.Edges, he.ID)
-			cur.Types = append(cur.Types, he.Type)
-			onPath[he.To] = true
+			sc.cur.Nodes = append(sc.cur.Nodes, he.To)
+			sc.cur.Edges = append(sc.cur.Edges, he.ID)
+			sc.cur.Types = append(sc.cur.Types, he.Type)
+			sc.marks[he.toDense] = true
 			dfs(he.To, step+1)
-			delete(onPath, he.To)
-			cur.Nodes = cur.Nodes[:len(cur.Nodes)-1]
-			cur.Edges = cur.Edges[:len(cur.Edges)-1]
-			cur.Types = cur.Types[:len(cur.Types)-1]
+			sc.marks[he.toDense] = false
+			sc.cur.Nodes = sc.cur.Nodes[:len(sc.cur.Nodes)-1]
+			sc.cur.Edges = sc.cur.Edges[:len(sc.cur.Edges)-1]
+			sc.cur.Types = sc.cur.Types[:len(sc.cur.Types)-1]
 		}
 	}
 	dfs(a, 0)

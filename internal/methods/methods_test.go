@@ -1,6 +1,7 @@
 package methods_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -15,7 +16,7 @@ import (
 func figure3Store(t *testing.T, threshold int) *methods.Store {
 	t.Helper()
 	db := biozon.Figure3DB()
-	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+	s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 		methods.StoreConfig{
 			Opts:           core.DefaultOptions(),
 			PruneThreshold: threshold,
@@ -164,7 +165,7 @@ func TestHDGJVariantAgrees(t *testing.T) {
 func TestGeneratedCrossMethodEquivalence(t *testing.T) {
 	db := biozon.Generate(biozon.DefaultConfig(1))
 	for _, threshold := range []int{2, 8} {
-		s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 			methods.StoreConfig{
 				Opts:           core.DefaultOptions(),
 				PruneThreshold: threshold,
@@ -238,7 +239,7 @@ func TestGeneratedCrossMethodEquivalence(t *testing.T) {
 
 func TestSpaceReport(t *testing.T) {
 	db := biozon.Generate(biozon.DefaultConfig(1))
-	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+	s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 		methods.StoreConfig{
 			Opts:           core.DefaultOptions(),
 			PruneThreshold: 2,
@@ -261,7 +262,7 @@ func TestSpaceReport(t *testing.T) {
 
 func TestExplainOptAndPlans(t *testing.T) {
 	db := biozon.Generate(biozon.DefaultConfig(1))
-	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+	s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 		methods.StoreConfig{
 			Opts:           core.DefaultOptions(),
 			PruneThreshold: 2,
@@ -306,7 +307,7 @@ func TestQueryResultHelpers(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	db := biozon.Figure3DB()
-	if _, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.Protein,
+	if _, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.Protein,
 		methods.StoreConfig{Opts: core.DefaultOptions(), Scores: ranking.Schemes()}); err == nil {
 		t.Error("self-pair store accepted")
 	}
@@ -337,7 +338,7 @@ func TestCountersShapeETvsRegular(t *testing.T) {
 	// On an unselective query, the ET method should do less total work
 	// than the regular top-k (the Table 2 shape).
 	db := biozon.Generate(biozon.DefaultConfig(2))
-	s, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+	s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 		methods.StoreConfig{
 			Opts:           core.DefaultOptions(),
 			PruneThreshold: 4,

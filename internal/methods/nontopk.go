@@ -45,14 +45,20 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 	}
 
 	var items []Item
+	sc := s.G.NewScratch()
 	for _, tid := range candidates {
 		found := false
 		// One "SQL query" per topology: enumerate, from scratch, the
 		// topologies of every qualifying pair until one matches tid.
 		for _, a := range starts {
+			if q.Ctx != nil {
+				if err := q.Ctx.Err(); err != nil {
+					return QueryResult{}, err
+				}
+			}
 			acc := make(map[graph.NodeID][]graph.Path)
 			for _, sp := range s.sigToPath {
-				s.G.PathsAlong(s.SG, sp, a, func(p graph.Path) bool {
+				s.G.PathsAlongScratch(sc, s.SG, sp, a, func(p graph.Path) bool {
 					c.IndexProbes++
 					b := p.End()
 					if !accept2(b) {

@@ -27,7 +27,7 @@ func (s *Store) topsJoinPlan(tops *relstore.Table, q Query, c *engine.Counters) 
 	if err != nil {
 		return nil, 0, err
 	}
-	return j2, engine.MustColIndex(j2, "T.TID"), nil
+	return engine.NewGuard(j2, q.Ctx), engine.MustColIndex(j2, "T.TID"), nil
 }
 
 // distinctTIDs drains a plan and returns the distinct TIDs.
@@ -103,7 +103,7 @@ func (s *Store) pathJoinPlan(sp graph.SchemaPath, q Query, c *engine.Counters) (
 		}
 		return true
 	})
-	return cur, nodeCols[0], endCol, nil
+	return engine.NewGuard(cur, q.Ctx), nodeCols[0], endCol, nil
 }
 
 // prunedExists runs the SQL5 check for one pruned topology: does some
@@ -167,7 +167,7 @@ func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters)
 		return nil, err
 	}
 	top := engine.NewDistinctGroups(g3, k)
-	rows, err := engine.Drain(top)
+	rows, err := engine.Drain(engine.NewGuard(top, q.Ctx))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,10 @@ type Query struct {
 	// UseHDGJ switches the ET plans' middle join to the HDGJ
 	// implementation — the "worst plan" variant of Table 2.
 	UseHDGJ bool
+	// Ctx optionally carries a cancellation context. When set, the
+	// execution plans abort with its error once it is cancelled (nil
+	// behaves like context.Background()). RunContext fills it in.
+	Ctx context.Context
 }
 
 // Item is one ranked result.
@@ -74,6 +79,22 @@ func AllMethods() []string {
 
 // Run dispatches a query to the named method.
 func (s *Store) Run(method string, q Query) (QueryResult, error) {
+	return s.dispatch(method, q)
+}
+
+// RunContext is Run with a cancellation context: long-running plans
+// abort with the context's error once it is cancelled.
+func (s *Store) RunContext(ctx context.Context, method string, q Query) (QueryResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return QueryResult{}, err
+		}
+		q.Ctx = ctx
+	}
+	return s.dispatch(method, q)
+}
+
+func (s *Store) dispatch(method string, q Query) (QueryResult, error) {
 	switch method {
 	case MethodSQL:
 		return s.SQLMethod(q)

@@ -8,6 +8,7 @@
 package methods
 
 import (
+	"context"
 	"fmt"
 
 	"toposearch/internal/core"
@@ -15,9 +16,10 @@ import (
 	"toposearch/internal/relstore"
 )
 
-// StoreConfig controls the offline phase: topology computation options,
-// the pruning threshold (Section 4.2.2), and the ranking score
-// functions materialized into TopInfo.
+// StoreConfig controls the offline phase: topology computation options
+// (including Opts.Parallelism, the offline worker count), the pruning
+// threshold (Section 4.2.2), and the ranking score functions
+// materialized into TopInfo.
 type StoreConfig struct {
 	Opts core.Options
 	// PruneThreshold prunes topologies with frequency strictly greater
@@ -55,7 +57,8 @@ type Store struct {
 
 // BuildStore runs the offline phase for one entity-set pair: build the
 // graph, compute AllTops, prune, and materialize all tables into db.
-func BuildStore(db *relstore.DB, sg *graph.SchemaGraph, es1, es2 string, cfg StoreConfig) (*Store, error) {
+// The context cancels the long-running topology computation.
+func BuildStore(ctx context.Context, db *relstore.DB, sg *graph.SchemaGraph, es1, es2 string, cfg StoreConfig) (*Store, error) {
 	if es1 == es2 {
 		return nil, fmt.Errorf("methods: self-pair queries (%s-%s) are not supported by the evaluation methods", es1, es2)
 	}
@@ -63,16 +66,16 @@ func BuildStore(db *relstore.DB, sg *graph.SchemaGraph, es1, es2 string, cfg Sto
 	if err != nil {
 		return nil, err
 	}
-	return BuildStoreFromGraph(db, g, sg, es1, es2, cfg)
+	return BuildStoreFromGraph(ctx, db, g, sg, es1, es2, cfg)
 }
 
 // BuildStoreFromGraph is BuildStore with a prebuilt data graph (so
 // several stores can share one graph).
-func BuildStoreFromGraph(db *relstore.DB, g *graph.Graph, sg *graph.SchemaGraph, es1, es2 string, cfg StoreConfig) (*Store, error) {
+func BuildStoreFromGraph(ctx context.Context, db *relstore.DB, g *graph.Graph, sg *graph.SchemaGraph, es1, es2 string, cfg StoreConfig) (*Store, error) {
 	if es1 == es2 {
 		return nil, fmt.Errorf("methods: self-pair queries (%s-%s) are not supported", es1, es2)
 	}
-	res, err := core.Compute(g, sg, [][2]string{{es1, es2}}, cfg.Opts)
+	res, err := core.Compute(ctx, g, sg, [][2]string{{es1, es2}}, cfg.Opts)
 	if err != nil {
 		return nil, err
 	}

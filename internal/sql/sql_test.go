@@ -1,6 +1,7 @@
 package sql_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -101,7 +102,7 @@ func TestParseErrors(t *testing.T) {
 func figure3WithStore(t *testing.T) (*relstore.DB, *methods.Store) {
 	t.Helper()
 	db := biozon.Figure3DB()
-	st, err := methods.BuildStore(db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+	st, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
 		methods.StoreConfig{
 			Opts:           core.DefaultOptions(),
 			PruneThreshold: 0,

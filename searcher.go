@@ -1,6 +1,7 @@
 package toposearch
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,11 @@ type SearcherConfig struct {
 	// WeakPruning drops weak-relationship schema paths (Appendix B);
 	// meaningful for MaxLen >= 4.
 	WeakPruning bool
+	// Parallelism is the offline-phase worker count: start nodes are
+	// sharded across this many workers (0 = GOMAXPROCS, 1 =
+	// sequential). The precomputed tables are byte-identical at every
+	// setting.
+	Parallelism int
 }
 
 // DefaultSearcherConfig matches the paper's main experimental setup:
@@ -41,10 +47,19 @@ type Searcher struct {
 // NewSearcher runs the offline phase (topology computation + pruning +
 // materialization) for the entity-set pair.
 func (db *DB) NewSearcher(es1, es2 string, cfg SearcherConfig) (*Searcher, error) {
+	return db.NewSearcherContext(context.Background(), es1, es2, cfg)
+}
+
+// NewSearcherContext is NewSearcher with a cancellation context: the
+// offline topology computation runs on cfg.Parallelism workers and
+// aborts with the context's error once it is cancelled (checked at
+// start-node granularity).
+func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg SearcherConfig) (*Searcher, error) {
 	opts := core.Options{
 		MaxLen:           cfg.MaxLen,
 		MaxCombinations:  cfg.MaxCombinations,
 		MaxPathsPerClass: 64,
+		Parallelism:      cfg.Parallelism,
 	}
 	if cfg.WeakPruning {
 		opts.Weak = core.DefaultWeakRules()
@@ -53,7 +68,7 @@ func (db *DB) NewSearcher(es1, es2 string, cfg SearcherConfig) (*Searcher, error
 	if threshold < 0 {
 		threshold = 1 << 40 // effectively no pruning
 	}
-	st, err := methods.BuildStoreFromGraph(db.rel, db.g, db.sg, es1, es2, methods.StoreConfig{
+	st, err := methods.BuildStoreFromGraph(ctx, db.rel, db.g, db.sg, es1, es2, methods.StoreConfig{
 		Opts:           opts,
 		PruneThreshold: threshold,
 		Scores:         ranking.Schemes(),
@@ -135,12 +150,18 @@ func (s *Searcher) compileQuery(q SearchQuery) (methods.Query, error) {
 
 // Search runs the query and returns the matching topologies.
 func (s *Searcher) Search(q SearchQuery) (*SearchResult, error) {
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with a cancellation context: long-running
+// execution plans abort with the context's error once it is cancelled.
+func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchResult, error) {
 	mq, err := s.compileQuery(q)
 	if err != nil {
 		return nil, err
 	}
 	m := q.method()
-	res, err := s.store.Run(m, mq)
+	res, err := s.store.RunContext(ctx, m, mq)
 	if err != nil {
 		return nil, err
 	}

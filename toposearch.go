@@ -20,6 +20,12 @@
 // with the early-termination cost model, and all nine evaluation
 // methods from the paper's experiments.
 //
+// The offline phase runs on a worker pool (SearcherConfig.Parallelism;
+// the result is byte-identical at every setting) and both phases are
+// cancellable: NewSearcherContext aborts the topology computation at
+// start-node granularity, and SearchContext aborts running query
+// plans, each returning the context's error.
+//
 // Quick start:
 //
 //	db, _ := toposearch.Figure3()
