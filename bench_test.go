@@ -187,6 +187,106 @@ func BenchmarkTable2Methods(b *testing.B) {
 	}
 }
 
+// BenchmarkFastTop measures the parallel online Fast-Top path across
+// query worker counts: the sharded LeftTops join plus one existence
+// check per pruned topology, the checks sharded over the same pool.
+// The selective protein predicate makes the pruned checks drain their
+// plans (few witnesses), which is the regime the parallel pool speeds
+// up; results are byte-identical at every worker count. cmd/benchtab
+// -exp benchonline reports the same sweep at larger scales as
+// BENCH_online.json.
+func BenchmarkFastTop(b *testing.B) {
+	e := env(b)
+	st := e.Store(experiments.PairPI)
+	p1, err := experiments.PredFor(st.T1, "selective")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := experiments.PredFor(st.T2, "medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			q := methods.Query{Pred1: p1, Pred2: p2, Parallelism: w}
+			b.ReportAllocs()
+			var res methods.QueryResult
+			for i := 0; i < b.N; i++ {
+				var runErr error
+				res, runErr = st.FastTop(q)
+				if runErr != nil {
+					b.Fatal(runErr)
+				}
+			}
+			b.ReportMetric(float64(len(res.Items)), "results")
+		})
+	}
+}
+
+// BenchmarkETTop measures the early-termination method (Fast-Top-k-ET)
+// across worker counts. Its DGJ stack and its SQL4 cut-off merge are
+// inherently sequential — early termination and the cut-off are serial
+// decisions — so its latency should NOT vary with workers; the
+// benchmark keeps that fact visible in the perf trajectory.
+func BenchmarkETTop(b *testing.B) {
+	e := env(b)
+	st := e.Store(experiments.PairPI)
+	p1, err := experiments.PredFor(st.T1, "medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := experiments.PredFor(st.T2, "medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			q := methods.Query{Pred1: p1, Pred2: p2, K: 10,
+				Ranking: ranking.Domain, Parallelism: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.FastTopKET(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLMethod measures the Section 3.1 strawman across worker
+// counts: the per-candidate-topology queries are independent, so the
+// slowest method in Table 2 is also the most parallelizable one.
+func BenchmarkSQLMethod(b *testing.B) {
+	e := env(b)
+	st := e.Store(experiments.PairPI)
+	p1, err := experiments.PredFor(st.T1, "selective")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := experiments.PredFor(st.T2, "medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			q := methods.Query{Pred1: p1, Pred2: p2, Parallelism: w}
+			b.ReportAllocs()
+			var res methods.QueryResult
+			for i := 0; i < b.N; i++ {
+				var runErr error
+				res, runErr = st.SQLMethod(q)
+				if runErr != nil {
+					b.Fatal(runErr)
+				}
+			}
+			b.ReportMetric(float64(len(res.Items)), "results")
+		})
+	}
+}
+
 var (
 	l4Once sync.Once
 	l4St   *methods.Store

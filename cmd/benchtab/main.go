@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|all [flags]
+//
+// The benchonline experiment sweeps the online evaluation methods
+// across query worker counts and writes the measurements to
+// -benchout (default BENCH_online.json), so successive releases have a
+// query-latency trajectory to compare against.
 package main
 
 import (
@@ -23,14 +28,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run")
-		scale   = flag.Int("scale", 2, "synthetic database scale")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		k       = flag.Int("k", 10, "top-k for the query experiments")
-		reps    = flag.Int("reps", 3, "timing repetitions (fastest wins)")
-		thr     = flag.Int("prune", 6, "pruning threshold")
-		sql     = flag.Bool("sql", true, "include the SQL strawman in table2")
-		workers = flag.Int("workers", 0, "offline-phase worker count (0 = all cores)")
+		exp      = flag.String("exp", "all", "experiment to run")
+		scale    = flag.Int("scale", 2, "synthetic database scale")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		k        = flag.Int("k", 10, "top-k for the query experiments")
+		reps     = flag.Int("reps", 3, "timing repetitions (fastest wins)")
+		thr      = flag.Int("prune", 6, "pruning threshold")
+		sql      = flag.Bool("sql", true, "include the SQL strawman in table2")
+		workers  = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
+		benchout = flag.String("benchout", "BENCH_online.json", "output file for -exp benchonline")
 	)
 	flag.Parse()
 
@@ -136,5 +142,17 @@ func main() {
 		}
 		experiments.PrintInstanceRetrieval(os.Stdout, cells)
 		fmt.Println()
+	}
+	if need("benchonline") {
+		fmt.Println("== Online query execution across worker counts ==")
+		rep, err := experiments.BenchOnline(env, *k, *reps, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintOnlineBench(os.Stdout, rep)
+		if err := experiments.WriteOnlineBench(rep, *benchout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *benchout)
 	}
 }

@@ -17,7 +17,7 @@
 //	-prune           pruning threshold (-1 disables)
 //	-explain         print the optimizer's plan choice
 //	-instances       print up to N instance pairs per topology
-//	-workers         offline-phase worker count (0 = all cores)
+//	-workers         worker count for precomputation and queries (0 = all cores)
 package main
 
 import (
@@ -50,7 +50,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print the optimizer plan")
 		instN   = flag.Int("instances", 2, "instance pairs to print per topology")
 		weak    = flag.Bool("weak-pruning", false, "apply Appendix B weak-relationship rules")
-		workers = flag.Int("workers", 0, "offline-phase worker count (0 = all cores)")
+		workers = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
 	)
 	flag.Parse()
 

@@ -47,8 +47,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// workers resolves the effective worker count.
-func (o Options) workers() int {
+// Workers resolves the effective worker count of the Parallelism
+// setting (0 = GOMAXPROCS). The online evaluation methods use the same
+// resolution for their query-time worker pools.
+func (o Options) Workers() int {
 	if o.Parallelism > 0 {
 		return o.Parallelism
 	}

@@ -162,7 +162,7 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 	// interns topologies into its own local registry, so the hot path
 	// takes no locks; results land in the per-start slot, so no two
 	// goroutines share state beyond the atomic work counter.
-	workers := opts.workers()
+	workers := opts.Workers()
 	if workers > len(starts) {
 		workers = len(starts)
 	}

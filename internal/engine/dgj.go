@@ -67,13 +67,9 @@ type IDGJ struct {
 
 // NewIDGJ builds an IDGJ joining outer.OuterCol = inner.InnerCol.
 func NewIDGJ(outer GroupOp, outerCol int, inner *relstore.Table, alias, innerCol string, innerPred relstore.Pred, c *Counters) (*IDGJ, error) {
-	idx, ok := inner.HashIndexOn(innerCol)
-	if !ok {
-		var err error
-		idx, err = inner.CreateHashIndex(innerCol)
-		if err != nil {
-			return nil, fmt.Errorf("engine: IDGJ: %w", err)
-		}
+	idx, err := inner.CreateHashIndex(innerCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: IDGJ: %w", err)
 	}
 	return &IDGJ{
 		Outer: outer, OuterCol: outerCol, Inner: inner, InnerCol: innerCol,
@@ -108,7 +104,7 @@ func (j *IDGJ) Next() (relstore.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		j.orow = o.Clone()
+		j.orow = append(j.orow[:0], o...)
 		if j.C != nil {
 			j.C.IndexProbes++
 		}
@@ -123,7 +119,7 @@ func (j *IDGJ) Close() error { return j.Outer.Close() }
 // probe loop and advances the outer to its next group.
 func (j *IDGJ) AdvanceToNextGroup() error {
 	j.matches = nil
-	j.orow = nil
+	j.orow = j.orow[:0] // keep the buffer for the next group
 	return j.Outer.AdvanceToNextGroup()
 }
 

@@ -505,3 +505,78 @@ func TestCountersAdd(t *testing.T) {
 		t.Errorf("Add = %+v", a)
 	}
 }
+
+func TestScanRangeShardsComposeToFullScan(t *testing.T) {
+	db := testDB(t)
+	prot := db.MustTable("Protein")
+	full, err := Drain(NewScan(prot, "P", nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(prot.NumRows())
+	for _, cut := range []int32{0, 1, n - 1, n} {
+		a, err := Drain(NewScanRange(prot, "P", nil, nil, 0, cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Drain(NewScanRange(prot, "P", nil, nil, cut, -1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(a, b...)
+		if fmt.Sprint(got) != fmt.Sprint(full) {
+			t.Errorf("cut=%d: concatenated shards != full scan", cut)
+		}
+	}
+	// Hi past the end clamps to the table size.
+	over, err := Drain(NewScanRange(prot, "P", nil, nil, 0, n+100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over) != len(full) {
+		t.Errorf("Hi beyond end returned %d rows, want %d", len(over), len(full))
+	}
+}
+
+func TestDistinctAndAntiJoinPairKeys(t *testing.T) {
+	// Two-column keys take the comparable value-pair path of rowKeySet;
+	// the result must match the semantics of the string-key fallback.
+	db := testDB(t)
+	lt := db.MustTable("LeftTops")
+	rows, err := Drain(NewDistinct(NewScan(lt, "LT", nil, nil), []int{0, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int64]bool{}
+	for _, r := range rows {
+		k := [2]int64{col(r, 0), col(r, 2)}
+		if seen[k] {
+			t.Fatalf("distinct on (E1, TID) emitted duplicate %v", k)
+		}
+		seen[k] = true
+	}
+	ex := db.MustCreateTable(relstore.MustSchema("Ex2", []relstore.Column{
+		{Name: "E1", Type: relstore.TInt}, {Name: "E2", Type: relstore.TInt}}, ""))
+	ex.MustInsert(relstore.IntVal(2), relstore.IntVal(11))
+	anti, err := Drain(NewAntiJoin(
+		NewScan(lt, "LT", nil, nil), []int{0, 1},
+		NewScan(ex, "EX", nil, nil), []int{0, 1}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	lt.Scan(func(_ int32, r relstore.Row) bool {
+		if !(r[0].Int == 2 && r[1].Int == 11) {
+			want++
+		}
+		return true
+	})
+	for _, r := range anti {
+		if col(r, 0) == 2 && col(r, 1) == 11 {
+			t.Error("pair-keyed anti join leaked the excluded pair")
+		}
+	}
+	if len(anti) != want {
+		t.Errorf("anti join rows = %d, want %d", len(anti), want)
+	}
+}

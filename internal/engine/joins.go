@@ -75,7 +75,10 @@ func (j *HashJoin) Next() (relstore.Row, bool, error) {
 		if j.C != nil {
 			j.C.IndexProbes++ // hash table probe
 		}
-		j.lrow = l.Clone()
+		// Copy into the reusable buffer: the child may overwrite the
+		// returned row on its next call, but a fresh allocation per
+		// outer tuple is not needed to survive that.
+		j.lrow = append(j.lrow[:0], l...)
 		j.matches = j.table[l[j.LeftCol]]
 	}
 }
@@ -103,14 +106,13 @@ type IndexJoin struct {
 }
 
 // NewIndexJoin joins outer.OuterCol = inner.InnerCol via a hash index.
+// CreateHashIndex is idempotent under the table lock, so concurrent
+// plan builds against one table are safe; stores pre-build the indexes
+// their plans need so the query path never pays the build.
 func NewIndexJoin(outer Op, outerCol int, inner *relstore.Table, alias, innerCol string, innerPred relstore.Pred, c *Counters) (*IndexJoin, error) {
-	idx, ok := inner.HashIndexOn(innerCol)
-	if !ok {
-		var err error
-		idx, err = inner.CreateHashIndex(innerCol)
-		if err != nil {
-			return nil, fmt.Errorf("engine: index join: %w", err)
-		}
+	idx, err := inner.CreateHashIndex(innerCol)
+	if err != nil {
+		return nil, fmt.Errorf("engine: index join: %w", err)
 	}
 	return &IndexJoin{
 		Outer: outer, OuterCol: outerCol, Inner: inner, InnerName: alias,
@@ -145,7 +147,7 @@ func (j *IndexJoin) Next() (relstore.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		j.orow = o.Clone()
+		j.orow = append(j.orow[:0], o...)
 		if j.C != nil {
 			j.C.IndexProbes++
 		}
@@ -158,7 +160,9 @@ func (j *IndexJoin) Close() error { return j.Outer.Close() }
 
 // AntiJoin emits the outer tuples that have NO match in the inner
 // operator on a (possibly composite) key — the NOT EXISTS subquery of
-// the paper's SQL1/SQL5 listings.
+// the paper's SQL1/SQL5 listings. Keys of one or two columns are
+// compared as relstore.Value pairs directly, so the per-tuple probe
+// allocates no strings.
 type AntiJoin struct {
 	Outer    Op
 	OuterKey []int
@@ -166,7 +170,7 @@ type AntiJoin struct {
 	InnerKey []int
 	C        *Counters
 
-	seen map[string]bool
+	seen *rowKeySet
 }
 
 // NewAntiJoin filters outer tuples whose key appears in inner.
@@ -185,7 +189,7 @@ func (j *AntiJoin) Open() error {
 	if err := j.Inner.Open(); err != nil {
 		return err
 	}
-	j.seen = make(map[string]bool)
+	j.seen = newRowKeySet(len(j.InnerKey))
 	for {
 		r, ok, err := j.Inner.Next()
 		if err != nil {
@@ -194,7 +198,7 @@ func (j *AntiJoin) Open() error {
 		if !ok {
 			break
 		}
-		j.seen[keyString(r, j.InnerKey)] = true
+		j.seen.Insert(r, j.InnerKey)
 	}
 	return j.Inner.Close()
 }
@@ -209,7 +213,7 @@ func (j *AntiJoin) Next() (relstore.Row, bool, error) {
 		if j.C != nil {
 			j.C.IndexProbes++
 		}
-		if !j.seen[keyString(r, j.OuterKey)] {
+		if !j.seen.Contains(r, j.OuterKey) {
 			return r, true, nil
 		}
 	}

@@ -1,0 +1,73 @@
+package engine
+
+import "toposearch/internal/relstore"
+
+// rowKeySet is a set of composite row keys of a fixed arity. The common
+// one- and two-column keys (DISTINCT on TID; the E1/E2 anti join of
+// SQL1/SQL5) use relstore.Value directly as the comparable map key, so
+// the per-tuple hot path allocates nothing; wider keys fall back to an
+// encoded string. Insert and Contains may use different column lists of
+// the same arity (as an anti join does for its outer and inner sides).
+type rowKeySet struct {
+	arity int
+	k1    map[relstore.Value]struct{}
+	k2    map[[2]relstore.Value]struct{}
+	kn    map[string]struct{}
+}
+
+func newRowKeySet(arity int) *rowKeySet {
+	s := &rowKeySet{arity: arity}
+	switch arity {
+	case 1:
+		s.k1 = make(map[relstore.Value]struct{})
+	case 2:
+		s.k2 = make(map[[2]relstore.Value]struct{})
+	default:
+		s.kn = make(map[string]struct{})
+	}
+	return s
+}
+
+// Insert adds the row's key (projected through cols) and reports
+// whether it was absent before.
+func (s *rowKeySet) Insert(r relstore.Row, cols []int) bool {
+	switch {
+	case s.k1 != nil:
+		k := r[cols[0]]
+		if _, dup := s.k1[k]; dup {
+			return false
+		}
+		s.k1[k] = struct{}{}
+		return true
+	case s.k2 != nil:
+		k := [2]relstore.Value{r[cols[0]], r[cols[1]]}
+		if _, dup := s.k2[k]; dup {
+			return false
+		}
+		s.k2[k] = struct{}{}
+		return true
+	default:
+		k := keyString(r, cols)
+		if _, dup := s.kn[k]; dup {
+			return false
+		}
+		s.kn[k] = struct{}{}
+		return true
+	}
+}
+
+// Contains reports whether the row's key (projected through cols) is in
+// the set.
+func (s *rowKeySet) Contains(r relstore.Row, cols []int) bool {
+	switch {
+	case s.k1 != nil:
+		_, ok := s.k1[r[cols[0]]]
+		return ok
+	case s.k2 != nil:
+		_, ok := s.k2[[2]relstore.Value{r[cols[0]], r[cols[1]]}]
+		return ok
+	default:
+		_, ok := s.kn[keyString(r, cols)]
+		return ok
+	}
+}

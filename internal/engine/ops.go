@@ -8,30 +8,44 @@ import (
 )
 
 // Scan is a full table scan, optionally filtered by a predicate over
-// the table's rows (a pushed-down local predicate).
+// the table's rows (a pushed-down local predicate). A scan can be
+// restricted to a row-position window [Lo, Hi), which is how parallel
+// plans shard one driving table across workers: concatenating the
+// outputs of contiguous windows reproduces the full scan's row order
+// exactly.
 type Scan struct {
 	Table *relstore.Table
 	Alias string
 	Pred  relstore.Pred // nil means no filter
 	C     *Counters
+	Lo    int32 // first row position (inclusive)
+	Hi    int32 // one past the last row position; negative = end of table
 
 	pos int32
 }
 
-// NewScan returns a (filtered) sequential scan.
+// NewScan returns a (filtered) sequential scan of the whole table.
 func NewScan(t *relstore.Table, alias string, pred relstore.Pred, c *Counters) *Scan {
-	return &Scan{Table: t, Alias: alias, Pred: pred, C: c}
+	return &Scan{Table: t, Alias: alias, Pred: pred, C: c, Hi: -1}
+}
+
+// NewScanRange returns a scan restricted to row positions [lo, hi).
+func NewScanRange(t *relstore.Table, alias string, pred relstore.Pred, c *Counters, lo, hi int32) *Scan {
+	return &Scan{Table: t, Alias: alias, Pred: pred, C: c, Lo: lo, Hi: hi}
 }
 
 // Columns implements Op.
 func (s *Scan) Columns() []string { return qualify(s.Alias, s.Table.Schema) }
 
 // Open implements Op.
-func (s *Scan) Open() error { s.pos = 0; return nil }
+func (s *Scan) Open() error { s.pos = s.Lo; return nil }
 
 // Next implements Op.
 func (s *Scan) Next() (relstore.Row, bool, error) {
 	n := int32(s.Table.NumRows())
+	if s.Hi >= 0 && s.Hi < n {
+		n = s.Hi
+	}
 	for s.pos < n {
 		r := s.Table.Row(s.pos)
 		s.pos++
@@ -189,7 +203,7 @@ type Distinct struct {
 	Child Op
 	Key   []int
 
-	seen map[string]bool
+	seen *rowKeySet
 }
 
 // NewDistinct returns a hash-distinct on the key columns.
@@ -202,7 +216,7 @@ func (d *Distinct) Columns() []string { return d.Child.Columns() }
 
 // Open implements Op.
 func (d *Distinct) Open() error {
-	d.seen = make(map[string]bool)
+	d.seen = newRowKeySet(len(d.Key))
 	return d.Child.Open()
 }
 
@@ -221,9 +235,7 @@ func (d *Distinct) Next() (relstore.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		k := keyString(r, d.Key)
-		if !d.seen[k] {
-			d.seen[k] = true
+		if d.seen.Insert(r, d.Key) {
 			return r, true, nil
 		}
 	}

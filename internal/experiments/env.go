@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"toposearch/internal/biozon"
@@ -35,7 +36,9 @@ type Setup struct {
 	// MaxPathsPerClass caps the per-class representatives during
 	// topology computation.
 	MaxPathsPerClass int
-	// Parallelism is the offline-phase worker count (0 = GOMAXPROCS).
+	// Parallelism is the worker count for the offline precomputation
+	// and, by inheritance through each store's options, for online
+	// queries that leave Query.Parallelism at 0 (0 = GOMAXPROCS).
 	Parallelism int
 }
 
@@ -70,7 +73,14 @@ type Env struct {
 }
 
 // NewEnv generates the database and precomputes stores for all
-// experiment pairs. The context cancels the offline precomputation.
+// experiment pairs. The per-pair offline builds run concurrently over
+// one shared database and data graph: each pair materializes into its
+// own tables (the relstore catalog is concurrency-safe) and interns
+// into its own registry, so the builds only share read-only state.
+// Setup.Parallelism stays the total worker budget: it is split between
+// concurrently-building pairs and the workers inside each build, so
+// Parallelism=1 still runs everything sequentially. The context cancels
+// the offline precomputation.
 func NewEnv(ctx context.Context, s Setup) (*Env, error) {
 	cfg := biozon.DefaultConfig(s.Scale)
 	cfg.Seed = s.Seed
@@ -81,21 +91,50 @@ func NewEnv(ctx context.Context, s Setup) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{Setup: s, DB: db, G: g, SG: sg, Stores: map[[2]string]*methods.Store{}}
-	for _, pair := range Table1Pairs() {
-		st, err := methods.BuildStoreFromGraph(ctx, db, g, sg, pair[0], pair[1], methods.StoreConfig{
-			Opts: core.Options{
-				MaxLen:           s.L,
-				MaxCombinations:  4096,
-				MaxPathsPerClass: s.MaxPathsPerClass,
-				Parallelism:      s.Parallelism,
-			},
-			PruneThreshold: s.PruneThreshold,
-			Scores:         ranking.Schemes(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: building store %v: %w", pair, err)
+	pairs := Table1Pairs()
+	budget := core.Options{Parallelism: s.Parallelism}.Workers()
+	buildConc := budget
+	if buildConc > len(pairs) {
+		buildConc = len(pairs)
+	}
+	// Ceiling split keeps the whole budget busy while all pairs build
+	// (worst momentary excess: buildConc-1 workers). The tail — fewer
+	// running builds than buildConc near the end — can leave part of
+	// the budget idle; redistributing freed workers to still-running
+	// builds would need a pool shared across Compute calls.
+	perBuild := (budget + buildConc - 1) / buildConc
+	stores := make([]*methods.Store, len(pairs))
+	errs := make([]error, len(pairs))
+	sem := make(chan struct{}, buildConc)
+	var wg sync.WaitGroup
+	for i, pair := range pairs {
+		wg.Add(1)
+		go func(i int, pair [2]string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			stores[i], errs[i] = methods.BuildStoreFromGraph(ctx, db, g, sg, pair[0], pair[1], methods.StoreConfig{
+				Opts: core.Options{
+					MaxLen:           s.L,
+					MaxCombinations:  4096,
+					MaxPathsPerClass: s.MaxPathsPerClass,
+					Parallelism:      perBuild,
+				},
+				PruneThreshold: s.PruneThreshold,
+				Scores:         ranking.Schemes(),
+			})
+		}(i, pair)
+	}
+	wg.Wait()
+	for i, pair := range pairs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: building store %v: %w", pair, errs[i])
 		}
-		env.Stores[pair] = st
+		// The throttled per-build worker count was an offline budget
+		// split; queries on the finished store should default to the
+		// full configured parallelism again.
+		stores[i].Cfg.Opts.Parallelism = s.Parallelism
+		env.Stores[pair] = stores[i]
 	}
 	return env, nil
 }

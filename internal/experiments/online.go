@@ -1,0 +1,155 @@
+package experiments
+
+// This file is the online-phase benchmark: the query-time counterpart
+// of the paper's Table 2, measured across query worker counts so the
+// speedup of the parallel online execution path is tracked release
+// over release (cmd/benchtab -exp benchonline writes BENCH_online.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+)
+
+// OnlineBenchRow is one measurement: one method at one worker count.
+type OnlineBenchRow struct {
+	Method  string  `json:"method"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Results int     `json:"results"`
+	Work    int64   `json:"work"` // probes + rows scanned
+	// SpeedupVs1 is the baseline time divided by this row's time. The
+	// baseline is the method's workers=1 measurement; if the sweep did
+	// not include workers=1, the lowest measured worker count is used.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// OnlineBenchReport is the file-level shape of BENCH_online.json.
+type OnlineBenchReport struct {
+	Scale int              `json:"scale"`
+	Seed  int64            `json:"seed"`
+	Pair  [2]string        `json:"pair"`
+	K     int              `json:"k"`
+	Rows  []OnlineBenchRow `json:"rows"`
+}
+
+// OnlineBenchMethods lists the methods the online benchmark sweeps. The
+// ET and Opt methods are included even though their DGJ stacks are
+// inherently sequential (early termination is a serial decision), so
+// the report shows which methods scale and which don't.
+func OnlineBenchMethods() []string {
+	return []string{
+		methods.MethodFullTop,
+		methods.MethodFastTop,
+		methods.MethodFullTopK,
+		methods.MethodFastTopK,
+		methods.MethodFastTopKET,
+		methods.MethodFastTopOpt,
+	}
+}
+
+// BenchOnline measures the online evaluation methods on the
+// Protein-Interaction pair (selective protein predicate, medium
+// interaction predicate — the regime where the pruned-topology checks
+// dominate FastTop) across the given worker counts.
+func BenchOnline(env *Env, k, reps int, workerCounts []int) (*OnlineBenchReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	st := env.Store(PairPI)
+	p1, err := PredFor(st.T1, "selective")
+	if err != nil {
+		return nil, err
+	}
+	p2, err := PredFor(st.T2, "medium")
+	if err != nil {
+		return nil, err
+	}
+	rep := &OnlineBenchReport{Scale: env.Setup.Scale, Seed: env.Setup.Seed, Pair: PairPI, K: k}
+	for _, m := range OnlineBenchMethods() {
+		rows := make([]OnlineBenchRow, 0, len(workerCounts))
+		for _, w := range workerCounts {
+			q := methods.Query{Pred1: p1, Pred2: p2, K: k, Ranking: ranking.Domain, Parallelism: w}
+			if m == methods.MethodFullTop || m == methods.MethodFastTop {
+				q.K, q.Ranking = 0, ""
+			}
+			var res methods.QueryResult
+			sec, err := Measure(reps, func() error {
+				var runErr error
+				res, runErr = st.Run(m, q)
+				return runErr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %d workers: %w", m, w, err)
+			}
+			rows = append(rows, OnlineBenchRow{
+				Method:  m,
+				Workers: w,
+				Seconds: sec,
+				Results: len(res.Items),
+				Work:    res.Counters.IndexProbes + res.Counters.RowsScanned,
+			})
+		}
+		// Baseline: the workers=1 row, or the lowest worker count
+		// measured when the sweep skips 1.
+		base := rows[0]
+		for _, r := range rows {
+			if r.Workers == 1 {
+				base = r
+				break
+			}
+			if r.Workers < base.Workers {
+				base = r
+			}
+		}
+		for i := range rows {
+			if rows[i].Seconds > 0 {
+				rows[i].SpeedupVs1 = base.Seconds / rows[i].Seconds
+			}
+		}
+		rep.Rows = append(rep.Rows, rows...)
+	}
+	return rep, nil
+}
+
+// WriteOnlineBench writes the report as indented JSON to path.
+func WriteOnlineBench(rep *OnlineBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintOnlineBench renders the report as a worker-count table, one row
+// per method, with the speedup of the highest worker count annotated.
+func PrintOnlineBench(w io.Writer, rep *OnlineBenchReport) {
+	byMethod := map[string][]OnlineBenchRow{}
+	var order []string
+	for _, r := range rep.Rows {
+		if len(byMethod[r.Method]) == 0 {
+			order = append(order, r.Method)
+		}
+		byMethod[r.Method] = append(byMethod[r.Method], r)
+	}
+	fmt.Fprintf(w, "%-16s", "method")
+	if len(order) > 0 {
+		for _, r := range byMethod[order[0]] {
+			fmt.Fprintf(w, "  w=%-8d", r.Workers)
+		}
+	}
+	fmt.Fprintf(w, "  speedup  results\n")
+	for _, m := range order {
+		rows := byMethod[m]
+		fmt.Fprintf(w, "%-16s", m)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %8.4fs", r.Seconds)
+		}
+		last := rows[len(rows)-1]
+		fmt.Fprintf(w, "  %6.2fx  %7d\n", last.SpeedupVs1, last.Results)
+	}
+}

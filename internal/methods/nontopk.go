@@ -7,6 +7,17 @@ import (
 	"toposearch/internal/relstore"
 )
 
+// sqlWorker is the reusable per-worker state of the SQL strawman: the
+// DFS scratch, the end-node path accumulator and the class map are
+// allocated once per worker and cleared between uses, so the per-start
+// hot path allocates only the paths it keeps.
+type sqlWorker struct {
+	sc  *graph.Scratch
+	acc map[graph.NodeID][]graph.Path
+	cls map[graph.PathSig][]graph.Path
+	c   engine.Counters
+}
+
 // SQLMethod is the strawman of Section 3.1: for every candidate
 // topology — the paper restricts candidates to topologies with at least
 // some corresponding entities, "close to 200" — issue one query that
@@ -14,7 +25,10 @@ import (
 // topology. All topology computation happens at query time: per
 // candidate, the method re-enumerates paths and re-derives topologies
 // from scratch, which is why it is orders of magnitude slower than the
-// precomputation-based methods.
+// precomputation-based methods. The candidate queries are independent,
+// so they are sharded across the query workers; each candidate's work
+// depends only on its own topology, making results and counter totals
+// identical at every parallelism level.
 func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 	var c engine.Counters
 	opts := s.opts()
@@ -35,65 +49,35 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 		}
 		return true
 	})
-	accept2 := func(b graph.NodeID) bool {
-		row, ok := s.T2.LookupPK(int64(b))
-		if !ok {
-			return false
-		}
-		c.IndexProbes++
-		return q.Pred2 == nil || q.Pred2.Eval(row)
-	}
 
-	var items []Item
-	sc := s.G.NewScratch()
-	for _, tid := range candidates {
-		found := false
-		// One "SQL query" per topology: enumerate, from scratch, the
-		// topologies of every qualifying pair until one matches tid.
-		for _, a := range starts {
-			if q.Ctx != nil {
-				if err := q.Ctx.Err(); err != nil {
-					return QueryResult{}, err
-				}
-			}
-			acc := make(map[graph.NodeID][]graph.Path)
-			for _, sp := range s.sigToPath {
-				s.G.PathsAlongScratch(sc, s.SG, sp, a, func(p graph.Path) bool {
-					c.IndexProbes++
-					b := p.End()
-					if !accept2(b) {
-						return true
-					}
-					acc[b] = append(acc[b], p.Clone())
-					return true
-				})
-			}
-			for _, paths := range acc {
-				classes := make(map[graph.PathSig][]graph.Path)
-				for _, p := range paths {
-					sig := s.G.Signature(p)
-					classes[sig] = append(classes[sig], p)
-				}
-				tids := core.TopologiesFromClasses(s.G, s.Res.Reg, classes, opts)
-				for _, got := range tids {
-					if got == tid {
-						found = true
-						break
-					}
-				}
-				if found {
-					break
-				}
-			}
-			if found {
-				break
-			}
+	workers := s.queryWorkers(q)
+	ws := make([]sqlWorker, workers)
+	found := make([]bool, len(candidates))
+	errs := make([]error, len(candidates))
+	parallelFor(len(candidates), workers, func(worker, i int) {
+		w := &ws[worker]
+		if w.sc == nil {
+			w.sc = s.G.NewScratch()
+			w.acc = make(map[graph.NodeID][]graph.Path)
+			w.cls = make(map[graph.PathSig][]graph.Path)
 		}
-		if found {
-			items = append(items, Item{TID: tid})
+		found[i], errs[i] = s.sqlCandidate(candidates[i], starts, q, opts, w)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return QueryResult{}, err
 		}
 	}
-	its, err := s.itemsForTIDs(tidsOf(items), q.Ranking)
+	for i := range ws {
+		c.Add(ws[i].c)
+	}
+	var tids []core.TopologyID
+	for i, ok := range found {
+		if ok {
+			tids = append(tids, candidates[i])
+		}
+	}
+	its, err := s.itemsForTIDs(tids, q.Ranking)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -101,12 +85,50 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 	return QueryResult{Items: its, Counters: c}, nil
 }
 
-func tidsOf(items []Item) []core.TopologyID {
-	out := make([]core.TopologyID, len(items))
-	for i, it := range items {
-		out[i] = it.TID
+// sqlCandidate is one "SQL query" of the strawman: enumerate, from
+// scratch, the topologies of every qualifying pair until one matches
+// tid.
+func (s *Store) sqlCandidate(tid core.TopologyID, starts []graph.NodeID, q Query, opts core.Options, w *sqlWorker) (bool, error) {
+	accept2 := func(b graph.NodeID) bool {
+		row, ok := s.T2.LookupPK(int64(b))
+		if !ok {
+			return false
+		}
+		w.c.IndexProbes++
+		return q.Pred2 == nil || q.Pred2.Eval(row)
 	}
-	return out
+	for _, a := range starts {
+		if q.Ctx != nil {
+			if err := q.Ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		clear(w.acc)
+		for _, sp := range s.sigToPath {
+			s.G.PathsAlongScratch(w.sc, s.SG, sp, a, func(p graph.Path) bool {
+				w.c.IndexProbes++
+				b := p.End()
+				if !accept2(b) {
+					return true
+				}
+				w.acc[b] = append(w.acc[b], p.Clone())
+				return true
+			})
+		}
+		for _, paths := range w.acc {
+			clear(w.cls)
+			for _, p := range paths {
+				sig := s.G.Signature(p)
+				w.cls[sig] = append(w.cls[sig], p)
+			}
+			for _, got := range core.TopologiesFromClasses(s.G, s.Res.Reg, w.cls, opts) {
+				if got == tid {
+					return true, nil
+				}
+			}
+		}
+	}
+	return false, nil
 }
 
 // FullTop is the Section 3.2 method: a single join query over the
@@ -116,11 +138,7 @@ func tidsOf(items []Item) []core.TopologyID {
 //	WHERE pred1(A) AND pred2(B) AND A.ID = AT.E1 AND B.ID = AT.E2
 func (s *Store) FullTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	plan, tidCol, err := s.topsJoinPlan(s.AllTops, q, &c)
-	if err != nil {
-		return QueryResult{}, err
-	}
-	tids, err := distinctTIDs(plan, tidCol, &c)
+	tids, err := s.distinctTopsTIDs(s.AllTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -135,26 +153,20 @@ func (s *Store) FullTop(q Query) (QueryResult, error) {
 // FastTop is the Section 4.3 method (query SQL1): the same join over
 // the much smaller LeftTops table, plus one on-line existence check per
 // pruned topology against the base data, guarded by the exception
-// table.
+// table. Both halves run on the query worker pool: the LeftTops join
+// shards the driving entity scan and the pruned checks shard the
+// pruned-topology list.
 func (s *Store) FastTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	plan, tidCol, err := s.topsJoinPlan(s.LeftTops, q, &c)
+	tids, err := s.distinctTopsTIDs(s.LeftTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	tids, err := distinctTIDs(plan, tidCol, &c)
+	pruned, err := s.prunedSurvivors(q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	for _, tid := range s.PrunedTIDs {
-		ok, err := s.prunedExists(tid, q, &c)
-		if err != nil {
-			return QueryResult{}, err
-		}
-		if ok {
-			tids = append(tids, tid)
-		}
-	}
+	tids = append(tids, pruned...)
 	items, err := s.itemsForTIDs(tids, q.Ranking)
 	if err != nil {
 		return QueryResult{}, err

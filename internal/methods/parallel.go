@@ -1,0 +1,174 @@
+package methods
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/relstore"
+)
+
+// queryWorkers resolves the worker count for a query: the query's own
+// Parallelism setting, falling back to the store's offline setting
+// (0 = GOMAXPROCS, 1 = sequential).
+func (s *Store) queryWorkers(q Query) int {
+	o := s.Cfg.Opts
+	if q.Parallelism != 0 {
+		o.Parallelism = q.Parallelism
+	}
+	return o.Workers()
+}
+
+// parallelFor runs fn(worker, i) for every i in [0, n), sharding the
+// indices across at most w workers via an atomic cursor (the same
+// scheme the offline computation uses for start nodes). With one
+// effective worker it degenerates to a plain loop on the caller's
+// goroutine, so sequential execution takes no scheduling detour.
+func parallelFor(n, w int, fn func(worker, i int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// shardRanges splits [0, n) into at most w contiguous ranges of nearly
+// equal size. Concatenating the ranges in order reproduces [0, n).
+func shardRanges(n, w int) [][2]int32 {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int32, 0, w)
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + (n-lo)/(w-i)
+		out = append(out, [2]int32{int32(lo), int32(hi)})
+		lo = hi
+	}
+	return out
+}
+
+// distinctTopsTIDs evaluates the Figure 14 join over the given Tops
+// table and returns the distinct TIDs in first-occurrence order. The
+// driving ES1 scan is sharded into contiguous row ranges across the
+// query workers; concatenating the per-shard outputs in shard order
+// reproduces the sequential scan's row order exactly, so the TID list —
+// and the merged counter totals, each row costing the same work in
+// whichever shard it lands — are byte-identical at every parallelism.
+func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counters) ([]core.TopologyID, error) {
+	shards := shardRanges(s.T1.NumRows(), s.queryWorkers(q))
+	type shardOut struct {
+		tids []core.TopologyID
+		c    engine.Counters
+		err  error
+	}
+	outs := make([]shardOut, len(shards))
+	parallelFor(len(shards), len(shards), func(_, i int) {
+		o := &outs[i]
+		plan, tidCol, err := s.topsJoinPlan(tops, q, shards[i][0], shards[i][1], &o.c)
+		if err != nil {
+			o.err = err
+			return
+		}
+		o.tids, o.err = drainDistinctTIDs(plan, tidCol)
+	})
+	var tids []core.TopologyID
+	seen := make(map[core.TopologyID]bool)
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		c.Add(outs[i].c)
+		// Per-shard dedup composes: the global first occurrence of a
+		// TID is its first occurrence within the earliest shard that
+		// saw it, so deduping the concatenation of shard-deduped lists
+		// equals deduping the sequential stream.
+		for _, tid := range outs[i].tids {
+			if !seen[tid] {
+				seen[tid] = true
+				tids = append(tids, tid)
+			}
+		}
+	}
+	c.TuplesOut += int64(len(tids))
+	return tids, nil
+}
+
+// drainDistinctTIDs runs a tops join plan to exhaustion and collects
+// its distinct TIDs without materializing any joined rows.
+func drainDistinctTIDs(plan engine.Op, tidCol int) ([]core.TopologyID, error) {
+	dist := engine.NewDistinct(plan, []int{tidCol})
+	if err := dist.Open(); err != nil {
+		return nil, err
+	}
+	defer dist.Close()
+	var out []core.TopologyID
+	for {
+		r, ok, err := dist.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, core.TopologyID(r[tidCol].Int))
+	}
+}
+
+// prunedSurvivors runs the SQL1/SQL5 existence check for every pruned
+// topology, sharded across the query workers, and returns the TIDs
+// whose check found a witness, in PrunedTIDs order. Each check is
+// independent and its work depends only on its own topology, so both
+// the surviving set and the merged counter totals are identical at
+// every parallelism level.
+func (s *Store) prunedSurvivors(q Query, c *engine.Counters) ([]core.TopologyID, error) {
+	n := len(s.PrunedTIDs)
+	if n == 0 {
+		return nil, nil
+	}
+	type checkOut struct {
+		ok  bool
+		err error
+		c   engine.Counters
+	}
+	outs := make([]checkOut, n)
+	parallelFor(n, s.queryWorkers(q), func(_, i int) {
+		o := &outs[i]
+		o.ok, o.err = s.prunedExists(s.PrunedTIDs[i], q, &o.c)
+	})
+	var tids []core.TopologyID
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		c.Add(outs[i].c)
+		if outs[i].ok {
+			tids = append(tids, s.PrunedTIDs[i])
+		}
+	}
+	return tids, nil
+}

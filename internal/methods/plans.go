@@ -13,10 +13,12 @@ import (
 //
 //	sigma(ES1) -> IndexJoin Tops on E1 -> IndexJoin sigma(ES2) on E2
 //
-// driving from the selected entity-1 rows, as the commercial plans do.
-// It returns the plan and the position of the Tops TID column.
-func (s *Store) topsJoinPlan(tops *relstore.Table, q Query, c *engine.Counters) (engine.Op, int, error) {
-	scanA := engine.NewScan(s.T1, "A", q.Pred1, c)
+// driving from the selected entity-1 rows in positions [lo, hi), as the
+// commercial plans do (hi < 0 means the whole entity table; parallel
+// queries hand each worker a contiguous window). It returns the plan
+// and the position of the Tops TID column.
+func (s *Store) topsJoinPlan(tops *relstore.Table, q Query, lo, hi int32, c *engine.Counters) (engine.Op, int, error) {
+	scanA := engine.NewScanRange(s.T1, "A", q.Pred1, c, lo, hi)
 	idA := engine.MustColIndex(scanA, "A.ID")
 	j1, err := engine.NewIndexJoin(scanA, idA, tops, "T", "E1", nil, c)
 	if err != nil {
@@ -28,23 +30,6 @@ func (s *Store) topsJoinPlan(tops *relstore.Table, q Query, c *engine.Counters) 
 		return nil, 0, err
 	}
 	return engine.NewGuard(j2, q.Ctx), engine.MustColIndex(j2, "T.TID"), nil
-}
-
-// distinctTIDs drains a plan and returns the distinct TIDs.
-func distinctTIDs(plan engine.Op, tidCol int, c *engine.Counters) ([]core.TopologyID, error) {
-	dist := engine.NewDistinct(plan, []int{tidCol})
-	rows, err := engine.Drain(dist)
-	if err != nil {
-		return nil, err
-	}
-	if c != nil {
-		c.TuplesOut += int64(len(rows))
-	}
-	out := make([]core.TopologyID, len(rows))
-	for i, r := range rows {
-		out[i] = core.TopologyID(r[tidCol].Int)
-	}
-	return out, nil
 }
 
 // pathJoinPlan builds the existence-check pipeline for a pruned path
@@ -60,19 +45,9 @@ func (s *Store) pathJoinPlan(sp graph.SchemaPath, q Query, c *engine.Counters) (
 	curCol := nodeCols[0]
 	prevType := sp.Start
 	for i, st := range sp.Steps {
-		rel := s.SG.Rels[st.Rel]
-		relTab := s.DB.Table(rel.Table)
-		if relTab == nil {
-			return nil, 0, 0, fmt.Errorf("methods: no relationship table %q", rel.Table)
-		}
-		var nearCol, farCol string
-		switch {
-		case prevType == rel.A && st.Next == rel.B:
-			nearCol, farCol = rel.ACol, rel.BCol
-		case prevType == rel.B && st.Next == rel.A:
-			nearCol, farCol = rel.BCol, rel.ACol
-		default:
-			return nil, 0, 0, fmt.Errorf("methods: schema path step %d does not fit relationship %q", i, rel.Name)
+		relTab, nearCol, farCol, err := s.relStepCols(prevType, st, i)
+		if err != nil {
+			return nil, 0, 0, err
 		}
 		alias := fmt.Sprintf("R%d", i)
 		j, err := engine.NewIndexJoin(cur, curCol, relTab, alias, nearCol, nil, c)
@@ -104,6 +79,28 @@ func (s *Store) pathJoinPlan(sp graph.SchemaPath, q Query, c *engine.Counters) (
 		return true
 	})
 	return engine.NewGuard(cur, q.Ctx), nodeCols[0], endCol, nil
+}
+
+// relStepCols resolves one schema-path step: the relationship table to
+// join, and the near (arriving) and far (leaving) column names as seen
+// when reaching the step from prevType. pathJoinPlan builds its join
+// chain from this and warmIndexes pre-creates the near-column indexes
+// it probes, so the two can never disagree about which index a step
+// needs.
+func (s *Store) relStepCols(prevType string, st graph.SchemaStep, i int) (*relstore.Table, string, string, error) {
+	rel := s.SG.Rels[st.Rel]
+	relTab := s.DB.Table(rel.Table)
+	if relTab == nil {
+		return nil, "", "", fmt.Errorf("methods: no relationship table %q", rel.Table)
+	}
+	switch {
+	case prevType == rel.A && st.Next == rel.B:
+		return relTab, rel.ACol, rel.BCol, nil
+	case prevType == rel.B && st.Next == rel.A:
+		return relTab, rel.BCol, rel.ACol, nil
+	default:
+		return nil, "", "", fmt.Errorf("methods: schema path step %d does not fit relationship %q", i, rel.Name)
+	}
 }
 
 // prunedExists runs the SQL5 check for one pruned topology: does some

@@ -27,6 +27,14 @@ type Query struct {
 	// execution plans abort with its error once it is cancelled (nil
 	// behaves like context.Background()). RunContext fills it in.
 	Ctx context.Context
+	// Parallelism is the query-time worker count: the driving
+	// entity-set scan of the tops joins, FastTop's per-pruned-topology
+	// existence checks and the SQL strawman's per-candidate probes are
+	// sharded across this many workers. 0 inherits the store's offline
+	// Parallelism setting (whose 0 means GOMAXPROCS); 1 forces
+	// sequential execution. Result items AND merged counter totals are
+	// byte-identical at every setting.
+	Parallelism int
 }
 
 // Item is one ranked result.

@@ -34,6 +34,11 @@ type StoreConfig struct {
 // base data, the data graph, the topology registry, and the
 // materialized AllTops / LeftTops / ExcpTops / TopInfo tables
 // (Figure 10's architecture).
+//
+// A built Store is safe for concurrent queries: BuildStore pre-creates
+// every index and statistics object the nine evaluation methods touch,
+// so the online phase never mutates shared table state, and each query
+// accumulates work into its own counters.
 type Store struct {
 	DB  *relstore.DB
 	G   *graph.Graph
@@ -117,7 +122,42 @@ func BuildStoreFromGraph(ctx context.Context, db *relstore.DB, g *graph.Graph, s
 	for _, sp := range paths {
 		s.sigToPath[sp.TypeSignature(sg)] = sp
 	}
+	if err := s.warmIndexes(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// warmIndexes pre-creates every index and statistics object the online
+// plans read, so concurrent queries on one Store never race to build
+// shared table state: the entity-table hash indexes the tops joins and
+// DGJ stacks probe, the relationship-table indexes the SQL5 path chains
+// probe, and the lazily-built per-table statistics behind selectivity
+// estimation and the optimizer's group histogram. (The tops tables and
+// TopInfo already get their indexes at materialization time.)
+func (s *Store) warmIndexes() error {
+	for _, t := range []*relstore.Table{s.T1, s.T2} {
+		if _, err := t.CreateHashIndex("ID"); err != nil {
+			return err
+		}
+	}
+	for _, sp := range s.sigToPath {
+		prevType := sp.Start
+		for i, st := range sp.Steps {
+			relTab, nearCol, _, err := s.relStepCols(prevType, st, i)
+			if err != nil {
+				return err
+			}
+			if _, err := relTab.CreateHashIndex(nearCol); err != nil {
+				return err
+			}
+			prevType = st.Next
+		}
+	}
+	for _, t := range []*relstore.Table{s.T1, s.T2, s.AllTops, s.LeftTops, s.ExcpTops, s.TopInfo} {
+		t.Stats()
+	}
+	return nil
 }
 
 func (s *Store) opts() core.Options {

@@ -7,13 +7,10 @@ import (
 
 // topKOverTops runs the regular top-k pipeline (SQL3/SQL4 upper
 // sub-query) over the given Tops table: join, attach scores, distinct,
-// order by score, fetch k.
+// order by score, fetch k. The join shards its driving entity scan
+// across the query workers.
 func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, error) {
-	plan, tidCol, err := s.topsJoinPlan(tops, q, c)
-	if err != nil {
-		return nil, err
-	}
-	tids, err := distinctTIDs(plan, tidCol, c)
+	tids, err := s.distinctTopsTIDs(tops, q, c)
 	if err != nil {
 		return nil, err
 	}
@@ -57,6 +54,14 @@ func (s *Store) FastTopK(q Query) (QueryResult, error) {
 
 // mergePruned applies the SQL4 cut-off and runs SQL5 for each pruned
 // topology that could still reach the top k.
+//
+// This loop stays sequential even when the query runs with workers: the
+// cut-off compares each pruned candidate against the current k-th
+// result, which earlier admissions may have raised, so WHICH existence
+// checks run depends on the outcomes of previous ones. Parallelizing it
+// would either change the executed check set (non-deterministic
+// counters) or forfeit the cut-off; FastTop's unconditional checks are
+// the parallel case (prunedSurvivors).
 func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, error) {
 	if len(s.PrunedTIDs) == 0 {
 		return items, nil

@@ -3,11 +3,16 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DB is a catalog of tables — the "Base Data" box of the paper's system
-// architecture (Figure 10).
+// architecture (Figure 10). The catalog itself is safe for concurrent
+// use, so several offline store builds can create and drop their
+// per-pair tables in one DB simultaneously; the tables they return
+// follow Table's own concurrency contract.
 type DB struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -19,6 +24,8 @@ func NewDB() *DB {
 // CreateTable registers an empty table for the schema. It fails if a
 // table with the same name already exists.
 func (db *DB) CreateTable(s *Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[s.Name]; dup {
 		return nil, fmt.Errorf("relstore: table %q already exists", s.Name)
 	}
@@ -39,15 +46,21 @@ func (db *DB) MustCreateTable(s *Schema) *Table {
 // DropTable removes a table from the catalog (used when the Topology
 // Pruning module discards the temporary AllTops table, Section 4).
 func (db *DB) DropTable(name string) {
+	db.mu.Lock()
 	delete(db.tables, name)
+	db.mu.Unlock()
 }
 
 // Table returns the named table, or nil if absent.
-func (db *DB) Table(name string) *Table { return db.tables[name] }
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
 
 // MustTable returns the named table or panics.
 func (db *DB) MustTable(name string) *Table {
-	t := db.tables[name]
+	t := db.Table(name)
 	if t == nil {
 		panic(fmt.Sprintf("relstore: no table %q", name))
 	}
@@ -56,18 +69,26 @@ func (db *DB) MustTable(name string) *Table {
 
 // TableNames returns all table names in sorted order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // ApproxBytes sums ApproxBytes over all tables.
 func (db *DB) ApproxBytes() int64 {
-	var b int64
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	var b int64
+	for _, t := range tables {
 		b += t.ApproxBytes()
 	}
 	return b

@@ -1,6 +1,9 @@
 package relstore
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // HashIndex is an equality index on one column: value -> row positions.
 // It models the hash indices the paper's engine probes in index
@@ -26,10 +29,18 @@ func (ix *HashIndex) NumKeys() int { return len(ix.m) }
 // OrderedIndex is a sorted permutation of row positions by one column,
 // supporting range scans and ordered iteration (used for score-ordered
 // access to TopInfo in the early-termination plans, Figure 15).
+//
+// Inserts are buffered: add appends to a pending list in O(1) and the
+// next read merges the (sorted) pending block into the permutation in
+// one pass, so N inserts into a scored table cost O(N log N) total
+// rather than the O(N^2) of a copy-shift insert per row.
 type OrderedIndex struct {
-	Col  int
-	perm []int32 // row positions sorted by column value
-	t    *Table
+	Col int
+	t   *Table
+
+	mu      sync.Mutex
+	perm    []int32 // row positions sorted by column value
+	pending []int32 // positions added since the last merge
 }
 
 func newOrderedIndex(t *Table, col int) *OrderedIndex {
@@ -45,20 +56,55 @@ func newOrderedIndex(t *Table, col int) *OrderedIndex {
 }
 
 func (ix *OrderedIndex) add(pos int32) {
-	v := ix.t.rows[pos][ix.Col]
-	at := sort.Search(len(ix.perm), func(i int) bool {
-		return ix.t.rows[ix.perm[i]][ix.Col].Compare(v) > 0
+	ix.mu.Lock()
+	ix.pending = append(ix.pending, pos)
+	ix.mu.Unlock()
+}
+
+// flush merges the pending block into the sorted permutation. Rows are
+// append-only, so every pending position exceeds every merged position;
+// taking merged entries first on value ties therefore preserves the
+// index's insertion-order tie-break. Concurrent readers may race to
+// flush; the mutex makes the merge happen exactly once.
+func (ix *OrderedIndex) flush() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.pending) == 0 {
+		return
+	}
+	pend := ix.pending
+	rows, col := ix.t.rows, ix.Col
+	sort.SliceStable(pend, func(a, b int) bool {
+		return rows[pend[a]][col].Compare(rows[pend[b]][col]) < 0
 	})
-	ix.perm = append(ix.perm, 0)
-	copy(ix.perm[at+1:], ix.perm[at:])
-	ix.perm[at] = pos
+	merged := make([]int32, 0, len(ix.perm)+len(pend))
+	i, j := 0, 0
+	for i < len(ix.perm) && j < len(pend) {
+		if rows[ix.perm[i]][col].Compare(rows[pend[j]][col]) <= 0 {
+			merged = append(merged, ix.perm[i])
+			i++
+		} else {
+			merged = append(merged, pend[j])
+			j++
+		}
+	}
+	merged = append(merged, ix.perm[i:]...)
+	merged = append(merged, pend[j:]...)
+	ix.perm = merged
+	ix.pending = nil
 }
 
 // Len returns the number of indexed rows.
-func (ix *OrderedIndex) Len() int { return len(ix.perm) }
+func (ix *OrderedIndex) Len() int {
+	ix.flush()
+	return len(ix.perm)
+}
 
 // At returns the row position at sorted rank i (ascending by value).
-func (ix *OrderedIndex) At(i int) int32 { return ix.perm[i] }
+func (ix *OrderedIndex) At(i int) int32 {
+	ix.flush()
+	return ix.perm[i]
+}
 
 // Scan visits row positions in ascending column order; descending if
 // desc is set. Ties are always visited in insertion order (the scan is
@@ -66,6 +112,7 @@ func (ix *OrderedIndex) At(i int) int32 { return ix.perm[i] }
 // order break ties identically to an explicit (score DESC, key ASC)
 // sort. The visit function returns false to stop early.
 func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
+	ix.flush()
 	if desc {
 		hi := len(ix.perm)
 		for hi > 0 {
@@ -93,6 +140,7 @@ func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
 
 // Range visits row positions with lo <= value <= hi in ascending order.
 func (ix *OrderedIndex) Range(lo, hi Value, visit func(pos int32) bool) {
+	ix.flush()
 	start := sort.Search(len(ix.perm), func(i int) bool {
 		return ix.t.rows[ix.perm[i]][ix.Col].Compare(lo) >= 0
 	})

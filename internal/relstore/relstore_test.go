@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -467,6 +468,75 @@ func TestContainsTokenEdgeCases(t *testing.T) {
 	for _, c := range cases {
 		if got := containsToken(c.text, c.word); got != c.want {
 			t.Errorf("containsToken(%q,%q) = %v, want %v", c.text, c.word, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentIndexCreationAndStats(t *testing.T) {
+	s := MustSchema("S", []Column{{Name: "k", Type: TInt}, {Name: "v", Type: TInt}}, "")
+	tab := NewTable(s)
+	for i := 0; i < 200; i++ {
+		tab.MustInsert(IntVal(int64(i%17)), IntVal(int64(i)))
+	}
+	// Many goroutines race to create the same indexes and statistics;
+	// everyone must get the same objects (run under -race in CI).
+	var wg sync.WaitGroup
+	hs := make([]*HashIndex, 16)
+	os := make([]*OrderedIndex, 16)
+	ss := make([]*TableStats, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := tab.CreateHashIndex("k")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			o, err := tab.CreateOrderedIndex("v")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hs[i], os[i], ss[i] = h, o, tab.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 16; i++ {
+		if hs[i] != hs[0] || os[i] != os[0] || ss[i] != ss[0] {
+			t.Fatalf("goroutine %d got different index/stats objects", i)
+		}
+	}
+	if got := len(hs[0].Lookup(IntVal(3))); got == 0 {
+		t.Error("racing creation produced an empty hash index")
+	}
+	if hs[0].NumKeys() != 17 {
+		t.Errorf("NumKeys = %d, want 17", hs[0].NumKeys())
+	}
+}
+
+func TestOrderedIndexBatchedInsertStability(t *testing.T) {
+	// Inserts after index creation land in the pending buffer; ties
+	// must still come out in insertion order in both directions.
+	s := MustSchema("S", []Column{{Name: "k", Type: TInt}, {Name: "pos", Type: TInt}}, "")
+	tab := NewTable(s)
+	tab.MustInsert(IntVal(5), IntVal(0))
+	ix, err := tab.CreateOrderedIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		tab.MustInsert(IntVal(5), IntVal(int64(i))) // all ties
+	}
+	for _, desc := range []bool{false, true} {
+		var got []int64
+		ix.Scan(desc, func(pos int32) bool {
+			got = append(got, tab.Row(pos)[1].Int)
+			return true
+		})
+		want := []int64{0, 1, 2, 3, 4, 5, 6}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("desc=%v: tie order = %v, want %v (insertion order)", desc, got, want)
 		}
 	}
 }

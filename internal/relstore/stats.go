@@ -34,11 +34,26 @@ func (st *TableStats) Col(i int) *ColStats {
 }
 
 // Stats returns (building lazily) the table's statistics. The result is
-// invalidated by Insert.
+// invalidated by Insert. Concurrent callers are safe: the first builds
+// the statistics under the table lock, the rest get the cached object.
 func (t *Table) Stats() *TableStats {
+	t.mu.RLock()
+	st := t.stats
+	t.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.stats != nil {
 		return t.stats
 	}
+	st = t.buildStats()
+	t.stats = st
+	return st
+}
+
+func (t *Table) buildStats() *TableStats {
 	st := &TableStats{Rows: len(t.rows), cols: make([]*ColStats, len(t.Schema.Cols))}
 	for c := range t.Schema.Cols {
 		cs := &ColStats{Freq: make(map[Value]int)}
@@ -86,6 +101,5 @@ func (t *Table) Stats() *TableStats {
 		}
 		st.cols[c] = cs
 	}
-	t.stats = st
 	return st
 }

@@ -1,14 +1,25 @@
 package relstore
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Table is an append-only in-memory relation with optional primary-key,
 // hash, and ordered secondary indices.
+//
+// A fully built table is safe for concurrent readers: index creation is
+// idempotent and mutex-guarded, so simultaneous query plans may race to
+// CreateHashIndex without corrupting the index maps. Insert is NOT safe
+// to run concurrently with readers or other inserts; loading and
+// querying are distinct phases, as in the paper's offline/online split.
 type Table struct {
 	Schema *Schema
 
-	rows    []Row
-	pk      map[int64]int32
+	rows []Row
+	pk   map[int64]int32
+
+	mu      sync.RWMutex // guards hash, ordered, stats
 	hash    map[int]*HashIndex
 	ordered map[int]*OrderedIndex
 
@@ -50,6 +61,7 @@ func (t *Table) Insert(r Row) error {
 		t.pk[key] = pos
 	}
 	t.rows = append(t.rows, r)
+	t.mu.Lock()
 	for col, ix := range t.hash {
 		ix.add(r[col], pos)
 	}
@@ -57,6 +69,7 @@ func (t *Table) Insert(r Row) error {
 		ix.add(pos)
 	}
 	t.stats = nil
+	t.mu.Unlock()
 	return nil
 }
 
@@ -89,15 +102,26 @@ func (t *Table) HasPK(id int64) bool {
 }
 
 // CreateHashIndex builds (or returns) an equality index on the column.
+// It is idempotent and safe to call from concurrent query plans: the
+// first caller builds the index under the table lock, later callers get
+// the same index back.
 func (t *Table) CreateHashIndex(col string) (*HashIndex, error) {
 	c, ok := t.Schema.ColIndex(col)
 	if !ok {
 		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
 	}
-	if ix, ok := t.hash[c]; ok {
+	t.mu.RLock()
+	ix, have := t.hash[c]
+	t.mu.RUnlock()
+	if have {
 		return ix, nil
 	}
-	ix := newHashIndex(c)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, have := t.hash[c]; have {
+		return ix, nil
+	}
+	ix = newHashIndex(c)
 	for pos, r := range t.rows {
 		ix.add(r[c], int32(pos))
 	}
@@ -106,15 +130,24 @@ func (t *Table) CreateHashIndex(col string) (*HashIndex, error) {
 }
 
 // CreateOrderedIndex builds (or returns) an ordered index on the column.
+// Like CreateHashIndex it is idempotent under the table lock.
 func (t *Table) CreateOrderedIndex(col string) (*OrderedIndex, error) {
 	c, ok := t.Schema.ColIndex(col)
 	if !ok {
 		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
 	}
-	if ix, ok := t.ordered[c]; ok {
+	t.mu.RLock()
+	ix, have := t.ordered[c]
+	t.mu.RUnlock()
+	if have {
 		return ix, nil
 	}
-	ix := newOrderedIndex(t, c)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, have := t.ordered[c]; have {
+		return ix, nil
+	}
+	ix = newOrderedIndex(t, c)
 	t.ordered[c] = ix
 	return ix, nil
 }
@@ -125,7 +158,9 @@ func (t *Table) HashIndexOn(col string) (*HashIndex, bool) {
 	if !ok {
 		return nil, false
 	}
+	t.mu.RLock()
 	ix, ok := t.hash[c]
+	t.mu.RUnlock()
 	return ix, ok
 }
 
@@ -135,7 +170,9 @@ func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
 	if !ok {
 		return nil, false
 	}
+	t.mu.RLock()
 	ix, ok := t.ordered[c]
+	t.mu.RUnlock()
 	return ix, ok
 }
 
@@ -146,7 +183,10 @@ func (t *Table) Lookup(col string, v Value) ([]int32, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Schema.Name, col)
 	}
-	if ix, ok := t.hash[c]; ok {
+	t.mu.RLock()
+	ix, have := t.hash[c]
+	t.mu.RUnlock()
+	if have {
 		return ix.Lookup(v), nil
 	}
 	var out []int32
@@ -181,6 +221,8 @@ func (t *Table) ApproxBytes() int64 {
 	if t.pk != nil {
 		b += int64(len(t.pk)) * 12
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, ix := range t.hash {
 		b += int64(len(ix.m)) * 32
 		for _, ps := range ix.m {
@@ -188,7 +230,7 @@ func (t *Table) ApproxBytes() int64 {
 		}
 	}
 	for _, ix := range t.ordered {
-		b += int64(len(ix.perm)) * 4
+		b += int64(ix.Len()) * 4
 	}
 	return b
 }

@@ -24,10 +24,12 @@ type SearcherConfig struct {
 	// WeakPruning drops weak-relationship schema paths (Appendix B);
 	// meaningful for MaxLen >= 4.
 	WeakPruning bool
-	// Parallelism is the offline-phase worker count: start nodes are
-	// sharded across this many workers (0 = GOMAXPROCS, 1 =
-	// sequential). The precomputed tables are byte-identical at every
-	// setting.
+	// Parallelism is the worker count of both phases. Offline, start
+	// nodes are sharded across this many workers; online, every Search
+	// shards its driving entity scan and the per-pruned-topology
+	// existence checks the same way (0 = GOMAXPROCS, 1 = sequential).
+	// The precomputed tables AND every query result are byte-identical
+	// at every setting.
 	Parallelism int
 }
 
@@ -39,6 +41,11 @@ func DefaultSearcherConfig() SearcherConfig {
 
 // Searcher answers topology queries for one entity-set pair, using the
 // precomputed LeftTops/ExcpTops/TopInfo tables (the Fast-Top family).
+//
+// A Searcher is safe for concurrent use: the offline phase pre-builds
+// every index and statistics object the query plans read, so any
+// number of goroutines may call Search/SearchContext/Explain on one
+// Searcher (or on several Searchers sharing one DB) simultaneously.
 type Searcher struct {
 	db    *DB
 	store *methods.Store

@@ -20,11 +20,14 @@
 // with the early-termination cost model, and all nine evaluation
 // methods from the paper's experiments.
 //
-// The offline phase runs on a worker pool (SearcherConfig.Parallelism;
-// the result is byte-identical at every setting) and both phases are
-// cancellable: NewSearcherContext aborts the topology computation at
-// start-node granularity, and SearchContext aborts running query
-// plans, each returning the context's error.
+// Both phases run on worker pools (SearcherConfig.Parallelism; results
+// are byte-identical at every setting): the offline computation shards
+// start nodes, and each query shards its driving entity scan and the
+// pruned-topology existence checks. A built Searcher is safe for
+// concurrent queries. Both phases are also cancellable:
+// NewSearcherContext aborts the topology computation at start-node
+// granularity, and SearchContext aborts running query plans, each
+// returning the context's error.
 //
 // Quick start:
 //
