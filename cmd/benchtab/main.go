@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchstorage|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
 // -benchout (default BENCH_online.json), so successive releases have a
-// query-latency trajectory to compare against.
+// query-latency trajectory to compare against. The benchstorage
+// experiment measures the columnar storage engine (scan, probe, build,
+// Fast-Top) and the bytes-per-row footprint of the precomputed tables,
+// writing -storageout (default BENCH_storage.json).
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		sql      = flag.Bool("sql", true, "include the SQL strawman in table2")
 		workers  = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
 		benchout = flag.String("benchout", "BENCH_online.json", "output file for -exp benchonline")
+		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 	)
 	flag.Parse()
 
@@ -154,5 +158,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *benchout)
+	}
+	if need("benchstorage") {
+		fmt.Println("== Columnar storage engine: hot paths and table footprints ==")
+		rep, err := experiments.BenchStorage(env, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintStorageBench(os.Stdout, rep)
+		if err := experiments.WriteStorageBench(rep, *storeout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *storeout)
 	}
 }

@@ -179,6 +179,7 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 			defer wg.Done()
 			localReg := NewRegistry()
 			sc := g.NewScratch()
+			acc := make(map[graph.NodeID][]graph.Path)
 			for {
 				// Cancellation is checked before claiming each start
 				// node (and, more finely, inside computeStart — one
@@ -193,7 +194,7 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 				if i >= len(starts) {
 					return
 				}
-				results[i] = computeStart(ctx, g, sg, localReg, sc, starts[i], schemaPaths, selfPair, opts)
+				results[i] = computeStart(ctx, g, sg, localReg, sc, acc, starts[i], schemaPaths, selfPair, opts)
 			}
 		}()
 	}
@@ -234,6 +235,10 @@ const cancelCheckStride = 1024
 // computeStart processes one start node: materialize every conforming
 // instance path from a, group by end node and equivalence class, and
 // derive each (a, b) cell's topologies into the worker-local registry.
+// acc is the worker's reusable end-node accumulator (the same reuse
+// the online SQLMethod's per-worker state applies): it is cleared here
+// before use, so each worker allocates the map once instead of once
+// per start node.
 //
 // Cancellation is additionally checked every cancelCheckStride
 // materialized paths and before each (a, b) cell, so even a
@@ -241,8 +246,8 @@ const cancelCheckStride = 1024
 // aborts quickly. On abort the partial output is irrelevant: Compute
 // discards everything and returns ctx.Err().
 func computeStart(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, localReg *Registry, sc *graph.Scratch,
-	a graph.NodeID, schemaPaths []graph.SchemaPath, selfPair bool, opts Options) startOutput {
-	acc := make(map[graph.NodeID][]graph.Path)
+	acc map[graph.NodeID][]graph.Path, a graph.NodeID, schemaPaths []graph.SchemaPath, selfPair bool, opts Options) startOutput {
+	clear(acc)
 	npaths := 0
 	for _, sp := range schemaPaths {
 		g.PathsAlongScratch(sc, sg, sp, a, func(p graph.Path) bool {

@@ -87,17 +87,18 @@ func (j *IDGJ) Open() error {
 	return j.Outer.Open()
 }
 
-// Next implements Op.
+// Next implements Op. Like IndexJoin, inner rows are filtered
+// positionally and appended straight from the column arrays.
 func (j *IDGJ) Next() (relstore.Row, bool, error) {
 	for {
 		for len(j.matches) > 0 {
 			pos := j.matches[0]
 			j.matches = j.matches[1:]
-			ir := j.Inner.Row(pos)
-			if j.InnerPred != nil && !j.InnerPred.Eval(ir) {
+			if j.InnerPred != nil && !j.InnerPred.EvalAt(j.Inner, pos) {
 				continue
 			}
-			j.buf = concatRows(j.buf, j.orow, ir)
+			j.buf = append(j.buf[:0], j.orow...)
+			j.buf = j.Inner.AppendRow(j.buf, pos)
 			return j.buf, true, nil
 		}
 		o, ok, err := j.Outer.Next()
@@ -220,17 +221,18 @@ func (j *HDGJ) loadGroup() error {
 		k := o[j.OuterCol]
 		ht[k] = append(ht[k], o)
 	}
-	j.Inner.Scan(func(_ int32, ir relstore.Row) bool {
+	ncols := j.Inner.Schema.NumCols()
+	j.Inner.ScanPos(func(pos int32) bool {
 		if j.C != nil {
 			j.C.RowsScanned++
 		}
-		if j.InnerPred != nil && !j.InnerPred.Eval(ir) {
+		if j.InnerPred != nil && !j.InnerPred.EvalAt(j.Inner, pos) {
 			return true
 		}
-		for _, o := range ht[ir[j.InnerCol]] {
-			out := make(relstore.Row, 0, len(o)+len(ir))
+		for _, o := range ht[j.Inner.ValueAt(pos, j.InnerCol)] {
+			out := make(relstore.Row, 0, len(o)+ncols)
 			out = append(out, o...)
-			out = append(out, ir...)
+			out = j.Inner.AppendRow(out, pos)
 			j.emit = append(j.emit, out)
 		}
 		return true

@@ -130,17 +130,19 @@ func (j *IndexJoin) Open() error {
 	return j.Outer.Open()
 }
 
-// Next implements Op.
+// Next implements Op. Inner rows are filtered positionally and
+// appended to the output buffer straight from the column arrays, so
+// the probe loop materializes nothing per candidate.
 func (j *IndexJoin) Next() (relstore.Row, bool, error) {
 	for {
 		for len(j.matches) > 0 {
 			pos := j.matches[0]
 			j.matches = j.matches[1:]
-			ir := j.Inner.Row(pos)
-			if j.InnerPred != nil && !j.InnerPred.Eval(ir) {
+			if j.InnerPred != nil && !j.InnerPred.EvalAt(j.Inner, pos) {
 				continue
 			}
-			j.buf = concatRows(j.buf, j.orow, ir)
+			j.buf = append(j.buf[:0], j.orow...)
+			j.buf = j.Inner.AppendRow(j.buf, pos)
 			return j.buf, true, nil
 		}
 		o, ok, err := j.Outer.Next()

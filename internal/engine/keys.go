@@ -4,14 +4,18 @@ import "toposearch/internal/relstore"
 
 // rowKeySet is a set of composite row keys of a fixed arity. The common
 // one- and two-column keys (DISTINCT on TID; the E1/E2 anti join of
-// SQL1/SQL5) use relstore.Value directly as the comparable map key, so
-// the per-tuple hot path allocates nothing; wider keys fall back to an
-// encoded string. Insert and Contains may use different column lists of
-// the same arity (as an anti join does for its outer and inner sides).
+// SQL1/SQL5) hash the raw int64 payloads (or the string payload for
+// string-typed cells) instead of composite Value structs, matching the
+// columnar store's int64/dictionary-code index keys; wider keys fall
+// back to an encoded string. Insert and Contains may use different
+// column lists of the same arity (as an anti join does for its outer
+// and inner sides).
 type rowKeySet struct {
 	arity int
-	k1    map[relstore.Value]struct{}
-	k2    map[[2]relstore.Value]struct{}
+	k1i   map[int64]struct{}
+	k1s   map[string]struct{}
+	k2i   map[[2]int64]struct{}
+	k2v   map[[2]relstore.Value]struct{}
 	kn    map[string]struct{}
 }
 
@@ -19,9 +23,9 @@ func newRowKeySet(arity int) *rowKeySet {
 	s := &rowKeySet{arity: arity}
 	switch arity {
 	case 1:
-		s.k1 = make(map[relstore.Value]struct{})
+		s.k1i = make(map[int64]struct{})
 	case 2:
-		s.k2 = make(map[[2]relstore.Value]struct{})
+		s.k2i = make(map[[2]int64]struct{})
 	default:
 		s.kn = make(map[string]struct{})
 	}
@@ -31,20 +35,42 @@ func newRowKeySet(arity int) *rowKeySet {
 // Insert adds the row's key (projected through cols) and reports
 // whether it was absent before.
 func (s *rowKeySet) Insert(r relstore.Row, cols []int) bool {
-	switch {
-	case s.k1 != nil:
-		k := r[cols[0]]
-		if _, dup := s.k1[k]; dup {
+	switch s.arity {
+	case 1:
+		v := r[cols[0]]
+		if v.Kind == relstore.TInt {
+			if _, dup := s.k1i[v.Int]; dup {
+				return false
+			}
+			s.k1i[v.Int] = struct{}{}
+			return true
+		}
+		if s.k1s == nil {
+			s.k1s = make(map[string]struct{})
+		}
+		if _, dup := s.k1s[v.Str]; dup {
 			return false
 		}
-		s.k1[k] = struct{}{}
+		s.k1s[v.Str] = struct{}{}
 		return true
-	case s.k2 != nil:
-		k := [2]relstore.Value{r[cols[0]], r[cols[1]]}
-		if _, dup := s.k2[k]; dup {
+	case 2:
+		a, b := r[cols[0]], r[cols[1]]
+		if a.Kind == relstore.TInt && b.Kind == relstore.TInt {
+			k := [2]int64{a.Int, b.Int}
+			if _, dup := s.k2i[k]; dup {
+				return false
+			}
+			s.k2i[k] = struct{}{}
+			return true
+		}
+		if s.k2v == nil {
+			s.k2v = make(map[[2]relstore.Value]struct{})
+		}
+		k := [2]relstore.Value{a, b}
+		if _, dup := s.k2v[k]; dup {
 			return false
 		}
-		s.k2[k] = struct{}{}
+		s.k2v[k] = struct{}{}
 		return true
 	default:
 		k := keyString(r, cols)
@@ -59,12 +85,22 @@ func (s *rowKeySet) Insert(r relstore.Row, cols []int) bool {
 // Contains reports whether the row's key (projected through cols) is in
 // the set.
 func (s *rowKeySet) Contains(r relstore.Row, cols []int) bool {
-	switch {
-	case s.k1 != nil:
-		_, ok := s.k1[r[cols[0]]]
+	switch s.arity {
+	case 1:
+		v := r[cols[0]]
+		if v.Kind == relstore.TInt {
+			_, ok := s.k1i[v.Int]
+			return ok
+		}
+		_, ok := s.k1s[v.Str]
 		return ok
-	case s.k2 != nil:
-		_, ok := s.k2[[2]relstore.Value{r[cols[0]], r[cols[1]]}]
+	case 2:
+		a, b := r[cols[0]], r[cols[1]]
+		if a.Kind == relstore.TInt && b.Kind == relstore.TInt {
+			_, ok := s.k2i[[2]int64{a.Int, b.Int}]
+			return ok
+		}
+		_, ok := s.k2v[[2]relstore.Value{a, b}]
 		return ok
 	default:
 		_, ok := s.kn[keyString(r, cols)]

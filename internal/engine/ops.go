@@ -22,6 +22,7 @@ type Scan struct {
 	Hi    int32 // one past the last row position; negative = end of table
 
 	pos int32
+	buf relstore.Row
 }
 
 // NewScan returns a (filtered) sequential scan of the whole table.
@@ -40,20 +41,23 @@ func (s *Scan) Columns() []string { return qualify(s.Alias, s.Table.Schema) }
 // Open implements Op.
 func (s *Scan) Open() error { s.pos = s.Lo; return nil }
 
-// Next implements Op.
+// Next implements Op. The predicate is evaluated positionally against
+// the column arrays; only rows that pass are materialized, into a
+// buffer reused across calls.
 func (s *Scan) Next() (relstore.Row, bool, error) {
 	n := int32(s.Table.NumRows())
 	if s.Hi >= 0 && s.Hi < n {
 		n = s.Hi
 	}
 	for s.pos < n {
-		r := s.Table.Row(s.pos)
+		pos := s.pos
 		s.pos++
 		if s.C != nil {
 			s.C.RowsScanned++
 		}
-		if s.Pred == nil || s.Pred.Eval(r) {
-			return r, true, nil
+		if s.Pred == nil || s.Pred.EvalAt(s.Table, pos) {
+			s.buf = s.Table.AppendRow(s.buf[:0], pos)
+			return s.buf, true, nil
 		}
 	}
 	return nil, false, nil
@@ -76,6 +80,7 @@ type OrderedScan struct {
 	idx   *relstore.OrderedIndex
 	order []int32
 	pos   int
+	buf   relstore.Row
 }
 
 // NewOrderedScan returns a scan in index order over column col. Ties
@@ -106,13 +111,14 @@ func (s *OrderedScan) Open() error {
 // Next implements Op.
 func (s *OrderedScan) Next() (relstore.Row, bool, error) {
 	for s.pos < len(s.order) {
-		r := s.Table.Row(s.order[s.pos])
+		pos := s.order[s.pos]
 		s.pos++
 		if s.C != nil {
 			s.C.RowsScanned++
 		}
-		if s.Pred == nil || s.Pred.Eval(r) {
-			return r, true, nil
+		if s.Pred == nil || s.Pred.EvalAt(s.Table, pos) {
+			s.buf = s.Table.AppendRow(s.buf[:0], pos)
+			return s.buf, true, nil
 		}
 	}
 	return nil, false, nil

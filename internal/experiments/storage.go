@@ -1,0 +1,183 @@
+package experiments
+
+// This file is the storage-engine benchmark: the BENCH_storage.json
+// counterpart of the online sweep, recording ns/op and allocs/op for
+// the storage hot paths (predicate scan, hash probe, store build, the
+// Fast-Top scan-path query) and the bytes-per-row footprint of every
+// precomputed table under the columnar + dictionary layout. The
+// "scan/rowstore" row replays the pre-columnar access pattern — one
+// materialized row per tuple — so the allocation win of the columnar
+// engine is recorded next to its own numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"toposearch/internal/methods"
+	"toposearch/internal/relstore"
+)
+
+// StorageBenchRow is one measured storage operation.
+type StorageBenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// TableFootprint is the columnar footprint of one precomputed table.
+type TableFootprint struct {
+	Table       string  `json:"table"`
+	Rows        int     `json:"rows"`
+	Bytes       int64   `json:"bytes"`
+	BytesPerRow float64 `json:"bytes_per_row"`
+}
+
+// StorageBenchReport is the file-level shape of BENCH_storage.json.
+type StorageBenchReport struct {
+	Scale  int               `json:"scale"`
+	Seed   int64             `json:"seed"`
+	Pair   [2]string         `json:"pair"`
+	Note   string            `json:"note"`
+	Rows   []StorageBenchRow `json:"rows"`
+	Tables []TableFootprint  `json:"tables"`
+}
+
+// storageNote explains the baseline row of the report.
+const storageNote = "scan/rowstore replays the pre-columnar access pattern " +
+	"(one materialized []Value row per tuple, the seed layout's per-row cost); " +
+	"scan/columnar is the positional path on the same data. The allocs_per_op " +
+	"gap between the two rows is the scan-path reduction of the columnar engine."
+
+// measureOp times f (fastest of reps runs of `iters` calls, via the
+// shared Measure helper) and counts its steady-state allocations per
+// call.
+func measureOp(reps, iters int, f func()) StorageBenchRow {
+	sec, _ := Measure(reps, func() error {
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return nil
+	})
+	return StorageBenchRow{
+		NsPerOp:     sec * 1e9 / float64(iters),
+		AllocsPerOp: testing.AllocsPerRun(iters, f),
+	}
+}
+
+// BenchStorage measures the storage engine on the environment's
+// Protein-Interaction store and reports the footprint of every
+// precomputed table in the environment.
+func BenchStorage(env *Env, reps int) (*StorageBenchReport, error) {
+	st := env.Store(PairPI)
+	p1, err := PredFor(st.T1, "medium")
+	if err != nil {
+		return nil, err
+	}
+	psel, err := PredFor(st.T1, "selective")
+	if err != nil {
+		return nil, err
+	}
+	p2, err := PredFor(st.T2, "medium")
+	if err != nil {
+		return nil, err
+	}
+	rep := &StorageBenchReport{Scale: env.Setup.Scale, Seed: env.Setup.Seed, Pair: PairPI, Note: storageNote}
+	add := func(name string, iters int, f func()) {
+		row := measureOp(reps, iters, f)
+		row.Name = name
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// Predicate scan of the entity table: columnar positional path vs
+	// the row-store pattern of materializing every tuple.
+	t1 := st.T1
+	add("scan/columnar", 20, func() {
+		n := 0
+		t1.ScanPos(func(pos int32) bool {
+			if p1.EvalAt(t1, pos) {
+				n++
+			}
+			return true
+		})
+	})
+	add("scan/rowstore", 20, func() {
+		n := 0
+		for pos := int32(0); pos < int32(t1.NumRows()); pos++ {
+			if p1.Eval(t1.Row(pos)) {
+				n++
+			}
+		}
+	})
+
+	// Hash probe of the AllTops E1 index with every entity-1 key.
+	ix, ok := st.AllTops.HashIndexOn("E1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: AllTops has no E1 index")
+	}
+	ids := t1.Col(t1.Schema.KeyCol)
+	add("hashprobe", 100, func() {
+		hits := 0
+		for pos := 0; pos < ids.Len(); pos++ {
+			hits += len(ix.LookupInt(ids.Int(int32(pos))))
+		}
+	})
+
+	// Store build: reload the entity table into a fresh columnar table.
+	rows := make([]relstore.Row, t1.NumRows())
+	for pos := range rows {
+		rows[pos] = t1.Row(int32(pos))
+	}
+	add("buildstore", 5, func() {
+		nt := relstore.NewTable(t1.Schema)
+		for _, r := range rows {
+			if err := nt.Insert(r); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// The Fast-Top scan-path query end to end (sequential, so the
+	// number tracks the storage layer rather than the worker pool).
+	q := methods.Query{Pred1: psel, Pred2: p2, Parallelism: 1}
+	add("fasttop/workers=1", 3, func() {
+		if _, err := st.FastTop(q); err != nil {
+			panic(err)
+		}
+	})
+
+	for _, pair := range Table1Pairs() {
+		s := env.Store(pair)
+		for _, tb := range []*relstore.Table{s.AllTops, s.LeftTops, s.ExcpTops, s.TopInfo} {
+			fp := TableFootprint{Table: tb.Schema.Name, Rows: tb.NumRows(), Bytes: tb.ApproxBytes()}
+			if fp.Rows > 0 {
+				fp.BytesPerRow = float64(fp.Bytes) / float64(fp.Rows)
+			}
+			rep.Tables = append(rep.Tables, fp)
+		}
+	}
+	return rep, nil
+}
+
+// WriteStorageBench writes the report as indented JSON to path.
+func WriteStorageBench(rep *StorageBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintStorageBench renders the report.
+func PrintStorageBench(w io.Writer, rep *StorageBenchReport) {
+	fmt.Fprintf(w, "%-20s %14s %14s\n", "operation", "ns/op", "allocs/op")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-20s %14.0f %14.1f\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "\n%-28s %10s %12s %10s\n", "table", "rows", "bytes", "bytes/row")
+	for _, t := range rep.Tables {
+		fmt.Fprintf(w, "%-28s %10d %12d %10.1f\n", t.Table, t.Rows, t.Bytes, t.BytesPerRow)
+	}
+}

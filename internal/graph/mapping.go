@@ -39,17 +39,12 @@ func Build(db *relstore.DB, sg *SchemaGraph) (*Graph, error) {
 			return nil, fmt.Errorf("graph: entity table %q needs a primary key", es.Table)
 		}
 		tid := g.NodeTypes.Intern(es.Name)
-		var buildErr error
-		t.Scan(func(_ int32, r relstore.Row) bool {
-			id := NodeID(r[t.Schema.KeyCol].Int)
+		ids := t.Col(t.Schema.KeyCol)
+		for pos := 0; pos < ids.Len(); pos++ {
+			id := NodeID(ids.Int(int32(pos)))
 			if err := g.AddNode(id, tid); err != nil {
-				buildErr = fmt.Errorf("graph: entity set %q: %w (are entity IDs globally unique?)", es.Name, err)
-				return false
+				return nil, fmt.Errorf("graph: entity set %q: %w (are entity IDs globally unique?)", es.Name, err)
 			}
-			return true
-		})
-		if buildErr != nil {
-			return nil, buildErr
 		}
 	}
 	for relIdx, rs := range sg.Rels {
@@ -66,23 +61,18 @@ func Build(db *relstore.DB, sg *SchemaGraph) (*Graph, error) {
 			return nil, fmt.Errorf("graph: relationship table %q: no column %q", rs.Table, rs.BCol)
 		}
 		tid := g.EdgeTypes.Intern(rs.Name)
-		var buildErr error
-		t.Scan(func(pos int32, r relstore.Row) bool {
+		as, bs := t.Col(aCol), t.Col(bCol)
+		for pos := 0; pos < t.NumRows(); pos++ {
 			var eid int64
 			if t.Schema.KeyCol >= 0 {
-				eid = EncodeEdgeID(relIdx, r[t.Schema.KeyCol].Int)
+				eid = EncodeEdgeID(relIdx, t.IntAt(int32(pos), t.Schema.KeyCol))
 			} else {
 				eid = EncodeEdgeID(relIdx, int64(pos))
 			}
-			a, b := NodeID(r[aCol].Int), NodeID(r[bCol].Int)
+			a, b := NodeID(as.Int(int32(pos))), NodeID(bs.Int(int32(pos)))
 			if err := g.AddEdge(eid, a, b, tid); err != nil {
-				buildErr = fmt.Errorf("graph: relationship set %q: %w", rs.Name, err)
-				return false
+				return nil, fmt.Errorf("graph: relationship set %q: %w", rs.Name, err)
 			}
-			return true
-		})
-		if buildErr != nil {
-			return nil, buildErr
 		}
 	}
 	return g, nil

@@ -4,7 +4,6 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
 	"toposearch/internal/graph"
-	"toposearch/internal/relstore"
 )
 
 // sqlWorker is the reusable per-worker state of the SQL strawman: the
@@ -35,17 +34,18 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 
 	// Candidate set: every topology known for the entity-set pair.
 	candidates := make([]core.TopologyID, 0, s.TopInfo.NumRows())
-	s.TopInfo.Scan(func(_ int32, r relstore.Row) bool {
-		candidates = append(candidates, core.TopologyID(r[0].Int))
+	s.TopInfo.ScanPos(func(pos int32) bool {
+		candidates = append(candidates, core.TopologyID(s.TopInfo.IntAt(pos, 0)))
 		return true
 	})
 
 	// Selected entity-1 nodes and the entity-2 acceptance test.
 	var starts []graph.NodeID
-	s.T1.Scan(func(_ int32, r relstore.Row) bool {
+	keyCol := s.T1.Schema.KeyCol
+	s.T1.ScanPos(func(pos int32) bool {
 		c.RowsScanned++
-		if q.Pred1 == nil || q.Pred1.Eval(r) {
-			starts = append(starts, graph.NodeID(r[s.T1.Schema.KeyCol].Int))
+		if q.Pred1 == nil || q.Pred1.EvalAt(s.T1, pos) {
+			starts = append(starts, graph.NodeID(s.T1.IntAt(pos, keyCol)))
 		}
 		return true
 	})
@@ -90,12 +90,12 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 // tid.
 func (s *Store) sqlCandidate(tid core.TopologyID, starts []graph.NodeID, q Query, opts core.Options, w *sqlWorker) (bool, error) {
 	accept2 := func(b graph.NodeID) bool {
-		row, ok := s.T2.LookupPK(int64(b))
+		pos, ok := s.T2.PKPos(int64(b))
 		if !ok {
 			return false
 		}
 		w.c.IndexProbes++
-		return q.Pred2 == nil || q.Pred2.Eval(row)
+		return q.Pred2 == nil || q.Pred2.EvalAt(s.T2, pos)
 	}
 	for _, a := range starts {
 		if q.Ctx != nil {

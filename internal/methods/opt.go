@@ -35,7 +35,7 @@ func (s *Store) gatherStats(tops *relstore.Table, q Query) (optimizer.RegularSta
 	}
 	var cards []float64
 	scoreIdx.Scan(true, func(pos int32) bool {
-		tid := s.TopInfo.Row(pos)[0]
+		tid := relstore.IntVal(s.TopInfo.IntAt(pos, 0))
 		var card float64
 		if hist != nil && hist.Freq != nil {
 			card = float64(hist.Freq[tid])

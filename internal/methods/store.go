@@ -173,7 +173,7 @@ func (s *Store) opts() core.Options {
 
 // scoreOf looks up a topology's score under the ranking.
 func (s *Store) scoreOf(tid core.TopologyID, rk string) (int64, error) {
-	row, ok := s.TopInfo.LookupPK(int64(tid))
+	pos, ok := s.TopInfo.PKPos(int64(tid))
 	if !ok {
 		return 0, fmt.Errorf("methods: topology %d not in TopInfo", tid)
 	}
@@ -181,7 +181,7 @@ func (s *Store) scoreOf(tid core.TopologyID, rk string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("methods: no ranking %q in TopInfo", rk)
 	}
-	return row[col].Int, nil
+	return s.TopInfo.IntAt(pos, col), nil
 }
 
 // schemaPathFor returns the schema path whose signature matches the

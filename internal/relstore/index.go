@@ -5,30 +5,48 @@ import (
 	"sync"
 )
 
-// HashIndex is an equality index on one column: value -> row positions.
+// HashIndex is an equality index on one column: key -> row positions.
 // It models the hash indices the paper's engine probes in index
 // nested-loop joins (cost parameter I_i in Section 5.4.3).
+//
+// Keys are int64: the integer value for TInt columns, the dictionary
+// code for TString columns. Probing therefore never hashes a composite
+// Value struct or a string — a string probe is one dictionary lookup
+// (absent string: no rows, no map access).
 type HashIndex struct {
 	Col int
-	m   map[Value][]int32
+	t   *Table
+	m   map[int64][]int32
 }
 
-func newHashIndex(col int) *HashIndex {
-	return &HashIndex{Col: col, m: make(map[Value][]int32)}
+func newHashIndex(t *Table, col int) *HashIndex {
+	return &HashIndex{Col: col, t: t, m: make(map[int64][]int32)}
 }
 
-func (ix *HashIndex) add(v Value, pos int32) { ix.m[v] = append(ix.m[v], pos) }
+func (ix *HashIndex) addKey(k int64, pos int32) { ix.m[k] = append(ix.m[k], pos) }
 
 // Lookup returns the positions of all rows whose indexed column equals v.
 // The returned slice is shared; callers must not mutate it.
-func (ix *HashIndex) Lookup(v Value) []int32 { return ix.m[v] }
+func (ix *HashIndex) Lookup(v Value) []int32 {
+	k, ok := ix.t.keyFor(ix.Col, v)
+	if !ok {
+		return nil
+	}
+	return ix.m[k]
+}
+
+// LookupInt returns the positions matching an integer key directly
+// (TInt columns only) — the no-Value probe for tight loops.
+func (ix *HashIndex) LookupInt(k int64) []int32 { return ix.m[k] }
 
 // NumKeys returns the number of distinct values in the index.
 func (ix *HashIndex) NumKeys() int { return len(ix.m) }
 
 // OrderedIndex is a sorted permutation of row positions by one column,
 // supporting range scans and ordered iteration (used for score-ordered
-// access to TopInfo in the early-termination plans, Figure 15).
+// access to TopInfo in the early-termination plans, Figure 15). All
+// comparisons go through the table's column arrays; no Value is built
+// per comparison.
 //
 // Inserts are buffered: add appends to a pending list in O(1) and the
 // next read merges the (sorted) pending block into the permutation in
@@ -45,12 +63,12 @@ type OrderedIndex struct {
 
 func newOrderedIndex(t *Table, col int) *OrderedIndex {
 	ix := &OrderedIndex{Col: col, t: t}
-	ix.perm = make([]int32, len(t.rows))
+	ix.perm = make([]int32, t.nrows)
 	for i := range ix.perm {
 		ix.perm[i] = int32(i)
 	}
 	sort.SliceStable(ix.perm, func(a, b int) bool {
-		return t.rows[ix.perm[a]][col].Compare(t.rows[ix.perm[b]][col]) < 0
+		return t.compareAt(col, ix.perm[a], ix.perm[b]) < 0
 	})
 	return ix
 }
@@ -73,14 +91,14 @@ func (ix *OrderedIndex) flush() {
 		return
 	}
 	pend := ix.pending
-	rows, col := ix.t.rows, ix.Col
+	t, col := ix.t, ix.Col
 	sort.SliceStable(pend, func(a, b int) bool {
-		return rows[pend[a]][col].Compare(rows[pend[b]][col]) < 0
+		return t.compareAt(col, pend[a], pend[b]) < 0
 	})
 	merged := make([]int32, 0, len(ix.perm)+len(pend))
 	i, j := 0, 0
 	for i < len(ix.perm) && j < len(pend) {
-		if rows[ix.perm[i]][col].Compare(rows[pend[j]][col]) <= 0 {
+		if t.compareAt(col, ix.perm[i], pend[j]) <= 0 {
 			merged = append(merged, ix.perm[i])
 			i++
 		} else {
@@ -118,8 +136,7 @@ func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
 		for hi > 0 {
 			// Find the run of equal values ending at hi-1.
 			lo := hi - 1
-			v := ix.t.rows[ix.perm[lo]][ix.Col]
-			for lo > 0 && ix.t.rows[ix.perm[lo-1]][ix.Col].Compare(v) == 0 {
+			for lo > 0 && ix.t.compareAt(ix.Col, ix.perm[lo-1], ix.perm[lo]) == 0 {
 				lo--
 			}
 			for i := lo; i < hi; i++ {
@@ -142,11 +159,11 @@ func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
 func (ix *OrderedIndex) Range(lo, hi Value, visit func(pos int32) bool) {
 	ix.flush()
 	start := sort.Search(len(ix.perm), func(i int) bool {
-		return ix.t.rows[ix.perm[i]][ix.Col].Compare(lo) >= 0
+		return ix.t.compareValueAt(ix.Col, ix.perm[i], lo) >= 0
 	})
 	for i := start; i < len(ix.perm); i++ {
 		p := ix.perm[i]
-		if ix.t.rows[p][ix.Col].Compare(hi) > 0 {
+		if ix.t.compareValueAt(ix.Col, p, hi) > 0 {
 			return
 		}
 		if !visit(p) {

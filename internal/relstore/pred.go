@@ -12,6 +12,11 @@ import (
 type Pred interface {
 	// Eval reports whether the row satisfies the predicate.
 	Eval(r Row) bool
+	// EvalAt reports whether the table's row at pos satisfies the
+	// predicate, reading cells straight from the column arrays. It is
+	// the allocation-free evaluation path scans use: no Row is
+	// materialized, no Value is constructed per row.
+	EvalAt(t *Table, pos int32) bool
 	// Sel estimates the fraction of the table's rows that satisfy the
 	// predicate, using table statistics (Section 5.4.3 parameter rho).
 	Sel(t *Table) float64
@@ -24,6 +29,9 @@ type True struct{}
 
 // Eval implements Pred.
 func (True) Eval(Row) bool { return true }
+
+// EvalAt implements Pred.
+func (True) EvalAt(*Table, int32) bool { return true }
 
 // Sel implements Pred.
 func (True) Sel(*Table) float64 { return 1 }
@@ -55,6 +63,13 @@ func MustEq(s *Schema, col string, v Value) Pred {
 }
 
 func (p *eqPred) Eval(r Row) bool { return r[p.col].Equal(p.val) }
+
+func (p *eqPred) EvalAt(t *Table, pos int32) bool {
+	if t.Schema.Cols[p.col].Type == TInt {
+		return p.val.Kind == TInt && t.IntAt(pos, p.col) == p.val.Int
+	}
+	return p.val.Kind == TString && t.StrAt(pos, p.col) == p.val.Str
+}
 
 func (p *eqPred) Sel(t *Table) float64 {
 	st := t.Stats()
@@ -105,6 +120,10 @@ func MustContains(s *Schema, col, word string) Pred {
 
 func (p *containsPred) Eval(r Row) bool {
 	return containsToken(r[p.col].Str, p.word)
+}
+
+func (p *containsPred) EvalAt(t *Table, pos int32) bool {
+	return containsToken(t.StrAt(pos, p.col), p.word)
 }
 
 func containsToken(text, word string) bool {
@@ -161,7 +180,14 @@ func Cmp(s *Schema, col, op string, v Value) (Pred, error) {
 }
 
 func (p *cmpPred) Eval(r Row) bool {
-	c := r[p.col].Compare(p.val)
+	return p.holds(r[p.col].Compare(p.val))
+}
+
+func (p *cmpPred) EvalAt(t *Table, pos int32) bool {
+	return p.holds(t.compareValueAt(p.col, pos, p.val))
+}
+
+func (p *cmpPred) holds(c int) bool {
 	switch p.op {
 	case "<":
 		return c < 0
@@ -224,6 +250,15 @@ func (p *andPred) Eval(r Row) bool {
 	return true
 }
 
+func (p *andPred) EvalAt(t *Table, pos int32) bool {
+	for _, q := range p.ps {
+		if !q.EvalAt(t, pos) {
+			return false
+		}
+	}
+	return true
+}
+
 func (p *andPred) Sel(t *Table) float64 {
 	s := 1.0
 	for _, q := range p.ps {
@@ -259,6 +294,15 @@ func (p *orPred) Eval(r Row) bool {
 	return false
 }
 
+func (p *orPred) EvalAt(t *Table, pos int32) bool {
+	for _, q := range p.ps {
+		if q.EvalAt(t, pos) {
+			return true
+		}
+	}
+	return false
+}
+
 func (p *orPred) Sel(t *Table) float64 {
 	miss := 1.0
 	for _, q := range p.ps {
@@ -283,6 +327,7 @@ type notPred struct{ p Pred }
 // Not negates a predicate.
 func Not(p Pred) Pred { return &notPred{p: p} }
 
-func (p *notPred) Eval(r Row) bool      { return !p.p.Eval(r) }
-func (p *notPred) Sel(t *Table) float64 { return 1 - p.p.Sel(t) }
-func (p *notPred) String() string       { return "NOT " + p.p.String() }
+func (p *notPred) Eval(r Row) bool                 { return !p.p.Eval(r) }
+func (p *notPred) EvalAt(t *Table, pos int32) bool { return !p.p.EvalAt(t, pos) }
+func (p *notPred) Sel(t *Table) float64            { return 1 - p.p.Sel(t) }
+func (p *notPred) String() string                  { return "NOT " + p.p.String() }

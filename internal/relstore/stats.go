@@ -53,53 +53,126 @@ func (t *Table) Stats() *TableStats {
 	return st
 }
 
+// buildStats derives the per-column statistics straight from the
+// columnar arrays. String columns are summarized per dictionary code —
+// one count-array pass over the codes, then one pass over the distinct
+// strings — so a million-row column with a hundred distinct
+// descriptions hashes a hundred strings, not a million. The resulting
+// NDV / Freq / TokenFreq / Min / Max are identical to a row-at-a-time
+// scan, including the histogram caps (a column exceeding
+// maxTrackedValues distinct values reports NDV=maxTrackedValues+1 with
+// no Freq map, exactly as the capped row scan did).
 func (t *Table) buildStats() *TableStats {
-	st := &TableStats{Rows: len(t.rows), cols: make([]*ColStats, len(t.Schema.Cols))}
+	st := &TableStats{Rows: t.NumRows(), cols: make([]*ColStats, len(t.Schema.Cols))}
 	for c := range t.Schema.Cols {
-		cs := &ColStats{Freq: make(map[Value]int)}
-		if t.Schema.Cols[c].Type == TString {
-			cs.TokenFreq = make(map[string]int)
+		if t.Schema.Cols[c].Type == TInt {
+			st.cols[c] = t.buildIntStats(c)
+		} else {
+			st.cols[c] = t.buildStrStats(c)
 		}
-		first := true
-		for _, r := range t.rows {
-			v := r[c]
-			if first {
-				cs.Min, cs.Max = v, v
-				first = false
-			} else {
-				if v.Compare(cs.Min) < 0 {
-					cs.Min = v
-				}
-				if v.Compare(cs.Max) > 0 {
-					cs.Max = v
-				}
+	}
+	return st
+}
+
+func (t *Table) buildIntStats(c int) *ColStats {
+	cs := &ColStats{Freq: make(map[Value]int)}
+	first := true
+	var lo, hi int64
+	for _, v := range t.cols[c].ints {
+		if first {
+			lo, hi = v, v
+			first = false
+		} else {
+			if v < lo {
+				lo = v
 			}
-			if cs.Freq != nil {
-				cs.Freq[v]++
-				if len(cs.Freq) > maxTrackedValues {
-					cs.NDV = len(cs.Freq)
-					cs.Freq = nil
-				}
-			}
-			if cs.TokenFreq != nil {
-				seen := map[string]bool{}
-				for _, tok := range strings.Fields(v.Str) {
-					if !seen[tok] {
-						seen[tok] = true
-						cs.TokenFreq[tok]++
-					}
-				}
-				if len(cs.TokenFreq) > 4*maxTrackedValues {
-					cs.TokenFreq = nil
-				}
+			if v > hi {
+				hi = v
 			}
 		}
 		if cs.Freq != nil {
-			cs.NDV = len(cs.Freq)
-		} else if cs.NDV == 0 {
-			cs.NDV = len(t.rows)
+			cs.Freq[IntVal(v)]++
+			if len(cs.Freq) > maxTrackedValues {
+				cs.NDV = len(cs.Freq)
+				cs.Freq = nil
+			}
 		}
-		st.cols[c] = cs
 	}
-	return st
+	if !first {
+		cs.Min, cs.Max = IntVal(lo), IntVal(hi)
+	}
+	if cs.Freq != nil {
+		cs.NDV = len(cs.Freq)
+	} else if cs.NDV == 0 {
+		cs.NDV = t.NumRows()
+	}
+	return cs
+}
+
+func (t *Table) buildStrStats(c int) *ColStats {
+	cs := &ColStats{}
+	codes := t.cols[c].codes
+	// One pass over the codes: occurrences per dictionary code.
+	counts := make([]int, len(t.dict.strs))
+	for _, code := range codes {
+		counts[code]++
+	}
+	ndv := 0
+	minCode, maxCode := uint32(0), uint32(0)
+	for code, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cd := uint32(code)
+		if ndv == 0 {
+			minCode, maxCode = cd, cd
+		} else {
+			if strings.Compare(t.dict.strs[cd], t.dict.strs[minCode]) < 0 {
+				minCode = cd
+			}
+			if strings.Compare(t.dict.strs[cd], t.dict.strs[maxCode]) > 0 {
+				maxCode = cd
+			}
+		}
+		ndv++
+	}
+	if ndv > 0 {
+		cs.Min, cs.Max = StrVal(t.dict.strs[minCode]), StrVal(t.dict.strs[maxCode])
+	}
+	if ndv <= maxTrackedValues {
+		cs.NDV = ndv
+		cs.Freq = make(map[Value]int, ndv)
+		for code, n := range counts {
+			if n > 0 {
+				cs.Freq[StrVal(t.dict.strs[code])] = n
+			}
+		}
+	} else {
+		// The capped row scan stopped tracking on the distinct value
+		// after the cap and reported the count it had seen.
+		cs.NDV = maxTrackedValues + 1
+	}
+	// Token frequencies: tokenize each distinct string once and charge
+	// its tokens with the string's row count (tokens repeat within one
+	// description only once, as in the per-row seen-set scan).
+	tf := make(map[string]int)
+	seen := map[string]bool{}
+	for code, n := range counts {
+		if n == 0 {
+			continue
+		}
+		clear(seen)
+		for _, tok := range strings.Fields(t.dict.strs[code]) {
+			if !seen[tok] {
+				seen[tok] = true
+				tf[tok] += n
+			}
+		}
+		if len(tf) > 4*maxTrackedValues {
+			tf = nil
+			break
+		}
+	}
+	cs.TokenFreq = tf
+	return cs
 }

@@ -2,11 +2,55 @@ package relstore
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
+// column is the physical storage of one attribute: a typed array
+// indexed by row position. TInt columns store values directly; TString
+// columns store 32-bit codes into the table's shared string dictionary,
+// so duplicated string payloads (descriptions, type tags) are stored
+// once per distinct value rather than once per row.
+type column struct {
+	ints  []int64  // TInt values, one per row
+	codes []uint32 // TString dictionary codes, one per row
+}
+
+// stringDict is a table-wide string dictionary shared by all TString
+// columns: code -> string and the inverse map used while loading.
+type stringDict struct {
+	strs []string
+	code map[string]uint32
+}
+
+func (d *stringDict) intern(s string) uint32 {
+	if c, ok := d.code[s]; ok {
+		return c
+	}
+	if d.code == nil {
+		d.code = make(map[string]uint32)
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.code[s] = c
+	return c
+}
+
+// lookup returns the code of s, or false when s never occurs in the
+// table (then no row can match it).
+func (d *stringDict) lookup(s string) (uint32, bool) {
+	c, ok := d.code[s]
+	return c, ok
+}
+
 // Table is an append-only in-memory relation with optional primary-key,
 // hash, and ordered secondary indices.
+//
+// Storage is columnar: each column is a typed array ([]int64 for TInt,
+// dictionary codes for TString), so scans walk contiguous memory and a
+// tuple is materialized into a Row only at the compatibility shims
+// (Row, LookupPK, Scan). Hot paths read cells through IntAt/StrAt or
+// the Col views and allocate nothing per row.
 //
 // A fully built table is safe for concurrent readers: index creation is
 // idempotent and mutex-guarded, so simultaneous query plans may race to
@@ -16,8 +60,10 @@ import (
 type Table struct {
 	Schema *Schema
 
-	rows []Row
-	pk   map[int64]int32
+	nrows int32
+	cols  []column
+	dict  stringDict
+	pk    map[int64]int32
 
 	mu      sync.RWMutex // guards hash, ordered, stats
 	hash    map[int]*HashIndex
@@ -30,6 +76,7 @@ type Table struct {
 func NewTable(s *Schema) *Table {
 	t := &Table{
 		Schema:  s,
+		cols:    make([]column, len(s.Cols)),
 		hash:    make(map[int]*HashIndex),
 		ordered: make(map[int]*OrderedIndex),
 	}
@@ -40,11 +87,96 @@ func NewTable(s *Schema) *Table {
 }
 
 // NumRows returns the current row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return int(t.nrows) }
 
-// Row returns the row stored at position pos. The row is shared; callers
-// must not mutate it.
-func (t *Table) Row(pos int32) Row { return t.rows[pos] }
+// IntAt returns the integer cell at (pos, col c). The column must have
+// type TInt.
+func (t *Table) IntAt(pos int32, c int) int64 { return t.cols[c].ints[pos] }
+
+// StrAt returns the string cell at (pos, col c) without copying. The
+// column must have type TString.
+func (t *Table) StrAt(pos int32, c int) string { return t.dict.strs[t.cols[c].codes[pos]] }
+
+// CodeAt returns the dictionary code of the string cell at (pos, col
+// c). Codes are equality-preserving but NOT order-preserving.
+func (t *Table) CodeAt(pos int32, c int) uint32 { return t.cols[c].codes[pos] }
+
+// ValueAt materializes the cell at (pos, col c) as a Value. The string
+// payload is shared with the dictionary, so this allocates nothing.
+func (t *Table) ValueAt(pos int32, c int) Value {
+	if t.Schema.Cols[c].Type == TInt {
+		return Value{Kind: TInt, Int: t.cols[c].ints[pos]}
+	}
+	return Value{Kind: TString, Str: t.dict.strs[t.cols[c].codes[pos]]}
+}
+
+// ColView is a zero-copy read-only view of one column, for tight loops
+// that index cells by row position without going through the table.
+type ColView struct {
+	Kind  ColType
+	ints  []int64
+	codes []uint32
+	strs  []string
+}
+
+// Col returns a view of column c.
+func (t *Table) Col(c int) ColView {
+	v := ColView{Kind: t.Schema.Cols[c].Type}
+	if v.Kind == TInt {
+		v.ints = t.cols[c].ints
+	} else {
+		v.codes = t.cols[c].codes
+		v.strs = t.dict.strs
+	}
+	return v
+}
+
+// Len returns the number of rows in the view.
+func (v ColView) Len() int {
+	if v.Kind == TInt {
+		return len(v.ints)
+	}
+	return len(v.codes)
+}
+
+// Int returns the integer cell at pos (TInt columns).
+func (v ColView) Int(pos int32) int64 { return v.ints[pos] }
+
+// Str returns the string cell at pos (TString columns).
+func (v ColView) Str(pos int32) string { return v.strs[v.codes[pos]] }
+
+// Code returns the dictionary code at pos (TString columns).
+func (v ColView) Code(pos int32) uint32 { return v.codes[pos] }
+
+// Value materializes the cell at pos.
+func (v ColView) Value(pos int32) Value {
+	if v.Kind == TInt {
+		return Value{Kind: TInt, Int: v.ints[pos]}
+	}
+	return Value{Kind: TString, Str: v.strs[v.codes[pos]]}
+}
+
+// AppendRow appends the cells of the row at pos to dst and returns the
+// extended slice — the allocation-free way to materialize a tuple into
+// a reusable buffer (pass dst[:0] to overwrite a previous row).
+func (t *Table) AppendRow(dst Row, pos int32) Row {
+	for c := range t.cols {
+		if t.Schema.Cols[c].Type == TInt {
+			dst = append(dst, Value{Kind: TInt, Int: t.cols[c].ints[pos]})
+		} else {
+			dst = append(dst, Value{Kind: TString, Str: t.dict.strs[t.cols[c].codes[pos]]})
+		}
+	}
+	return dst
+}
+
+// Row materializes the row stored at position pos. It is a
+// compatibility shim over the columnar layout: each call allocates a
+// fresh Row; position-addressed readers should prefer IntAt/StrAt,
+// Col views, or AppendRow with a reusable buffer.
+func (t *Table) Row(pos int32) Row {
+	return t.AppendRow(make(Row, 0, len(t.cols)), pos)
+}
 
 // Insert appends a row, maintaining all indices. It rejects rows that do
 // not match the schema or that duplicate the primary key.
@@ -52,7 +184,7 @@ func (t *Table) Insert(r Row) error {
 	if err := t.Schema.CheckRow(r); err != nil {
 		return err
 	}
-	pos := int32(len(t.rows))
+	pos := t.nrows
 	if t.pk != nil {
 		key := r[t.Schema.KeyCol].Int
 		if _, dup := t.pk[key]; dup {
@@ -60,10 +192,17 @@ func (t *Table) Insert(r Row) error {
 		}
 		t.pk[key] = pos
 	}
-	t.rows = append(t.rows, r)
+	for c := range r {
+		if r[c].Kind == TInt {
+			t.cols[c].ints = append(t.cols[c].ints, r[c].Int)
+		} else {
+			t.cols[c].codes = append(t.cols[c].codes, t.dict.intern(r[c].Str))
+		}
+	}
+	t.nrows++
 	t.mu.Lock()
 	for col, ix := range t.hash {
-		ix.add(r[col], pos)
+		ix.addKey(t.keyAt(pos, col), pos)
 	}
 	for _, ix := range t.ordered {
 		ix.add(pos)
@@ -73,6 +212,59 @@ func (t *Table) Insert(r Row) error {
 	return nil
 }
 
+// keyAt returns the hash-index key of the cell at (pos, col c): the
+// integer value itself, or the string's dictionary code widened to
+// int64. Codes are non-negative, so negative keys never match a row.
+func (t *Table) keyAt(pos int32, c int) int64 {
+	if t.Schema.Cols[c].Type == TInt {
+		return t.cols[c].ints[pos]
+	}
+	return int64(t.cols[c].codes[pos])
+}
+
+// keyFor maps a lookup value to the hash-index key space of column c.
+// ok=false means no row of the table can equal v (a string absent from
+// the dictionary, or a kind mismatch).
+func (t *Table) keyFor(c int, v Value) (int64, bool) {
+	if t.Schema.Cols[c].Type == TInt {
+		if v.Kind != TInt {
+			return 0, false
+		}
+		return v.Int, true
+	}
+	if v.Kind != TString {
+		return 0, false
+	}
+	code, ok := t.dict.lookup(v.Str)
+	return int64(code), ok
+}
+
+// compareAt orders the cells of column c at row positions a and b.
+func (t *Table) compareAt(c int, a, b int32) int {
+	col := &t.cols[c]
+	if t.Schema.Cols[c].Type == TInt {
+		x, y := col.ints[a], col.ints[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	ca, cb := col.codes[a], col.codes[b]
+	if ca == cb {
+		return 0 // codes are equality-preserving
+	}
+	return strings.Compare(t.dict.strs[ca], t.dict.strs[cb])
+}
+
+// compareValueAt orders the cell of column c at pos against v, with the
+// same cross-kind ordering as Value.Compare.
+func (t *Table) compareValueAt(c int, pos int32, v Value) int {
+	return t.ValueAt(pos, c).Compare(v)
+}
+
 // MustInsert is Insert that panics on error; for loaders of generated data.
 func (t *Table) MustInsert(vals ...Value) {
 	if err := t.Insert(Row(vals)); err != nil {
@@ -80,16 +272,24 @@ func (t *Table) MustInsert(vals ...Value) {
 	}
 }
 
-// LookupPK returns the row with the given primary-key value.
-func (t *Table) LookupPK(id int64) (Row, bool) {
+// PKPos returns the row position of the row with the given primary-key
+// value — the allocation-free LookupPK.
+func (t *Table) PKPos(id int64) (int32, bool) {
 	if t.pk == nil {
-		return nil, false
+		return 0, false
 	}
 	pos, ok := t.pk[id]
+	return pos, ok
+}
+
+// LookupPK returns (materializing) the row with the given primary-key
+// value. Hot paths should use PKPos with IntAt/StrAt or EvalAt instead.
+func (t *Table) LookupPK(id int64) (Row, bool) {
+	pos, ok := t.PKPos(id)
 	if !ok {
 		return nil, false
 	}
-	return t.rows[pos], true
+	return t.Row(pos), true
 }
 
 // HasPK reports whether a row with the given primary key exists.
@@ -121,9 +321,15 @@ func (t *Table) CreateHashIndex(col string) (*HashIndex, error) {
 	if ix, have := t.hash[c]; have {
 		return ix, nil
 	}
-	ix = newHashIndex(c)
-	for pos, r := range t.rows {
-		ix.add(r[c], int32(pos))
+	ix = newHashIndex(t, c)
+	if t.Schema.Cols[c].Type == TInt {
+		for pos, v := range t.cols[c].ints {
+			ix.addKey(v, int32(pos))
+		}
+	} else {
+		for pos, code := range t.cols[c].codes {
+			ix.addKey(int64(code), int32(pos))
+		}
 	}
 	t.hash[c] = ix
 	return ix, nil
@@ -177,7 +383,9 @@ func (t *Table) OrderedIndexOn(col string) (*OrderedIndex, bool) {
 }
 
 // Lookup returns positions of rows whose column equals v, using a hash
-// index when available and a scan otherwise.
+// index when available and a column scan otherwise. The fallback walks
+// the typed arrays directly: no Value is constructed per row, and for a
+// string column the probe is one dictionary lookup plus a code scan.
 func (t *Table) Lookup(col string, v Value) ([]int32, error) {
 	c, ok := t.Schema.ColIndex(col)
 	if !ok {
@@ -190,8 +398,26 @@ func (t *Table) Lookup(col string, v Value) ([]int32, error) {
 		return ix.Lookup(v), nil
 	}
 	var out []int32
-	for pos, r := range t.rows {
-		if r[c].Equal(v) {
+	if t.Schema.Cols[c].Type == TInt {
+		if v.Kind != TInt {
+			return nil, nil
+		}
+		for pos, x := range t.cols[c].ints {
+			if x == v.Int {
+				out = append(out, int32(pos))
+			}
+		}
+		return out, nil
+	}
+	if v.Kind != TString {
+		return nil, nil
+	}
+	code, ok := t.dict.lookup(v.Str)
+	if !ok {
+		return nil, nil // string never interned: no row can match
+	}
+	for pos, x := range t.cols[c].codes {
+		if x == code {
 			out = append(out, int32(pos))
 		}
 	}
@@ -199,24 +425,46 @@ func (t *Table) Lookup(col string, v Value) ([]int32, error) {
 }
 
 // Scan visits every row in insertion order until visit returns false.
+// The Row passed to visit is a single buffer reused across calls: it is
+// valid only during the visit and must be cloned to be retained.
+// Position-only readers should prefer ScanPos with IntAt/StrAt.
 func (t *Table) Scan(visit func(pos int32, r Row) bool) {
-	for pos, r := range t.rows {
-		if !visit(int32(pos), r) {
+	buf := make(Row, 0, len(t.cols))
+	for pos := int32(0); pos < t.nrows; pos++ {
+		buf = t.AppendRow(buf[:0], pos)
+		if !visit(pos, buf) {
 			return
 		}
 	}
 }
 
-// ApproxBytes estimates the storage footprint of the table in bytes,
-// counting values, rows, and index entries. Used to reproduce the
+// ScanPos visits every row position in insertion order until visit
+// returns false, materializing nothing.
+func (t *Table) ScanPos(visit func(pos int32) bool) {
+	for pos := int32(0); pos < t.nrows; pos++ {
+		if !visit(pos) {
+			return
+		}
+	}
+}
+
+// ApproxBytes estimates the storage footprint of the table in bytes:
+// the columnar arrays (8 bytes per TInt cell, 4 per TString code), the
+// shared string dictionary (header + payload + intern-map entry per
+// distinct string), and the index entries. Used to reproduce the
 // paper's space-requirement comparison (Table 1).
 func (t *Table) ApproxBytes() int64 {
 	var b int64
-	for _, r := range t.rows {
-		b += 24 // slice header
-		for _, v := range r {
-			b += 24 + int64(len(v.Str)) // Value struct + string bytes
+	for c := range t.cols {
+		if t.Schema.Cols[c].Type == TInt {
+			b += 8 * int64(len(t.cols[c].ints))
+		} else {
+			b += 4 * int64(len(t.cols[c].codes))
 		}
+	}
+	for _, s := range t.dict.strs {
+		b += 16 + int64(len(s)) // string header + payload (stored once)
+		b += 24                 // intern-map entry (string header + code + overhead)
 	}
 	if t.pk != nil {
 		b += int64(len(t.pk)) * 12
@@ -224,7 +472,7 @@ func (t *Table) ApproxBytes() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, ix := range t.hash {
-		b += int64(len(ix.m)) * 32
+		b += int64(len(ix.m)) * 16 // key + slice bookkeeping
 		for _, ps := range ix.m {
 			b += int64(len(ps)) * 4
 		}

@@ -39,8 +39,10 @@ func (t ColType) String() string {
 
 // Value is a single typed cell. The zero value is the integer 0.
 //
-// Value is a comparable struct so it can be used directly as a map key in
-// hash indices and hash joins.
+// Value is a comparable struct so it can be used directly as a map key
+// (hash joins build on this). Storage is columnar: tables do not hold
+// Values — a Value is materialized at the row-compatibility shims, and
+// hash indices key on int64 values / dictionary codes instead.
 type Value struct {
 	Kind ColType
 	Int  int64
