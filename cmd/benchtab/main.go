@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchstorage|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchstorage|benchupdate|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -12,7 +12,12 @@
 // query-latency trajectory to compare against. The benchstorage
 // experiment measures the columnar storage engine (scan, probe, build,
 // Fast-Top) and the bytes-per-row footprint of the precomputed tables,
-// writing -storageout (default BENCH_storage.json).
+// writing -storageout (default BENCH_storage.json). The benchupdate
+// experiment grows the database in live batches and records mutation
+// throughput plus incremental-Refresh latency against a full offline
+// rebuild (verifying the two stay byte-identical), writing -updateout
+// (default BENCH_update.json); it mutates the environment, so it runs
+// last.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
 		benchout = flag.String("benchout", "BENCH_online.json", "output file for -exp benchonline")
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
+		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 	)
 	flag.Parse()
 
@@ -170,5 +176,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *storeout)
+	}
+	if need("benchupdate") {
+		fmt.Println("== Live updates: apply throughput, incremental Refresh vs full rebuild ==")
+		rep, err := experiments.BenchUpdate(ctx, env, *reps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintUpdateBench(os.Stdout, rep)
+		if err := experiments.WriteUpdateBench(rep, *updout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *updout)
 	}
 }

@@ -47,6 +47,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// EffectiveMaxLen resolves the path-length bound (0 = the default).
+// Incremental maintenance derives the affected-frontier BFS radius
+// from it, so every caller must resolve the default the same way the
+// computation itself does.
+func (o Options) EffectiveMaxLen() int { return o.withDefaults().MaxLen }
+
 // Workers resolves the effective worker count of the Parallelism
 // setting (0 = GOMAXPROCS). The online evaluation methods use the same
 // resolution for their query-time worker pools.
@@ -111,6 +117,21 @@ func sortedSigs(classes map[graph.PathSig][]graph.Path) []graph.PathSig {
 // sorted, duplicate-free ID list.
 func TopologiesFromClasses(g *graph.Graph, reg *Registry,
 	classes map[graph.PathSig][]graph.Path, opts Options) []TopologyID {
+	out := topologiesFromClassesOrdered(g, reg, classes, opts)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// topologiesFromClassesOrdered is TopologiesFromClasses returning the
+// IDs in within-cell discovery order instead of sorted. Discovery
+// order is intrinsic to the cell — it depends only on the pair's path
+// classes (sorted signatures, sorted representatives, the bounded
+// combination enumeration), never on the registry's prior contents —
+// which is what lets the incremental-update merge replay a cell's
+// registrations in exactly the order a from-scratch sequential run
+// would perform them.
+func topologiesFromClassesOrdered(g *graph.Graph, reg *Registry,
+	classes map[graph.PathSig][]graph.Path, opts Options) []TopologyID {
 	opts = opts.withDefaults()
 	if len(classes) == 0 {
 		return nil
@@ -151,7 +172,6 @@ func TopologiesFromClasses(g *graph.Graph, reg *Registry,
 		}
 	}
 	rec(0)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -29,6 +29,12 @@ type PairData struct {
 	Freq     map[TopologyID]int
 
 	classSets map[pairKey][]graph.PathSig
+	// cellTops records each cell's topology IDs in within-cell
+	// discovery order (the order a sequential run would register them).
+	// UpdateResult replays unaffected cells from it, so an incremental
+	// refresh renumbers topologies exactly as a from-scratch rebuild
+	// over the grown database would.
+	cellTops map[pairKey][]TopologyID
 }
 
 // ClassSet returns the path-equivalence-class signatures relating the
@@ -118,7 +124,8 @@ func Compute(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, pairs [
 
 // startOutput is the per-start-node work unit result: for each end
 // node b (ascending), the topology IDs in the producing worker's local
-// registry (ascending) and the pair's class signatures.
+// registry (in within-cell discovery order) and the pair's class
+// signatures.
 type startOutput struct {
 	reg   *Registry // the worker-local registry the tids refer to
 	cells []cellOutput
@@ -126,7 +133,7 @@ type startOutput struct {
 
 type cellOutput struct {
 	b    graph.NodeID
-	tids []TopologyID // local registry IDs, ascending
+	tids []TopologyID // local registry IDs, within-cell discovery order
 	sigs []graph.PathSig
 }
 
@@ -144,12 +151,7 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 		}
 		schemaPaths = kept
 	}
-	pd := &PairData{
-		ES1:       es1,
-		ES2:       es2,
-		Freq:      make(map[TopologyID]int),
-		classSets: make(map[pairKey][]graph.PathSig),
-	}
+	pd := newPairData(es1, es2)
 	selfPair := es1 == es2
 	t1, ok := g.NodeTypes.Lookup(es1)
 	if !ok {
@@ -158,10 +160,43 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 	starts := append([]graph.NodeID(nil), g.NodesOfType(t1)...)
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 
-	// Phase 1: fan the start nodes out over a worker pool. Each worker
-	// interns topologies into its own local registry, so the hot path
-	// takes no locks; results land in the per-start slot, so no two
-	// goroutines share state beyond the atomic work counter.
+	results, err := runStarts(ctx, g, sg, starts, schemaPaths, selfPair, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: computing %s-%s: %w", es1, es2, err)
+	}
+
+	// Phase 2: merge in ascending start-node order. Adopting each
+	// cell's topologies in within-cell discovery order replays the
+	// exact registration order of a sequential run (a canonical form's
+	// first global appearance is always at a cell where its worker also
+	// first saw it, so the cell-local order restricted to new forms is
+	// the sequential registration order), and therefore global IDs —
+	// and with them Entries and Freq — come out byte-identical for
+	// every parallelism level.
+	for i := range results {
+		mergeStart(reg, pd, starts[i], &results[i])
+	}
+	return pd, nil
+}
+
+func newPairData(es1, es2 string) *PairData {
+	return &PairData{
+		ES1:       es1,
+		ES2:       es2,
+		Freq:      make(map[TopologyID]int),
+		classSets: make(map[pairKey][]graph.PathSig),
+		cellTops:  make(map[pairKey][]TopologyID),
+	}
+}
+
+// runStarts is phase 1 of the topology computation: fan the given
+// start nodes out over a worker pool. Each worker interns topologies
+// into its own local registry, so the hot path takes no locks; results
+// land in the per-start slot, so no two goroutines share state beyond
+// the atomic work counter. The incremental-update path reuses it over
+// just the affected start-node frontier.
+func runStarts(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, starts []graph.NodeID,
+	schemaPaths []graph.SchemaPath, selfPair bool, opts Options) ([]startOutput, error) {
 	workers := opts.Workers()
 	if workers > len(starts) {
 		workers = len(starts)
@@ -200,32 +235,38 @@ func computePair(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, reg
 	}
 	wg.Wait()
 	if err, ok := ctxErr.Load().(error); ok {
-		return nil, fmt.Errorf("core: computing %s-%s: %w", es1, es2, err)
+		return nil, err
 	}
+	return results, nil
+}
 
-	// Phase 2: merge in ascending start-node order. Adopting each
-	// cell's topologies in ascending local-ID order replays the exact
-	// registration order of a sequential run (a worker first sees any
-	// canonical form no later, in merge order, than the sequential loop
-	// would), so global IDs — and therefore Entries and Freq — come out
-	// byte-identical for every parallelism level.
-	for i := range results {
-		a := starts[i]
-		ro := &results[i]
-		for _, cell := range ro.cells {
-			gids := make([]TopologyID, len(cell.tids))
-			for j, lid := range cell.tids {
-				gids[j] = reg.Adopt(ro.reg.Info(lid))
-			}
-			sort.Slice(gids, func(x, y int) bool { return gids[x] < gids[y] })
-			for _, tid := range gids {
-				pd.Entries = append(pd.Entries, Entry{A: a, B: cell.b, TID: tid})
-				pd.Freq[tid]++
-			}
-			pd.classSets[pairKey{a, cell.b}] = cell.sigs
+// mergeStart folds one start node's recomputed cells into the global
+// registry and pair data: adopt in discovery order, record the cell's
+// discovery-order IDs for future incremental updates, then emit the
+// sorted Entries rows.
+func mergeStart(reg *Registry, pd *PairData, a graph.NodeID, ro *startOutput) {
+	for _, cell := range ro.cells {
+		gids := make([]TopologyID, len(cell.tids))
+		for j, lid := range cell.tids {
+			gids[j] = reg.Adopt(ro.reg.Info(lid))
 		}
+		mergeCell(pd, a, cell.b, gids, cell.sigs)
 	}
-	return pd, nil
+}
+
+// mergeCell records one cell given its topology IDs in discovery
+// order. It takes ownership of gids (both callers build a fresh slice
+// per cell).
+func mergeCell(pd *PairData, a, b graph.NodeID, gids []TopologyID, sigs []graph.PathSig) {
+	key := pairKey{a, b}
+	pd.cellTops[key] = gids
+	sorted := append([]TopologyID(nil), gids...)
+	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+	for _, tid := range sorted {
+		pd.Entries = append(pd.Entries, Entry{A: a, B: b, TID: tid})
+		pd.Freq[tid]++
+	}
+	pd.classSets[key] = sigs
 }
 
 // cancelCheckStride is how many materialized paths a work unit lets
@@ -284,7 +325,7 @@ func computeStart(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, lo
 		for _, ps := range classes {
 			sortPaths(ps)
 		}
-		tids := TopologiesFromClasses(g, localReg, classes, opts)
+		tids := topologiesFromClassesOrdered(g, localReg, classes, opts)
 		out.cells = append(out.cells, cellOutput{b: b, tids: tids, sigs: sortedSigs(classes)})
 	}
 	return out

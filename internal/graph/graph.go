@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"maps"
+)
 
 // HalfEdge is one direction of an undirected typed edge.
 type HalfEdge struct {
@@ -73,6 +76,28 @@ func (g *Graph) AddEdge(id int64, a, b NodeID, t TypeID) error {
 	g.adj[b] = append(g.adj[b], HalfEdge{To: a, Type: t, ID: id, toDense: g.dense[a], toType: ta})
 	g.numEdges++
 	return nil
+}
+
+// Clone returns a copy of the graph that can be extended with AddNode
+// and AddEdge without disturbing readers of the original: the node and
+// adjacency maps are copied, while the type tables are shared (the
+// schema is fixed, so an extension never interns new type names) and
+// the adjacency slices use the append-only copy-on-write discipline —
+// growth either happens beyond the original's slice lengths or
+// reallocates, so the original graph and any earlier clone stay
+// byte-stable. This is the substrate of the live-update path: a batch
+// of inserts clones the current graph, extends the clone, and
+// publishes it, leaving in-flight traversals of the old graph intact.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		NodeTypes: g.NodeTypes,
+		EdgeTypes: g.EdgeTypes,
+		nodeType:  maps.Clone(g.nodeType),
+		byType:    maps.Clone(g.byType),
+		adj:       maps.Clone(g.adj),
+		numEdges:  g.numEdges,
+		dense:     maps.Clone(g.dense),
+	}
 }
 
 // NodeType returns a node's type.

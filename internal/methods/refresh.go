@@ -1,0 +1,57 @@
+package methods
+
+import (
+	"context"
+
+	"toposearch/internal/core"
+	"toposearch/internal/graph"
+)
+
+// Refresh derives a new Store generation for the same entity-set pair
+// after the database absorbed inserts: the topology data is maintained
+// incrementally — core.UpdateResult recomputes only the affected
+// start-node frontier on the configured worker pool and renumbers the
+// merged result exactly as a from-scratch rebuild would — then the
+// pruning pass reruns over the merged data and the four precomputed
+// tables are rematerialized and their indexes and statistics warmed.
+//
+// The receiver is left untouched: queries running against it keep
+// their consistent snapshot (its table pointers survive even though
+// the catalog now names the new generation's tables). Callers swap the
+// returned Store in once it is ready — the public Searcher.Refresh
+// does this atomically.
+//
+// g must be the grown data graph and affected the start-node frontier
+// derived from the inserts applied since this store was built (see
+// delta.AffectedStarts). The result is byte-identical to
+// BuildStoreFromGraph over g, at any parallelism, but only pays path
+// enumeration for the frontier.
+func (s *Store) Refresh(ctx context.Context, g *graph.Graph, affected map[graph.NodeID]bool) (*Store, error) {
+	res, err := core.UpdateResult(ctx, g, s.SG, s.Res, s.ES1, s.ES2, affected, s.opts())
+	if err != nil {
+		return nil, err
+	}
+	pr := res.Prune(s.Cfg.PruneThreshold)
+	ns := &Store{
+		DB: s.DB, G: g, SG: s.SG, Res: res, Pr: pr,
+		ES1: s.ES1, ES2: s.ES2, T1: s.T1, T2: s.T2,
+		Cfg:       s.Cfg,
+		sigToPath: s.sigToPath, // schema paths are static; shared read-only
+	}
+	if err := ns.materialize(); err != nil {
+		return nil, err
+	}
+	if err := ns.warmIndexes(); err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+// RefreshShallow returns a new Store generation that only swaps the
+// data graph — for batches that inserted entities but no relationships,
+// where the topology tables cannot have changed.
+func (s *Store) RefreshShallow(g *graph.Graph) *Store {
+	ns := *s
+	ns.G = g
+	return &ns
+}

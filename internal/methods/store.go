@@ -101,20 +101,9 @@ func BuildStoreFromGraph(ctx context.Context, db *relstore.DB, g *graph.Graph, s
 	if s.T1 == nil || s.T2 == nil {
 		return nil, fmt.Errorf("methods: entity tables for %s/%s not found", es1, es2)
 	}
-	// Rebuilding a store for the same pair replaces its tables.
-	for _, kind := range []string{"AllTops", "LeftTops", "ExcpTops", "TopInfo"} {
-		db.DropTable(core.TableName(kind, es1, es2))
-	}
-	if s.AllTops, err = res.MaterializeAllTops(db, es1, es2); err != nil {
+	if err := s.materialize(); err != nil {
 		return nil, err
 	}
-	if s.LeftTops, s.ExcpTops, err = pr.Materialize(db, es1, es2); err != nil {
-		return nil, err
-	}
-	if s.TopInfo, err = res.MaterializeTopInfo(db, es1, es2, cfg.Scores); err != nil {
-		return nil, err
-	}
-	s.PrunedTIDs = append([]core.TopologyID(nil), pr.Pair(es1, es2).PrunedTIDs...)
 	paths, err := sg.EnumeratePaths(es1, es2, s.opts().MaxLen)
 	if err != nil {
 		return nil, err
@@ -126,6 +115,29 @@ func BuildStoreFromGraph(ctx context.Context, db *relstore.DB, g *graph.Graph, s
 		return nil, err
 	}
 	return s, nil
+}
+
+// materialize (re)builds the store's four precomputed tables in the
+// catalog from its Result and Pruned data. Rebuilding a store for the
+// same pair replaces its tables in the catalog; a previous store
+// generation keeps its own table pointers, so in-flight queries are
+// undisturbed.
+func (s *Store) materialize() error {
+	var err error
+	for _, kind := range []string{"AllTops", "LeftTops", "ExcpTops", "TopInfo"} {
+		s.DB.DropTable(core.TableName(kind, s.ES1, s.ES2))
+	}
+	if s.AllTops, err = s.Res.MaterializeAllTops(s.DB, s.ES1, s.ES2); err != nil {
+		return err
+	}
+	if s.LeftTops, s.ExcpTops, err = s.Pr.Materialize(s.DB, s.ES1, s.ES2); err != nil {
+		return err
+	}
+	if s.TopInfo, err = s.Res.MaterializeTopInfo(s.DB, s.ES1, s.ES2, s.Cfg.Scores); err != nil {
+		return err
+	}
+	s.PrunedTIDs = append([]core.TopologyID(nil), s.Pr.Pair(s.ES1, s.ES2).PrunedTIDs...)
+	return nil
 }
 
 // warmIndexes pre-creates every index and statistics object the online

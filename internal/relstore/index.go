@@ -3,6 +3,7 @@ package relstore
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // HashIndex is an equality index on one column: key -> row positions.
@@ -13,17 +14,68 @@ import (
 // code for TString columns. Probing therefore never hashes a composite
 // Value struct or a string — a string probe is one dictionary lookup
 // (absent string: no rows, no map access).
+//
+// The index is split like the table's storage into a sealed map (an
+// immutable map probed lock-free) and a pending buffer that absorbs
+// the positions of rows inserted since the last Compact. While no
+// delta rows exist, a probe is exactly the pre-live-update map lookup;
+// with pending entries, a probe on a delta-touched key concatenates
+// the sealed and pending postings into a fresh slice.
 type HashIndex struct {
 	Col int
 	t   *Table
-	m   map[int64][]int32
+
+	sealed atomic.Pointer[map[int64][]int32]
+	mu     sync.RWMutex
+	pend   map[int64][]int32
+	npend  atomic.Int32
 }
 
 func newHashIndex(t *Table, col int) *HashIndex {
-	return &HashIndex{Col: col, t: t, m: make(map[int64][]int32)}
+	ix := &HashIndex{Col: col, t: t}
+	m := make(map[int64][]int32)
+	ix.sealed.Store(&m)
+	return ix
 }
 
-func (ix *HashIndex) addKey(k int64, pos int32) { ix.m[k] = append(ix.m[k], pos) }
+// addPending records a freshly inserted row (writers only, serialized
+// by the table's write lock).
+func (ix *HashIndex) addPending(k int64, pos int32) {
+	ix.mu.Lock()
+	if ix.pend == nil {
+		ix.pend = make(map[int64][]int32)
+	}
+	ix.pend[k] = append(ix.pend[k], pos)
+	ix.mu.Unlock()
+	ix.npend.Add(1)
+}
+
+// merge folds the pending postings into a fresh sealed map (writers
+// only, under the table's write lock). Sealed postings of untouched
+// keys are shared with the previous map; touched keys get new slices,
+// so probes holding the old map stay valid. The sealed-pointer swap
+// and the pending clear happen atomically with respect to readers'
+// locked slow path, so a racing probe can never double-count or miss
+// the postings being merged.
+func (ix *HashIndex) merge() {
+	if ix.npend.Load() == 0 {
+		return
+	}
+	old := *ix.sealed.Load()
+	merged := make(map[int64][]int32, len(old)+len(ix.pend))
+	for k, ps := range old {
+		merged[k] = ps
+	}
+	for k, ps := range ix.pend {
+		base := merged[k]
+		merged[k] = append(base[:len(base):len(base)], ps...)
+	}
+	ix.mu.Lock()
+	ix.sealed.Store(&merged)
+	ix.pend = nil
+	ix.npend.Store(0)
+	ix.mu.Unlock()
+}
 
 // Lookup returns the positions of all rows whose indexed column equals v.
 // The returned slice is shared; callers must not mutate it.
@@ -32,15 +84,73 @@ func (ix *HashIndex) Lookup(v Value) []int32 {
 	if !ok {
 		return nil
 	}
-	return ix.m[k]
+	return ix.LookupInt(k)
 }
 
 // LookupInt returns the positions matching an integer key directly
-// (TInt columns only) — the no-Value probe for tight loops.
-func (ix *HashIndex) LookupInt(k int64) []int32 { return ix.m[k] }
+// (TInt columns; for TString columns the key is a dictionary code) —
+// the no-Value probe for tight loops. While the key has no pending
+// rows the probe allocates nothing. The pending counter is read before
+// the sealed map and the slow path reads both under one read lock, so
+// a probe racing Compact's merge never misses or double-counts a
+// committed row.
+func (ix *HashIndex) LookupInt(k int64) []int32 {
+	if ix.npend.Load() == 0 {
+		return (*ix.sealed.Load())[k]
+	}
+	ix.mu.RLock()
+	base := (*ix.sealed.Load())[k]
+	pend := ix.pend[k]
+	var out []int32
+	if len(pend) > 0 {
+		out = make([]int32, 0, len(base)+len(pend))
+		out = append(out, base...)
+		out = append(out, pend...)
+	}
+	ix.mu.RUnlock()
+	if out != nil {
+		return out
+	}
+	return base
+}
 
 // NumKeys returns the number of distinct values in the index.
-func (ix *HashIndex) NumKeys() int { return len(ix.m) }
+func (ix *HashIndex) NumKeys() int {
+	if ix.npend.Load() == 0 {
+		return len(*ix.sealed.Load())
+	}
+	ix.mu.RLock()
+	sealed := *ix.sealed.Load()
+	n := len(sealed)
+	for k := range ix.pend {
+		if _, ok := sealed[k]; !ok {
+			n++
+		}
+	}
+	ix.mu.RUnlock()
+	return n
+}
+
+// approxBytes estimates the index footprint (sealed + pending); the
+// caller holds the table's registry lock.
+func (ix *HashIndex) approxBytes() int64 {
+	var b int64
+	for _, ps := range *ix.sealed.Load() {
+		b += 16 + int64(len(ps))*4 // key + slice bookkeeping + postings
+	}
+	return b + ix.pendingBytes()
+}
+
+// pendingBytes estimates the pending-buffer footprint alone.
+func (ix *HashIndex) pendingBytes() int64 {
+	var b int64
+	ix.mu.RLock()
+	for _, ps := range ix.pend {
+		b += 16 + int64(len(ps))*4
+	}
+	ix.mu.RUnlock()
+	return b
+}
 
 // OrderedIndex is a sorted permutation of row positions by one column,
 // supporting range scans and ordered iteration (used for score-ordered
@@ -51,24 +161,28 @@ func (ix *HashIndex) NumKeys() int { return len(ix.m) }
 // Inserts are buffered: add appends to a pending list in O(1) and the
 // next read merges the (sorted) pending block into the permutation in
 // one pass, so N inserts into a scored table cost O(N log N) total
-// rather than the O(N^2) of a copy-shift insert per row.
+// rather than the O(N^2) of a copy-shift insert per row. The merge
+// always builds a fresh permutation slice and readers iterate the
+// snapshot the merge returned, so ordered scans are safe to race with
+// concurrent Inserts and with each other.
 type OrderedIndex struct {
 	Col int
 	t   *Table
 
 	mu      sync.Mutex
-	perm    []int32 // row positions sorted by column value
+	perm    []int32 // row positions sorted by column value; replaced wholesale
 	pending []int32 // positions added since the last merge
 }
 
 func newOrderedIndex(t *Table, col int) *OrderedIndex {
 	ix := &OrderedIndex{Col: col, t: t}
-	ix.perm = make([]int32, t.nrows)
+	st := t.loadState()
+	ix.perm = make([]int32, st.nrows)
 	for i := range ix.perm {
 		ix.perm[i] = int32(i)
 	}
 	sort.SliceStable(ix.perm, func(a, b int) bool {
-		return t.compareAt(col, ix.perm[a], ix.perm[b]) < 0
+		return st.compareAt(t.Schema, col, ix.perm[a], ix.perm[b]) < 0
 	})
 	return ix
 }
@@ -79,26 +193,32 @@ func (ix *OrderedIndex) add(pos int32) {
 	ix.mu.Unlock()
 }
 
-// flush merges the pending block into the sorted permutation. Rows are
-// append-only, so every pending position exceeds every merged position;
-// taking merged entries first on value ties therefore preserves the
-// index's insertion-order tie-break. Concurrent readers may race to
-// flush; the mutex makes the merge happen exactly once.
-func (ix *OrderedIndex) flush() {
+// snapshot merges any pending block into the sorted permutation and
+// returns the resulting permutation together with the table snapshot
+// that covers every position in it. Rows are append-only, so every
+// pending position exceeds every merged position; taking merged
+// entries first on value ties therefore preserves the index's
+// insertion-order tie-break. The merge builds a new slice, so
+// previously returned snapshots stay valid for their readers.
+func (ix *OrderedIndex) snapshot() ([]int32, *tableState) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	// Load the table state inside the lock: any position a writer added
+	// to pending was published to the table before the add, so this
+	// state covers the whole merged permutation.
+	st := ix.t.loadState()
 	if len(ix.pending) == 0 {
-		return
+		return ix.perm, st
 	}
 	pend := ix.pending
 	t, col := ix.t, ix.Col
 	sort.SliceStable(pend, func(a, b int) bool {
-		return t.compareAt(col, pend[a], pend[b]) < 0
+		return st.compareAt(t.Schema, col, pend[a], pend[b]) < 0
 	})
 	merged := make([]int32, 0, len(ix.perm)+len(pend))
 	i, j := 0, 0
 	for i < len(ix.perm) && j < len(pend) {
-		if t.compareAt(col, ix.perm[i], pend[j]) <= 0 {
+		if st.compareAt(t.Schema, col, ix.perm[i], pend[j]) <= 0 {
 			merged = append(merged, ix.perm[i])
 			i++
 		} else {
@@ -110,37 +230,42 @@ func (ix *OrderedIndex) flush() {
 	merged = append(merged, pend[j:]...)
 	ix.perm = merged
 	ix.pending = nil
+	return merged, st
 }
+
+// flush merges the pending block into the sorted permutation.
+func (ix *OrderedIndex) flush() { ix.snapshot() }
 
 // Len returns the number of indexed rows.
 func (ix *OrderedIndex) Len() int {
-	ix.flush()
-	return len(ix.perm)
+	perm, _ := ix.snapshot()
+	return len(perm)
 }
 
 // At returns the row position at sorted rank i (ascending by value).
 func (ix *OrderedIndex) At(i int) int32 {
-	ix.flush()
-	return ix.perm[i]
+	perm, _ := ix.snapshot()
+	return perm[i]
 }
 
 // Scan visits row positions in ascending column order; descending if
 // desc is set. Ties are always visited in insertion order (the scan is
 // stable in both directions), so plans that consume a descending score
 // order break ties identically to an explicit (score DESC, key ASC)
-// sort. The visit function returns false to stop early.
+// sort. The visit function returns false to stop early. The scan
+// covers the rows indexed when it started (a snapshot).
 func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
-	ix.flush()
+	perm, st := ix.snapshot()
 	if desc {
-		hi := len(ix.perm)
+		hi := len(perm)
 		for hi > 0 {
 			// Find the run of equal values ending at hi-1.
 			lo := hi - 1
-			for lo > 0 && ix.t.compareAt(ix.Col, ix.perm[lo-1], ix.perm[lo]) == 0 {
+			for lo > 0 && st.compareAt(ix.t.Schema, ix.Col, perm[lo-1], perm[lo]) == 0 {
 				lo--
 			}
 			for i := lo; i < hi; i++ {
-				if !visit(ix.perm[i]) {
+				if !visit(perm[i]) {
 					return
 				}
 			}
@@ -148,7 +273,7 @@ func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
 		}
 		return
 	}
-	for _, p := range ix.perm {
+	for _, p := range perm {
 		if !visit(p) {
 			return
 		}
@@ -157,17 +282,32 @@ func (ix *OrderedIndex) Scan(desc bool, visit func(pos int32) bool) {
 
 // Range visits row positions with lo <= value <= hi in ascending order.
 func (ix *OrderedIndex) Range(lo, hi Value, visit func(pos int32) bool) {
-	ix.flush()
-	start := sort.Search(len(ix.perm), func(i int) bool {
-		return ix.t.compareValueAt(ix.Col, ix.perm[i], lo) >= 0
+	perm, st := ix.snapshot()
+	sch := ix.t.Schema
+	start := sort.Search(len(perm), func(i int) bool {
+		return st.compareValueAt(sch, ix.Col, perm[i], lo) >= 0
 	})
-	for i := start; i < len(ix.perm); i++ {
-		p := ix.perm[i]
-		if ix.t.compareValueAt(ix.Col, p, hi) > 0 {
+	for i := start; i < len(perm); i++ {
+		p := perm[i]
+		if st.compareValueAt(sch, ix.Col, p, hi) > 0 {
 			return
 		}
 		if !visit(p) {
 			return
 		}
 	}
+}
+
+// approxBytes estimates the index footprint (permutation + pending).
+func (ix *OrderedIndex) approxBytes() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return int64(len(ix.perm)+len(ix.pending)) * 4
+}
+
+// pendingBytes estimates the pending-block footprint alone.
+func (ix *OrderedIndex) pendingBytes() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return int64(len(ix.pending)) * 4
 }

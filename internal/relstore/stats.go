@@ -6,7 +6,10 @@ import "strings"
 // the column keeps only NDV/min/max, like a real system's histogram cap.
 const maxTrackedValues = 4096
 
-// ColStats summarizes one column for selectivity estimation.
+// ColStats summarizes one column for selectivity estimation. A ColStats
+// is immutable once published: incremental maintenance clones it before
+// extending, so readers holding an older statistics object are never
+// raced.
 type ColStats struct {
 	NDV int   // number of distinct values
 	Min Value // minimum value (by Compare order)
@@ -17,6 +20,24 @@ type ColStats struct {
 	// TokenFreq maps whitespace token -> number of rows containing it,
 	// for string columns (supports ct() keyword selectivity).
 	TokenFreq map[string]int
+}
+
+// clone deep-copies the statistics so an extension pass can mutate them.
+func (cs *ColStats) clone() *ColStats {
+	out := &ColStats{NDV: cs.NDV, Min: cs.Min, Max: cs.Max}
+	if cs.Freq != nil {
+		out.Freq = make(map[Value]int, len(cs.Freq))
+		for v, n := range cs.Freq {
+			out.Freq[v] = n
+		}
+	}
+	if cs.TokenFreq != nil {
+		out.TokenFreq = make(map[string]int, len(cs.TokenFreq))
+		for tok, n := range cs.TokenFreq {
+			out.TokenFreq[tok] = n
+		}
+	}
+	return out
 }
 
 // TableStats holds per-table statistics.
@@ -33,52 +54,83 @@ func (st *TableStats) Col(i int) *ColStats {
 	return st.cols[i]
 }
 
-// Stats returns (building lazily) the table's statistics. The result is
-// invalidated by Insert. Concurrent callers are safe: the first builds
-// the statistics under the table lock, the rest get the cached object.
+// tableStatsCache maintains the table's statistics incrementally, one
+// column at a time: each column remembers the row watermark its
+// statistics cover, and a Stats() call extends only the columns whose
+// watermark lags the table — scanning just the rows appended since,
+// never rebuilding from scratch and never touching up-to-date columns.
+// The cache is guarded by the table's registry lock (Table.mu).
+type tableStatsCache struct {
+	upTo  []int32 // per-column watermark: rows covered by cols[c]
+	cols  []*ColStats
+	built *TableStats // last assembled snapshot (Rows == min watermark)
+}
+
+func newTableStatsCache(ncols int) *tableStatsCache {
+	return &tableStatsCache{upTo: make([]int32, ncols), cols: make([]*ColStats, ncols)}
+}
+
+// Stats returns (building or extending lazily) the table's statistics.
+// Statistics are maintained incrementally per column: an Insert does
+// not invalidate anything — the next Stats() call extends each stale
+// column over just the newly appended rows. Concurrent callers are
+// safe: extension happens under the table lock and always publishes
+// fresh ColStats objects, so a previously returned TableStats is never
+// mutated.
 func (t *Table) Stats() *TableStats {
+	st := t.loadState()
 	t.mu.RLock()
-	st := t.stats
+	built := t.stats.built
 	t.mu.RUnlock()
-	if st != nil {
-		return st
+	if built != nil && built.Rows >= int(st.nrows) {
+		return built
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.stats != nil {
-		return t.stats
+	if t.stats.built != nil && t.stats.built.Rows >= int(st.nrows) {
+		return t.stats.built
 	}
-	st = t.buildStats()
-	t.stats = st
-	return st
+	for c := range t.Schema.Cols {
+		if t.stats.upTo[c] >= st.nrows {
+			continue
+		}
+		if t.stats.cols[c] == nil || t.stats.upTo[c] == 0 {
+			t.stats.cols[c] = t.buildColStats(st, c)
+		} else {
+			t.stats.cols[c] = t.extendColStats(st, c, t.stats.cols[c].clone(), t.stats.upTo[c])
+		}
+		t.stats.upTo[c] = st.nrows
+	}
+	t.stats.built = &TableStats{
+		Rows: int(st.nrows),
+		cols: append([]*ColStats(nil), t.stats.cols...),
+	}
+	return t.stats.built
 }
 
-// buildStats derives the per-column statistics straight from the
-// columnar arrays. String columns are summarized per dictionary code —
-// one count-array pass over the codes, then one pass over the distinct
+// buildColStats derives one column's statistics from scratch over the
+// snapshot. String columns are summarized per dictionary code — one
+// count-array pass over the codes, then one pass over the distinct
 // strings — so a million-row column with a hundred distinct
 // descriptions hashes a hundred strings, not a million. The resulting
 // NDV / Freq / TokenFreq / Min / Max are identical to a row-at-a-time
 // scan, including the histogram caps (a column exceeding
 // maxTrackedValues distinct values reports NDV=maxTrackedValues+1 with
-// no Freq map, exactly as the capped row scan did).
-func (t *Table) buildStats() *TableStats {
-	st := &TableStats{Rows: t.NumRows(), cols: make([]*ColStats, len(t.Schema.Cols))}
-	for c := range t.Schema.Cols {
-		if t.Schema.Cols[c].Type == TInt {
-			st.cols[c] = t.buildIntStats(c)
-		} else {
-			st.cols[c] = t.buildStrStats(c)
-		}
+// no Freq map, exactly as the capped row scan did) — which is also what
+// makes whole builds and incremental extensions interchangeable.
+func (t *Table) buildColStats(st *tableState, c int) *ColStats {
+	if t.Schema.Cols[c].Type == TInt {
+		return buildIntStats(st, c)
 	}
-	return st
+	return buildStrStats(st, c)
 }
 
-func (t *Table) buildIntStats(c int) *ColStats {
+func buildIntStats(st *tableState, c int) *ColStats {
 	cs := &ColStats{Freq: make(map[Value]int)}
 	first := true
 	var lo, hi int64
-	for _, v := range t.cols[c].ints {
+	for pos := int32(0); pos < st.nrows; pos++ {
+		v := st.intAt(pos, c)
 		if first {
 			lo, hi = v, v
 			first = false
@@ -104,18 +156,17 @@ func (t *Table) buildIntStats(c int) *ColStats {
 	if cs.Freq != nil {
 		cs.NDV = len(cs.Freq)
 	} else if cs.NDV == 0 {
-		cs.NDV = t.NumRows()
+		cs.NDV = int(st.nrows)
 	}
 	return cs
 }
 
-func (t *Table) buildStrStats(c int) *ColStats {
+func buildStrStats(st *tableState, c int) *ColStats {
 	cs := &ColStats{}
-	codes := t.cols[c].codes
 	// One pass over the codes: occurrences per dictionary code.
-	counts := make([]int, len(t.dict.strs))
-	for _, code := range codes {
-		counts[code]++
+	counts := make([]int, len(st.strs))
+	for pos := int32(0); pos < st.nrows; pos++ {
+		counts[st.codeAt(pos, c)]++
 	}
 	ndv := 0
 	minCode, maxCode := uint32(0), uint32(0)
@@ -127,24 +178,24 @@ func (t *Table) buildStrStats(c int) *ColStats {
 		if ndv == 0 {
 			minCode, maxCode = cd, cd
 		} else {
-			if strings.Compare(t.dict.strs[cd], t.dict.strs[minCode]) < 0 {
+			if strings.Compare(st.strs[cd], st.strs[minCode]) < 0 {
 				minCode = cd
 			}
-			if strings.Compare(t.dict.strs[cd], t.dict.strs[maxCode]) > 0 {
+			if strings.Compare(st.strs[cd], st.strs[maxCode]) > 0 {
 				maxCode = cd
 			}
 		}
 		ndv++
 	}
 	if ndv > 0 {
-		cs.Min, cs.Max = StrVal(t.dict.strs[minCode]), StrVal(t.dict.strs[maxCode])
+		cs.Min, cs.Max = StrVal(st.strs[minCode]), StrVal(st.strs[maxCode])
 	}
 	if ndv <= maxTrackedValues {
 		cs.NDV = ndv
 		cs.Freq = make(map[Value]int, ndv)
 		for code, n := range counts {
 			if n > 0 {
-				cs.Freq[StrVal(t.dict.strs[code])] = n
+				cs.Freq[StrVal(st.strs[code])] = n
 			}
 		}
 	} else {
@@ -162,7 +213,7 @@ func (t *Table) buildStrStats(c int) *ColStats {
 			continue
 		}
 		clear(seen)
-		for _, tok := range strings.Fields(t.dict.strs[code]) {
+		for _, tok := range strings.Fields(st.strs[code]) {
 			if !seen[tok] {
 				seen[tok] = true
 				tf[tok] += n
@@ -174,5 +225,81 @@ func (t *Table) buildStrStats(c int) *ColStats {
 		}
 	}
 	cs.TokenFreq = tf
+	return cs
+}
+
+// extendColStats advances one column's statistics over the rows
+// [from, st.nrows) with the exact row-at-a-time semantics of a full
+// rebuild: frequency and token maps grow until their caps and are then
+// dropped for good, NDV freezes at the cap crossing, and Min/Max keep
+// tightening. Extending a column therefore yields byte-identical
+// statistics to rebuilding it from scratch over all rows.
+func (t *Table) extendColStats(st *tableState, c int, cs *ColStats, from int32) *ColStats {
+	if t.Schema.Cols[c].Type == TInt {
+		for pos := from; pos < st.nrows; pos++ {
+			v := IntVal(st.intAt(pos, c))
+			if from == 0 && pos == 0 {
+				cs.Min, cs.Max = v, v
+			} else {
+				if v.Compare(cs.Min) < 0 {
+					cs.Min = v
+				}
+				if v.Compare(cs.Max) > 0 {
+					cs.Max = v
+				}
+			}
+			if cs.Freq != nil {
+				cs.Freq[v]++
+				if len(cs.Freq) > maxTrackedValues {
+					cs.NDV = len(cs.Freq)
+					cs.Freq = nil
+				}
+			}
+		}
+		if cs.Freq != nil {
+			cs.NDV = len(cs.Freq)
+		}
+		return cs
+	}
+	var seen map[string]bool
+	if cs.TokenFreq != nil {
+		seen = map[string]bool{}
+	}
+	for pos := from; pos < st.nrows; pos++ {
+		s := st.strAt(pos, c)
+		v := StrVal(s)
+		if from == 0 && pos == 0 {
+			cs.Min, cs.Max = v, v
+		} else {
+			if v.Compare(cs.Min) < 0 {
+				cs.Min = v
+			}
+			if v.Compare(cs.Max) > 0 {
+				cs.Max = v
+			}
+		}
+		if cs.Freq != nil {
+			cs.Freq[v]++
+			if len(cs.Freq) > maxTrackedValues {
+				cs.NDV = len(cs.Freq)
+				cs.Freq = nil
+			}
+		}
+		if cs.TokenFreq != nil {
+			clear(seen)
+			for _, tok := range strings.Fields(s) {
+				if !seen[tok] {
+					seen[tok] = true
+					cs.TokenFreq[tok]++
+				}
+			}
+			if len(cs.TokenFreq) > 4*maxTrackedValues {
+				cs.TokenFreq = nil
+			}
+		}
+	}
+	if cs.Freq != nil {
+		cs.NDV = len(cs.Freq)
+	}
 	return cs
 }

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"toposearch/internal/core"
+	"toposearch/internal/delta"
 	"toposearch/internal/graph"
 	"toposearch/internal/methods"
 	"toposearch/internal/ranking"
@@ -46,10 +49,22 @@ func DefaultSearcherConfig() SearcherConfig {
 // every index and statistics object the query plans read, so any
 // number of goroutines may call Search/SearchContext/Explain on one
 // Searcher (or on several Searchers sharing one DB) simultaneously.
+//
+// A Searcher on a live DB stays consistent under inserts: every query
+// runs against one atomically published store generation. Refresh
+// incrementally folds the rows applied since the last refresh into a
+// new generation (recomputing only the affected start-node frontier)
+// and swaps it in; queries already running finish on the old one.
 type Searcher struct {
 	db    *DB
-	store *methods.Store
+	store atomic.Pointer[methods.Store]
+
+	refreshMu sync.Mutex // serializes Refresh
+	cursor    int        // applied-edge log position this searcher has absorbed
 }
+
+// current returns the store generation queries should run against.
+func (s *Searcher) current() *methods.Store { return s.store.Load() }
 
 // NewSearcher runs the offline phase (topology computation + pruning +
 // materialization) for the entity-set pair.
@@ -75,7 +90,14 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	if threshold < 0 {
 		threshold = 1 << 40 // effectively no pruning
 	}
-	st, err := methods.BuildStoreFromGraph(ctx, db.rel, db.g, db.sg, es1, es2, methods.StoreConfig{
+	// Snapshot the graph together with the applied-edge log position it
+	// reflects, so the first Refresh starts exactly where this build
+	// left off.
+	db.mu.Lock()
+	g := db.graphNow()
+	cursor := db.log.Len()
+	db.mu.Unlock()
+	st, err := methods.BuildStoreFromGraph(ctx, db.rel, g, db.sg, es1, es2, methods.StoreConfig{
 		Opts:           opts,
 		PruneThreshold: threshold,
 		Scores:         ranking.Schemes(),
@@ -83,7 +105,54 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{db: db, store: st}, nil
+	s := &Searcher{db: db, cursor: cursor}
+	s.store.Store(st)
+	return s, nil
+}
+
+// Refresh incrementally folds the mutations applied to the DB since
+// this Searcher was built (or last refreshed) into its precomputed
+// tables: the affected start-node frontier — entity-set-1 nodes within
+// path range of the new relationships — is recomputed on the
+// configured worker pool, merged with the untouched results, re-pruned
+// and rematerialized, producing tables and query results byte-identical
+// to running the offline phase from scratch on the grown database.
+// Queries keep running throughout and switch to the new generation
+// atomically. Refresh returns the number of new relationship rows it
+// absorbed (0 means there was nothing to do).
+func (s *Searcher) Refresh() (int, error) {
+	return s.RefreshContext(context.Background())
+}
+
+// RefreshContext is Refresh with a cancellation context: the frontier
+// recomputation aborts with the context's error once cancelled, in
+// which case the current generation stays in place.
+func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.db.mu.Lock()
+	g := s.db.graphNow()
+	edges, cursor := s.db.log.Since(s.cursor)
+	s.db.mu.Unlock()
+	st := s.current()
+	if cursor == s.cursor && g == st.G {
+		return 0, nil // nothing applied since the last refresh
+	}
+	if len(edges) == 0 {
+		// Entity-only growth: topology tables cannot have changed, only
+		// the graph needs swapping.
+		s.store.Store(st.RefreshShallow(g))
+		s.cursor = cursor
+		return 0, nil
+	}
+	affected := delta.AffectedStarts(g, st.ES1, st.Cfg.Opts.EffectiveMaxLen(), edges)
+	ns, err := st.Refresh(ctx, g, affected)
+	if err != nil {
+		return 0, err
+	}
+	s.store.Store(ns)
+	s.cursor = cursor
+	return len(edges), nil
 }
 
 // SearchQuery is a 2-query: constraints on both entity sets, plus
@@ -142,12 +211,12 @@ func (q SearchQuery) ranking() string {
 	return ""
 }
 
-func (s *Searcher) compileQuery(q SearchQuery) (methods.Query, error) {
-	p1, _, err := s.db.compile(s.store.ES1, q.Cons1)
+func (s *Searcher) compileQuery(st *methods.Store, q SearchQuery) (methods.Query, error) {
+	p1, _, err := s.db.compile(st.ES1, q.Cons1)
 	if err != nil {
 		return methods.Query{}, err
 	}
-	p2, _, err := s.db.compile(s.store.ES2, q.Cons2)
+	p2, _, err := s.db.compile(st.ES2, q.Cons2)
 	if err != nil {
 		return methods.Query{}, err
 	}
@@ -163,19 +232,20 @@ func (s *Searcher) Search(q SearchQuery) (*SearchResult, error) {
 // SearchContext is Search with a cancellation context: long-running
 // execution plans abort with the context's error once it is cancelled.
 func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchResult, error) {
-	mq, err := s.compileQuery(q)
+	st := s.current()
+	mq, err := s.compileQuery(st, q)
 	if err != nil {
 		return nil, err
 	}
 	m := q.method()
-	res, err := s.store.RunContext(ctx, m, mq)
+	res, err := st.RunContext(ctx, m, mq)
 	if err != nil {
 		return nil, err
 	}
 	out := &SearchResult{Method: m, Plan: res.Plan.String()}
-	pd := s.store.Res.Pair(s.store.ES1, s.store.ES2)
+	pd := st.Res.Pair(st.ES1, st.ES2)
 	for _, it := range res.Items {
-		info := s.store.Res.Reg.Info(it.TID)
+		info := st.Res.Reg.Info(it.TID)
 		out.Topologies = append(out.Topologies, TopologyResult{
 			ID:        int(it.TID),
 			Score:     it.Score,
@@ -193,7 +263,8 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 // Explain returns the optimizer's plan choice and rendering for a
 // top-k query without executing it.
 func (s *Searcher) Explain(q SearchQuery) (string, error) {
-	mq, err := s.compileQuery(q)
+	st := s.current()
+	mq, err := s.compileQuery(st, q)
 	if err != nil {
 		return "", err
 	}
@@ -203,7 +274,7 @@ func (s *Searcher) Explain(q SearchQuery) (string, error) {
 	if mq.K == 0 {
 		mq.K = 10
 	}
-	plan, choice, err := s.store.ExplainOpt(mq, true)
+	plan, choice, err := st.ExplainOpt(mq, true)
 	if err != nil {
 		return "", err
 	}
@@ -213,7 +284,8 @@ func (s *Searcher) Explain(q SearchQuery) (string, error) {
 // Instances lists up to limit entity pairs related by the topology
 // (limit 0 = all).
 func (s *Searcher) Instances(topologyID int, limit int) [][2]int64 {
-	pairs := s.store.Res.Instances(s.store.ES1, s.store.ES2, core.TopologyID(topologyID))
+	st := s.current()
+	pairs := st.Res.Instances(st.ES1, st.ES2, core.TopologyID(topologyID))
 	if limit > 0 && len(pairs) > limit {
 		pairs = pairs[:limit]
 	}
@@ -227,9 +299,13 @@ func (s *Searcher) Instances(topologyID int, limit int) [][2]int64 {
 // Witness renders, for one entity pair and topology, the concrete
 // paths whose union realizes the topology — one line per path, e.g.
 // "Protein:78 -[uni_encodes]- Unigene:103 -[uni_contains]- DNA:215".
+// It runs against the same graph generation as the searcher's current
+// precomputed tables, so topology IDs always resolve consistently.
 func (s *Searcher) Witness(a, b int64, topologyID int) ([]string, bool) {
-	w, ok := core.WitnessFor(s.db.g, s.store.Res.Reg,
-		graph.NodeID(a), graph.NodeID(b), core.TopologyID(topologyID), s.store.Cfg.Opts)
+	st := s.current()
+	g := st.G
+	w, ok := core.WitnessFor(g, st.Res.Reg,
+		graph.NodeID(a), graph.NodeID(b), core.TopologyID(topologyID), st.Cfg.Opts)
 	if !ok {
 		return nil, false
 	}
@@ -237,10 +313,10 @@ func (s *Searcher) Witness(a, b int64, topologyID int) ([]string, bool) {
 	for i, p := range w.Paths {
 		var sb strings.Builder
 		for j, n := range p.Nodes {
-			t, _ := s.db.g.NodeType(n)
-			fmt.Fprintf(&sb, "%s:%d", s.db.g.NodeTypes.Name(t), int64(n))
+			t, _ := g.NodeType(n)
+			fmt.Fprintf(&sb, "%s:%d", g.NodeTypes.Name(t), int64(n))
 			if j < len(p.Edges) {
-				fmt.Fprintf(&sb, " -[%s]- ", s.db.g.EdgeTypes.Name(p.Types[j]))
+				fmt.Fprintf(&sb, " -[%s]- ", g.EdgeTypes.Name(p.Types[j]))
 			}
 		}
 		lines[i] = sb.String()
@@ -250,19 +326,20 @@ func (s *Searcher) Witness(a, b int64, topologyID int) ([]string, bool) {
 
 // Space reports the precomputed tables' storage footprint (the paper's
 // Table 1 row for this pair).
-func (s *Searcher) Space() methods.SpaceReport { return s.store.Space() }
+func (s *Searcher) Space() methods.SpaceReport { return s.current().Space() }
 
 // PrunedCount reports how many topologies the offline phase pruned.
-func (s *Searcher) PrunedCount() int { return len(s.store.PrunedTIDs) }
+func (s *Searcher) PrunedCount() int { return len(s.current().PrunedTIDs) }
 
 // TopologyCount reports how many distinct topologies were observed for
 // the pair.
-func (s *Searcher) TopologyCount() int { return s.store.TopInfo.NumRows() }
+func (s *Searcher) TopologyCount() int { return s.current().TopInfo.NumRows() }
 
 // FrequencyRank returns (topologyID, frequency) pairs sorted by
 // descending frequency — the data behind the paper's Figures 11/12.
 func (s *Searcher) FrequencyRank() ([]int, []int) {
-	ids, freqs := s.store.Res.Pair(s.store.ES1, s.store.ES2).FrequencyRank()
+	st := s.current()
+	ids, freqs := st.Res.Pair(st.ES1, st.ES2).FrequencyRank()
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = int(id)

@@ -29,6 +29,14 @@
 // granularity, and SearchContext aborts running query plans, each
 // returning the context's error.
 //
+// The database is live: DB.Insert/DB.ApplyBatch absorb new entities
+// and relationships while searches keep running (delta columns over
+// the sealed columnar arrays, copy-on-write graph extension), and
+// Searcher.Refresh folds them into the precomputed tables
+// incrementally — recomputing only the affected start-node frontier —
+// with output byte-identical to rerunning the offline phase from
+// scratch.
+//
 // Quick start:
 //
 //	db, _ := toposearch.Figure3()
@@ -44,8 +52,11 @@ package toposearch
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"toposearch/internal/biozon"
+	"toposearch/internal/delta"
 	"toposearch/internal/graph"
 	"toposearch/internal/relstore"
 )
@@ -70,10 +81,21 @@ const (
 )
 
 // DB is a biological database opened for topology search.
+//
+// A DB is live: Insert and ApplyBatch absorb new entities and
+// relationships while searches keep running. Base-table predicates see
+// new rows immediately; precomputed topology results change only when
+// a Searcher calls Refresh (incremental maintenance over the affected
+// start-node frontier). Mutations are serialized internally; any
+// number of concurrent readers never block.
 type DB struct {
 	rel *relstore.DB
 	sg  *graph.SchemaGraph
-	g   *graph.Graph
+	g   atomic.Pointer[graph.Graph]
+
+	mu      sync.Mutex // serializes ApplyBatch
+	applier *delta.Applier
+	log     *delta.Log
 }
 
 // Figure3 opens the paper's 11-entity running-example database
@@ -103,17 +125,81 @@ func open(rel *relstore.DB) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("toposearch: %w", err)
 	}
-	return &DB{rel: rel, sg: sg, g: g}, nil
+	db := &DB{rel: rel, sg: sg, applier: delta.NewApplier(rel, sg), log: &delta.Log{}}
+	db.g.Store(g)
+	return db, nil
 }
+
+// graphNow returns the current published data graph.
+func (db *DB) graphNow() *graph.Graph { return db.g.Load() }
 
 // EntitySets lists the schema's entity sets.
 func (db *DB) EntitySets() []string { return db.sg.EntitySetNames() }
 
 // NumEntities returns the number of entities (graph nodes).
-func (db *DB) NumEntities() int { return db.g.NumNodes() }
+func (db *DB) NumEntities() int { return db.graphNow().NumNodes() }
 
 // NumRelationships returns the number of relationships (graph edges).
-func (db *DB) NumRelationships() int { return db.g.NumEdges() }
+func (db *DB) NumRelationships() int { return db.graphNow().NumEdges() }
+
+// Update is one staged mutation for Insert/ApplyBatch: either a new
+// entity or a new relationship. Build them with InsertEntity and
+// InsertRelationship.
+type Update = delta.Mutation
+
+// InsertEntity stages a new entity: its set, its globally unique
+// integer ID, and its string attributes by column name (missing
+// attributes default to ""). For example:
+//
+//	toposearch.InsertEntity(toposearch.Protein, 1900001,
+//		map[string]string{"desc": "novel zinc finger enzyme"})
+func InsertEntity(set string, id int64, attrs map[string]string) Update {
+	return delta.Entity(set, id, attrs)
+}
+
+// InsertRelationship stages a new relationship between two existing
+// entities (or entities staged earlier in the same batch). The
+// relationship set is named by its edge label; when several sets share
+// a label (Biozon's two "interaction" tables) the endpoints' entity
+// sets disambiguate, and the endpoint order may be given either way
+// around.
+func InsertRelationship(rel string, a, b int64) Update {
+	return delta.Relationship(rel, a, b)
+}
+
+// Insert applies a single mutation. Equivalent to ApplyBatch with one
+// element; prefer ApplyBatch for bulk loads (one graph version per
+// batch instead of one per row).
+func (db *DB) Insert(u Update) error { return db.ApplyBatch([]Update{u}) }
+
+// ApplyBatch validates and applies a batch of mutations atomically:
+// on the first validation error nothing is touched. New rows land in
+// the storage engine's delta columns without blocking concurrent
+// searches, and the data graph is extended copy-on-write, so queries
+// in flight keep their consistent snapshot. Precomputed topology
+// results (and therefore Search output) reflect the batch only after
+// each Searcher's Refresh.
+func (db *DB) ApplyBatch(us []Update) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ng, applied, err := db.applier.Apply(db.graphNow(), delta.Batch(us))
+	if err != nil {
+		return err
+	}
+	db.g.Store(ng)
+	db.log.Append(applied.Edges)
+	return nil
+}
+
+// Compact folds every table's delta columns and pending index buffers
+// into their sealed structures, restoring fully lock-free reads after
+// a burst of inserts. Call it at quiet moments (e.g. after a Refresh);
+// readers are never blocked by it.
+func (db *DB) Compact() {
+	for _, name := range db.rel.TableNames() {
+		db.rel.Table(name).Compact()
+	}
+}
 
 // Constraint is one predicate on an entity attribute: either a keyword
 // containment test on a text column (the paper's desc.ct('enzyme')) or
