@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchstorage|benchupdate|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchstorage|benchupdate|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
 // -benchout (default BENCH_online.json), so successive releases have a
-// query-latency trajectory to compare against. The benchstorage
+// query-latency trajectory to compare against. The benchet experiment
+// sweeps the early-termination methods across speculation widths on an
+// unselective query (few qualifying pairs, deep group-stream crawl),
+// verifies each speculative run byte-identical to the sequential one,
+// and writes -etout (default BENCH_et.json). The benchstorage
 // experiment measures the columnar storage engine (scan, probe, build,
 // Fast-Top) and the bytes-per-row footprint of the precomputed tables,
 // writing -storageout (default BENCH_storage.json). The benchupdate
@@ -44,7 +48,9 @@ func main() {
 		thr      = flag.Int("prune", 6, "pruning threshold")
 		sql      = flag.Bool("sql", true, "include the SQL strawman in table2")
 		workers  = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
+		spec     = flag.Int("speculation", 0, "speculative ET width for table2 queries (0/1 = sequential; results identical)")
 		benchout = flag.String("benchout", "BENCH_online.json", "output file for -exp benchonline")
+		etout    = flag.String("etout", "BENCH_et.json", "output file for -exp benchet")
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 	)
@@ -118,7 +124,7 @@ func main() {
 	if need("table2") {
 		fmt.Println("== Table 2: query time (seconds) of all methods ==")
 		cells, err := experiments.Table2(env, experiments.Table2Options{
-			K: *k, Reps: *reps, IncludeSQL: *sql,
+			K: *k, Reps: *reps, IncludeSQL: *sql, Speculation: *spec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -164,6 +170,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *benchout)
+	}
+	if need("benchet") {
+		fmt.Println("== Speculative early termination across speculation widths ==")
+		rep, err := experiments.BenchET(env, *k, *reps, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintETBench(os.Stdout, rep)
+		if err := experiments.WriteETBench(rep, *etout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *etout)
 	}
 	if need("benchstorage") {
 		fmt.Println("== Columnar storage engine: hot paths and table footprints ==")

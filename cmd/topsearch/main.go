@@ -18,6 +18,7 @@
 //	-explain         print the optimizer's plan choice
 //	-instances       print up to N instance pairs per topology
 //	-workers         worker count for precomputation and queries (0 = all cores)
+//	-speculation     speculative ET width (0/1 = sequential; results identical)
 //	-apply           replay a JSONL mutation batch, then Refresh incrementally
 //
 // The -apply file carries one mutation per line:
@@ -109,6 +110,7 @@ func main() {
 		instN   = flag.Int("instances", 2, "instance pairs to print per topology")
 		weak    = flag.Bool("weak-pruning", false, "apply Appendix B weak-relationship rules")
 		workers = flag.Int("workers", 0, "worker count for the offline precomputation and online queries (0 = all cores)")
+		spec    = flag.Int("speculation", 0, "speculative ET width: race this many segment workers over the group stream (0/1 = sequential; results identical)")
 		apply   = flag.String("apply", "", "JSONL mutation batch to apply and Refresh before querying")
 	)
 	flag.Parse()
@@ -137,6 +139,7 @@ func main() {
 		MaxCombinations: 4096,
 		WeakPruning:     *weak,
 		Parallelism:     *workers,
+		Speculation:     *spec,
 	}
 	s, err := db.NewSearcherContext(ctx, *es1, *es2, cfg)
 	if err != nil {
@@ -199,6 +202,9 @@ func main() {
 	fmt.Printf("%d topologies (method %s", len(res.Topologies), res.Method)
 	if res.Plan != "" {
 		fmt.Printf(", plan %s", res.Plan)
+	}
+	if res.Speculation > 1 {
+		fmt.Printf(", speculation %d, wasted work %d", res.Speculation, res.WastedWork)
 	}
 	fmt.Println("):")
 	for i, tp := range res.Topologies {

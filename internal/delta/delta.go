@@ -332,26 +332,37 @@ func (ap *Applier) claimTupleID(tab *relstore.Table, nextID map[string]int64) (i
 // since its cursor to derive the affected start-node frontier. The log
 // is safe for concurrent use.
 //
-// Known limitation: the log is never truncated — entries below every
-// searcher's cursor could be dropped, but that needs a registry of
-// live cursors the DB does not keep yet. A long-lived store applying
-// continuous batches retains one Edge record (~40 bytes) per inserted
-// relationship.
+// Cursors are positions in the logical log, which only ever grows; the
+// physical prefix below every live searcher's cursor is reclaimed via
+// TruncateBelow (the DB drives this from its registry of searcher
+// cursors), so a long-lived store applying continuous batches retains
+// only the edges some live searcher still has to absorb.
 type Log struct {
 	mu    sync.Mutex
+	base  int // logical position of edges[0]; entries below are reclaimed
 	edges []Edge
 }
 
-// Append records an applied batch's edges and returns the new length.
+// Append records an applied batch's edges and returns the new logical
+// length.
 func (l *Log) Append(edges []Edge) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.edges = append(l.edges, edges...)
-	return len(l.edges)
+	return l.base + len(l.edges)
 }
 
-// Len returns the number of logged edges.
+// Len returns the logical length of the log: the number of edges ever
+// appended, truncated or not.
 func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + len(l.edges)
+}
+
+// Retained returns the number of edge records physically held, i.e.
+// not yet reclaimed by TruncateBelow.
+func (l *Log) Retained() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.edges)
@@ -359,17 +370,39 @@ func (l *Log) Len() int {
 
 // Since returns the edges appended at or after the cursor, together
 // with the cursor value that consumes them. The returned slice is
-// shared and must not be mutated.
+// shared and must not be mutated. A cursor below the truncation point
+// is clamped to it: truncation guarantees no live searcher holds such
+// a cursor.
 func (l *Log) Since(cursor int) ([]Edge, int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	cursor -= l.base
 	if cursor < 0 {
 		cursor = 0
 	}
 	if cursor > len(l.edges) {
 		cursor = len(l.edges)
 	}
-	return l.edges[cursor:len(l.edges):len(l.edges)], len(l.edges)
+	return l.edges[cursor:len(l.edges):len(l.edges)], l.base + len(l.edges)
+}
+
+// TruncateBelow reclaims every edge record below the logical cursor.
+// The caller guarantees no live searcher's cursor is below it. The
+// retained tail is copied into a fresh array so the truncated prefix
+// becomes collectable; slices previously handed out by Since stay
+// valid (they pin the old array until their consumers drop them).
+func (l *Log) TruncateBelow(cursor int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := cursor - l.base
+	if n <= 0 {
+		return
+	}
+	if n > len(l.edges) {
+		n = len(l.edges)
+	}
+	l.edges = append([]Edge(nil), l.edges[n:]...)
+	l.base += n
 }
 
 // AffectedStarts computes the start-node frontier an incremental

@@ -1,0 +1,71 @@
+package delta
+
+import (
+	"testing"
+
+	"toposearch/internal/graph"
+)
+
+func edges(ids ...int64) []Edge {
+	out := make([]Edge, len(ids))
+	for i, id := range ids {
+		out[i] = Edge{RelIdx: 0, TupleID: id, A: graph.NodeID(id), B: graph.NodeID(id + 1)}
+	}
+	return out
+}
+
+// TestLogTruncateBelow pins the logical-cursor contract of the
+// applied-edge log: truncation reclaims physical records without
+// moving logical positions, Since keeps returning exactly the edges at
+// or after a cursor, and cursors below the truncation point clamp to
+// it.
+func TestLogTruncateBelow(t *testing.T) {
+	var l Log
+	l.Append(edges(1, 2, 3))
+	l.Append(edges(4, 5))
+	if l.Len() != 5 || l.Retained() != 5 {
+		t.Fatalf("Len/Retained = %d/%d, want 5/5", l.Len(), l.Retained())
+	}
+
+	got, cur := l.Since(3)
+	if len(got) != 2 || got[0].TupleID != 4 || cur != 5 {
+		t.Fatalf("Since(3) = %v (cursor %d), want tuples 4,5 cursor 5", got, cur)
+	}
+
+	l.TruncateBelow(3)
+	if l.Len() != 5 {
+		t.Fatalf("Len after truncation = %d, want 5 (logical length never shrinks)", l.Len())
+	}
+	if l.Retained() != 2 {
+		t.Fatalf("Retained after truncation = %d, want 2", l.Retained())
+	}
+	got, cur = l.Since(3)
+	if len(got) != 2 || got[0].TupleID != 4 || cur != 5 {
+		t.Fatalf("Since(3) after truncation = %v (cursor %d), want tuples 4,5 cursor 5", got, cur)
+	}
+	// A cursor below the truncation point clamps to it.
+	if got, _ := l.Since(0); len(got) != 2 {
+		t.Fatalf("Since(0) after truncation returned %d edges, want 2 (clamped)", len(got))
+	}
+
+	// Truncating at or below the current base is a no-op.
+	l.TruncateBelow(2)
+	if l.Retained() != 2 {
+		t.Fatalf("Retained after backwards truncation = %d, want 2", l.Retained())
+	}
+
+	// Appends keep extending the logical log.
+	l.Append(edges(6))
+	if l.Len() != 6 || l.Retained() != 3 {
+		t.Fatalf("Len/Retained after append = %d/%d, want 6/3", l.Len(), l.Retained())
+	}
+
+	// Truncating past the end clamps to the end.
+	l.TruncateBelow(100)
+	if l.Len() != 6 || l.Retained() != 0 {
+		t.Fatalf("Len/Retained after over-truncation = %d/%d, want 6/0", l.Len(), l.Retained())
+	}
+	if got, cur := l.Since(6); len(got) != 0 || cur != 6 {
+		t.Fatalf("Since(6) on empty tail = %v (cursor %d), want none, cursor 6", got, cur)
+	}
+}

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"toposearch/internal/relstore"
+)
+
+// This file is the engine half of the speculative parallel
+// early-termination (ET) subsystem. The sequential ET plans drive one
+// DGJ stack over the score-ordered group stream and stop after k
+// groups produce a witness; speculation partitions that stream into
+// contiguous ordered segments, races one restartable DGJ stack per
+// segment, and commits witnesses in canonical group order through a
+// Sequencer, cancelling in-flight losers the moment the k-th witness
+// commits. Correctness contract: the committed witnesses AND the
+// committed (useful-work) counters are byte-identical to the
+// sequential run at any segment count, because
+//
+//   - every counter charge of a DGJ stack is local to one driving-scan
+//     row or one group, so partitioning the driving scan into windows
+//     repartitions the charges without changing them;
+//   - per-witness counter snapshots make "work up to the k-th witness"
+//     well-defined inside a segment; and
+//   - the one non-local charge — HDGJ's group lookahead running past a
+//     segment boundary — is detected via LookaheadOpen and replayed by
+//     the caller (see methods.etPlanSpec).
+
+// GroupWitness is one witness tuple produced by a segment run: the
+// first surviving tuple of one group, exactly what DistinctGroups
+// would emit.
+type GroupWitness struct {
+	// Ord is the group ordinal relative to the segment's own driving
+	// scan (the segment's first driving row is ordinal 0).
+	Ord int
+	// Row is the witness tuple (cloned; safe to retain).
+	Row relstore.Row
+	// C is the segment's cumulative counters at the moment this witness
+	// was emitted and its group advanced — the work a sequential run
+	// stopping at this witness would have charged within the segment.
+	C Counters
+	// LookaheadOpen reports that the stack's group lookahead (HDGJ
+	// buffers one tuple of the next group when it loads a group) ran
+	// off the end of the segment window while producing this witness.
+	// A sequential run over the unpartitioned stream would have kept
+	// scanning into the next segment's rows; the sequencer's consumer
+	// replays that boundary work when this witness is the stopping one.
+	LookaheadOpen bool
+}
+
+// lookaheadProber is implemented by group operators that can report
+// whether their group lookahead has consumed the outer stream to
+// exhaustion (currently HDGJ; wrappers delegate).
+type lookaheadProber interface{ LookaheadOpen() bool }
+
+func lookaheadOpen(op Op) bool {
+	p, ok := op.(lookaheadProber)
+	return ok && p.LookaheadOpen()
+}
+
+// DrainGroupWitnesses runs a DGJ stack the way DistinctGroups does —
+// emit the first surviving tuple of each group, then skip the rest of
+// the group — but hands every witness to emit as it is produced,
+// together with the cumulative value of the worker's counters and the
+// group-lookahead state, so a sequencer can later reconstruct the
+// exact work a sequential run stopping at any witness would have done.
+// It stops after max witnesses (max <= 0 means no limit), on stream
+// exhaustion, or when ctx is cancelled (returning the context error).
+// c must be the same counters object every operator of the stack
+// charges into.
+func DrainGroupWitnesses(ctx context.Context, g GroupOp, c *Counters, max int, emit func(GroupWitness)) error {
+	if err := g.Open(); err != nil {
+		return err
+	}
+	defer g.Close()
+	for n := 0; max <= 0 || n < max; n++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		r, ok, err := g.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ord := g.GroupOrdinal()
+		row := r.Clone() // advancing invalidates the tuple
+		if err := g.AdvanceToNextGroup(); err != nil {
+			return err
+		}
+		emit(GroupWitness{Ord: ord, Row: row, C: *c, LookaheadOpen: lookaheadOpen(g)})
+	}
+	return nil
+}
+
+// SpecWitness is one committed witness: the segment it came from plus
+// the witness itself. Committed witnesses are in canonical group order
+// (segment order, then group order within the segment).
+type SpecWitness struct {
+	Seg int
+	W   GroupWitness
+}
+
+// SpecOutcome is the sequencer's committed result.
+type SpecOutcome struct {
+	// Witnesses are the committed witnesses in canonical group order
+	// (at most k of them when k > 0).
+	Witnesses []SpecWitness
+	// Counters is the useful work: exactly what a sequential ET run
+	// over the unpartitioned stream would have charged, except for the
+	// boundary lookahead flagged by NeedLookahead.
+	Counters Counters
+	// Exhausted reports that every segment completed with fewer than k
+	// witnesses overall (or k <= 0): the whole stream was useful work.
+	Exhausted bool
+	// StopSeg is the segment holding the k-th witness (valid only when
+	// !Exhausted).
+	StopSeg int
+	// NeedLookahead reports that the stopping witness left its
+	// segment's group lookahead open: the caller must replay the
+	// sequential run's boundary scan starting at the first driving row
+	// after StopSeg's window to keep counters byte-identical.
+	NeedLookahead bool
+	// CriticalPath is the largest single-segment share of the
+	// committed work: the racing phase cannot finish before its
+	// slowest segment, so this is the latency the speculative run
+	// converges to on hardware with one core per segment (the
+	// machine-independent counterpart of the wall-clock measurement).
+	CriticalPath Counters
+}
+
+// Sequencer commits witnesses from racing segment workers in canonical
+// group order. Workers feed it Witness and SegmentDone events in any
+// interleaving (the caller serializes the calls); the commit order and
+// the committed counters depend only on the per-segment event streams,
+// never on the interleaving. Once Finished reports true the caller
+// should cancel all in-flight workers: nothing they produce can commit.
+//
+// The committed counters follow the segment decomposition of the
+// sequential run's work: full totals for every segment wholly before
+// the stopping witness, plus the stopping witness's in-segment
+// snapshot. Segments after the stop contribute nothing (their work is
+// speculative waste, reported separately by the caller).
+type Sequencer struct {
+	k    int
+	segs []seqSegment
+
+	cur       int // first segment not yet fully committed
+	committed []SpecWitness
+	base      Counters // sum of totals of fully committed segments
+
+	finished      bool
+	exhausted     bool
+	stopSeg       int
+	stopC         Counters
+	needLookahead bool
+}
+
+type seqSegment struct {
+	queue []GroupWitness
+	done  bool
+	total Counters
+}
+
+// NewSequencer returns a sequencer committing up to k witnesses
+// (k <= 0: all witnesses) across numSegments ordered segments.
+func NewSequencer(k, numSegments int) *Sequencer {
+	return &Sequencer{k: k, segs: make([]seqSegment, numSegments)}
+}
+
+// Witness feeds one witness from a segment, in the segment's own group
+// order. It returns Finished.
+func (s *Sequencer) Witness(seg int, w GroupWitness) bool {
+	if s.finished || seg < s.cur {
+		return s.finished // late event from a loser; nothing can commit
+	}
+	s.segs[seg].queue = append(s.segs[seg].queue, w)
+	s.drain()
+	return s.finished
+}
+
+// SegmentDone marks a segment as having run to completion with the
+// given final counters. It returns Finished. A worker that was
+// cancelled or failed must NOT report SegmentDone: its partial total
+// would understate the segment.
+func (s *Sequencer) SegmentDone(seg int, total Counters) bool {
+	if s.finished || seg < s.cur {
+		return s.finished
+	}
+	s.segs[seg].done = true
+	s.segs[seg].total = total
+	s.drain()
+	return s.finished
+}
+
+// drain commits in canonical order as far as the received events
+// allow.
+func (s *Sequencer) drain() {
+	for !s.finished && s.cur < len(s.segs) {
+		sg := &s.segs[s.cur]
+		for len(sg.queue) > 0 {
+			w := sg.queue[0]
+			sg.queue = sg.queue[1:]
+			s.committed = append(s.committed, SpecWitness{Seg: s.cur, W: w})
+			if s.k > 0 && len(s.committed) == s.k {
+				s.finished = true
+				s.stopSeg = s.cur
+				s.stopC = w.C
+				s.needLookahead = w.LookaheadOpen
+				return
+			}
+		}
+		if !sg.done {
+			return // need more events for the current segment
+		}
+		s.base.Add(sg.total)
+		sg.queue = nil
+		s.cur++
+	}
+	if !s.finished && s.cur == len(s.segs) {
+		s.finished = true
+		s.exhausted = true
+	}
+}
+
+// Finished reports whether the committed result is fully determined:
+// either the k-th witness committed or every segment completed.
+func (s *Sequencer) Finished() bool { return s.finished }
+
+// Outcome returns the committed result. It is an error to call it
+// before Finished reports true.
+func (s *Sequencer) Outcome() (SpecOutcome, error) {
+	if !s.finished {
+		return SpecOutcome{}, fmt.Errorf("engine: sequencer outcome requested before commit completed")
+	}
+	out := SpecOutcome{
+		Witnesses: s.committed,
+		Counters:  s.base,
+		Exhausted: s.exhausted,
+		StopSeg:   s.stopSeg,
+	}
+	if !s.exhausted {
+		out.Counters.Add(s.stopC)
+		out.NeedLookahead = s.needLookahead
+	}
+	for i := 0; i < s.cur; i++ {
+		if s.segs[i].total.Work() > out.CriticalPath.Work() {
+			out.CriticalPath = s.segs[i].total
+		}
+	}
+	if !s.exhausted && s.stopC.Work() > out.CriticalPath.Work() {
+		out.CriticalPath = s.stopC
+	}
+	return out, nil
+}
+
+// GroupGuard wraps a group operator with a cancellation check, like
+// Guard does for plain operators but preserving the group interface:
+// speculative segment workers thread it into their DGJ stacks so
+// losing segments abort within microseconds of the sequencer's cancel,
+// even mid-group. It charges no counters, so guarded and unguarded
+// stacks do identical accounted work.
+type GroupGuard struct {
+	inner GroupOp
+	ctx   context.Context
+	n     int
+}
+
+// NewGroupGuard wraps op with a cancellation guard. A nil context
+// returns op unchanged.
+func NewGroupGuard(op GroupOp, ctx context.Context) GroupOp {
+	if ctx == nil {
+		return op
+	}
+	return &GroupGuard{inner: op, ctx: ctx}
+}
+
+// Columns implements Op.
+func (g *GroupGuard) Columns() []string { return g.inner.Columns() }
+
+// Open implements Op.
+func (g *GroupGuard) Open() error {
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	g.n = 0
+	return g.inner.Open()
+}
+
+// Next implements Op, checking the context every guardStride tuples.
+func (g *GroupGuard) Next() (relstore.Row, bool, error) {
+	g.n++
+	if g.n%guardStride == 0 {
+		if err := g.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	return g.inner.Next()
+}
+
+// Close implements Op.
+func (g *GroupGuard) Close() error { return g.inner.Close() }
+
+// AdvanceToNextGroup implements GroupOp, checking the context at every
+// group skip.
+func (g *GroupGuard) AdvanceToNextGroup() error {
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	return g.inner.AdvanceToNextGroup()
+}
+
+// GroupOrdinal implements GroupOp.
+func (g *GroupGuard) GroupOrdinal() int { return g.inner.GroupOrdinal() }
+
+// LookaheadOpen delegates the lookahead probe through the guard.
+func (g *GroupGuard) LookaheadOpen() bool { return lookaheadOpen(g.inner) }

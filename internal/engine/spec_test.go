@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"testing"
+)
+
+// refCommit is the reference semantics of the speculative sequencer:
+// flatten the per-segment witness lists in canonical order, stop at
+// the k-th witness, and account counters as "full totals of every
+// segment wholly before the stop, plus the stopping witness's
+// snapshot".
+func refCommit(k int, segs [][]GroupWitness, totals []Counters) SpecOutcome {
+	var out SpecOutcome
+	for si, ws := range segs {
+		for _, w := range ws {
+			out.Witnesses = append(out.Witnesses, SpecWitness{Seg: si, W: w})
+			if k > 0 && len(out.Witnesses) == k {
+				out.StopSeg = si
+				out.Counters.Add(w.C)
+				out.NeedLookahead = w.LookaheadOpen
+				return out
+			}
+		}
+		out.Counters.Add(totals[si])
+	}
+	out.Exhausted = true
+	return out
+}
+
+func outcomesEqual(a, b SpecOutcome) bool {
+	if a.Counters != b.Counters || a.Exhausted != b.Exhausted ||
+		len(a.Witnesses) != len(b.Witnesses) {
+		return false
+	}
+	if !a.Exhausted && (a.StopSeg != b.StopSeg || a.NeedLookahead != b.NeedLookahead) {
+		return false
+	}
+	for i := range a.Witnesses {
+		if a.Witnesses[i].Seg != b.Witnesses[i].Seg || a.Witnesses[i].W.Ord != b.Witnesses[i].W.Ord {
+			return false
+		}
+	}
+	return true
+}
+
+// fz is a cursor over fuzz bytes; exhausted input reads as zero so
+// every byte string decodes to a valid scenario.
+type fz struct {
+	data []byte
+	i    int
+}
+
+func (f *fz) byte() byte {
+	if f.i >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.i]
+	f.i++
+	return b
+}
+
+// decodeScenario derives a sequencing scenario from fuzz bytes: k, a
+// set of segments with monotone per-witness counter snapshots and
+// segment totals, and lookahead flags.
+func decodeScenario(f *fz) (k int, segs [][]GroupWitness, totals []Counters) {
+	k = int(f.byte() % 12)
+	nseg := 1 + int(f.byte()%6)
+	segs = make([][]GroupWitness, nseg)
+	totals = make([]Counters, nseg)
+	for s := range segs {
+		nw := int(f.byte() % 4)
+		var cum Counters
+		for w := 0; w < nw; w++ {
+			cum.RowsScanned += int64(f.byte() % 16)
+			cum.IndexProbes += int64(f.byte() % 8)
+			segs[s] = append(segs[s], GroupWitness{
+				Ord:           w,
+				C:             cum,
+				LookaheadOpen: f.byte()%4 == 0,
+			})
+		}
+		totals[s] = cum
+		totals[s].RowsScanned += int64(f.byte() % 16)
+	}
+	return k, segs, totals
+}
+
+// feedInterleaved replays the scenario's events into a sequencer in an
+// interleaving chosen by the remaining fuzz bytes (per-segment order
+// preserved, as the per-worker streams guarantee), stopping the moment
+// the sequencer reports the commit complete — exactly when the driver
+// cancels the racers and stops listening to them.
+func feedInterleaved(f *fz, seqr *Sequencer, segs [][]GroupWitness, totals []Counters) {
+	next := make([]int, len(segs)) // next event per segment; len(ws)=done marker sent, beyond=exhausted
+	for {
+		live := 0
+		for s := range segs {
+			if next[s] <= len(segs[s]) {
+				live++
+			}
+		}
+		if live == 0 {
+			return
+		}
+		pick := int(f.byte()) % live
+		for s := range segs {
+			if next[s] > len(segs[s]) {
+				continue
+			}
+			if pick > 0 {
+				pick--
+				continue
+			}
+			var finished bool
+			if next[s] < len(segs[s]) {
+				finished = seqr.Witness(s, segs[s][next[s]])
+			} else {
+				finished = seqr.SegmentDone(s, totals[s])
+			}
+			next[s]++
+			if finished {
+				return
+			}
+			break
+		}
+	}
+}
+
+func runScenario(t *testing.T, data []byte) {
+	t.Helper()
+	f := &fz{data: data}
+	k, segs, totals := decodeScenario(f)
+	want := refCommit(k, segs, totals)
+	seqr := NewSequencer(k, len(segs))
+	feedInterleaved(f, seqr, segs, totals)
+	if !seqr.Finished() {
+		t.Fatalf("sequencer not finished after all events (k=%d, segs=%v, totals=%v)", k, segs, totals)
+	}
+	got, err := seqr.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomesEqual(got, want) {
+		t.Fatalf("commit diverges from reference under interleaving\n got: %+v\nwant: %+v\n(k=%d, segs=%v, totals=%v)",
+			got, want, k, segs, totals)
+	}
+}
+
+// FuzzSpecSequencer drives the speculative sequencer with randomized
+// segment layouts and event interleavings: whatever order the racing
+// workers' events arrive in, the committed witnesses, the stop point
+// and the committed counters must match the canonical-order reference.
+func FuzzSpecSequencer(f *testing.F) {
+	f.Add([]byte{})                             // k=0, one empty segment: exhaustion path
+	f.Add([]byte{5, 3, 2, 1, 1, 0, 2, 2, 1, 9}) // k, multi-segment mix
+	f.Add([]byte{1, 2, 0, 7, 3, 3, 3, 1, 0, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{11, 6, 3, 15, 7, 0, 2, 1, 3, 9, 9, 9, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runScenario(t, data)
+	})
+}
+
+// TestSequencerCommitOrdering pins a hand-written scenario: witnesses
+// from a late segment arriving first must not commit until every
+// earlier segment is accounted for.
+func TestSequencerCommitOrdering(t *testing.T) {
+	w := func(ord int, rows int64, la bool) GroupWitness {
+		return GroupWitness{Ord: ord, C: Counters{RowsScanned: rows}, LookaheadOpen: la}
+	}
+	seqr := NewSequencer(3, 3)
+
+	// Segment 2 races ahead: nothing may commit.
+	if seqr.Witness(2, w(0, 5, false)) {
+		t.Fatal("commit finished on an out-of-order witness")
+	}
+	// Segment 0 yields one witness and completes at total 10.
+	if seqr.Witness(0, w(0, 4, false)) {
+		t.Fatal("commit finished with only one witness")
+	}
+	if seqr.SegmentDone(0, Counters{RowsScanned: 10}) {
+		t.Fatal("commit finished before segment 1 reported")
+	}
+	// Segment 1 yields the 2nd witness (snapshot 7) and completes at
+	// total 9; segment 2's buffered witness then becomes the 3rd and
+	// stopping witness with snapshot 5.
+	if seqr.Witness(1, w(0, 7, false)) {
+		t.Fatal("commit finished before segment 1 completed")
+	}
+	if !seqr.SegmentDone(1, Counters{RowsScanned: 9}) {
+		t.Fatal("commit did not finish once the third witness was orderable")
+	}
+	out, err := seqr.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Useful work: seg0 total (10) + seg1 total (9) + stop snapshot (5).
+	if out.Counters.RowsScanned != 24 {
+		t.Fatalf("committed RowsScanned = %d, want 24", out.Counters.RowsScanned)
+	}
+	if out.Exhausted || out.StopSeg != 2 || len(out.Witnesses) != 3 {
+		t.Fatalf("outcome = %+v, want stop in segment 2 with 3 witnesses", out)
+	}
+	// Events after the commit are ignored.
+	if !seqr.Witness(2, w(1, 50, false)) || !seqr.SegmentDone(2, Counters{RowsScanned: 99}) {
+		t.Fatal("post-commit events flipped the finished state")
+	}
+	out2, _ := seqr.Outcome()
+	if !outcomesEqual(out, out2) {
+		t.Fatalf("post-commit events changed the outcome: %+v vs %+v", out, out2)
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+// This file is the speculative early-termination benchmark: the ET
+// methods measured across speculation widths on an unselective query —
+// one whose predicates qualify few entity pairs, so the sequential DGJ
+// stack crawls deep into the score-ordered group stream before k
+// witnesses appear. That crawl is exactly what speculation parallelizes;
+// cmd/benchtab -exp benchet writes BENCH_et.json so the ET-latency
+// trajectory is tracked release over release. Every speculative
+// measurement is verified byte-identical (items AND useful-work
+// counters) to the sequential run before it is reported.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+// ETBenchRow is one measurement: one ET method and DGJ variant at one
+// speculation width.
+type ETBenchRow struct {
+	Method string `json:"method"`
+	// Variant names the middle join of the DGJ stack: "idgj" (index
+	// nested loops; per-group cost follows the Zipfian topology
+	// frequencies) or "hdgj" (group hash join; every group rescans the
+	// inner entity table, so per-group cost is uniform).
+	Variant     string  `json:"variant"`
+	Speculation int     `json:"speculation"`
+	Seconds     float64 `json:"seconds"`
+	Results     int     `json:"results"`
+	// UsefulWork is the committed work (rows scanned + index probes);
+	// identical across speculation widths by construction.
+	UsefulWork int64 `json:"useful_work"`
+	// WastedWork is the work burned by losing speculative segment
+	// workers (0 for the sequential run).
+	WastedWork int64 `json:"wasted_work"`
+	// CriticalPathWork is the slowest segment's share of the useful
+	// work (plus the boundary replay): the machine-independent lower
+	// bound of the racing phase's latency. Dividing UsefulWork by it
+	// gives the ET speedup available once the host has one core per
+	// segment.
+	CriticalPathWork int64 `json:"critical_path_work"`
+	// SpeedupWork is UsefulWork / CriticalPathWork: the deterministic
+	// latency reduction speculation exposes at this width.
+	SpeedupWork float64 `json:"speedup_work"`
+	// SpeedupVs1 is the sequential (speculation=1) wall time divided by
+	// this row's wall time; on hosts with fewer cores than segments it
+	// trails SpeedupWork (the committed report records GOMAXPROCS).
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// ETBenchReport is the file-level shape of BENCH_et.json.
+type ETBenchReport struct {
+	Scale      int          `json:"scale"`
+	Seed       int64        `json:"seed"`
+	Pair       [2]string    `json:"pair"`
+	K          int          `json:"k"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Note       string       `json:"note"`
+	Rows       []ETBenchRow `json:"rows"`
+}
+
+// BenchET measures the early-termination methods on the
+// Protein-Interaction pair in the regime where sequential ET is at its
+// worst: a medium predicate on the protein side and a needle predicate
+// on the interaction side (one matching entity), so almost no entity
+// pair qualifies and the DGJ stack crawls essentially the whole
+// score-ordered group stream before terminating. This is the
+// unselective-answer tail-latency case the comparative tool
+// evaluations flag: the query returns next to nothing but costs the
+// most. Speculation splits exactly that crawl across the given widths.
+// Each speculative run is checked byte-identical to the sequential one
+// (items and useful-work counters) before its timing is reported.
+func BenchET(env *Env, k, reps int, widths []int) (*ETBenchReport, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	st := env.Store(PairPI)
+	p1, err := PredFor(st.T1, "medium")
+	if err != nil {
+		return nil, err
+	}
+	// The generator writes "interaction <i>" into each desc, so the
+	// bare index token matches exactly one interaction entity.
+	p2, err := relstore.Contains(st.T2.Schema, "desc", "17")
+	if err != nil {
+		return nil, err
+	}
+	rep := &ETBenchReport{
+		Scale: env.Setup.Scale, Seed: env.Setup.Seed, Pair: PairPI, K: k,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "critical_path_work is the slowest racing segment's share of the useful work: " +
+			"the deterministic ET-latency bound speculation exposes (speedup_work = useful/critical). " +
+			"Wall seconds converge to it once the host has one core per segment; " +
+			"every speculative row is verified byte-identical to speculation=1 before being reported.",
+	}
+	for _, m := range []string{methods.MethodFullTopKET, methods.MethodFastTopKET} {
+		for _, variant := range []string{"idgj", "hdgj"} {
+			var baseline methods.QueryResult
+			var baseSec float64
+			for _, w := range widths {
+				q := methods.Query{Pred1: p1, Pred2: p2, K: k, Ranking: ranking.Domain,
+					UseHDGJ: variant == "hdgj", Speculation: w}
+				// One untimed warm-up so the first configurations measured
+				// don't absorb heap stabilization after the offline build.
+				if _, err := st.Run(m, q); err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s at speculation %d: %w", m, variant, w, err)
+				}
+				var res methods.QueryResult
+				sec, err := Measure(reps, func() error {
+					var runErr error
+					res, runErr = st.Run(m, q)
+					return runErr
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s at speculation %d: %w", m, variant, w, err)
+				}
+				if w == widths[0] {
+					baseline, baseSec = res, sec
+				} else {
+					// Equivalence gate: speculation must never change what
+					// the query returns or what useful work it reports.
+					if got, want := itemsKey(res.Items), itemsKey(baseline.Items); got != want {
+						return nil, fmt.Errorf("experiments: %s/%s speculation %d items %s diverge from sequential %s", m, variant, w, got, want)
+					}
+					if res.Counters != baseline.Counters {
+						return nil, fmt.Errorf("experiments: %s/%s speculation %d counters %+v diverge from sequential %+v", m, variant, w, res.Counters, baseline.Counters)
+					}
+				}
+				row := ETBenchRow{
+					Method:           m,
+					Variant:          variant,
+					Speculation:      w,
+					Seconds:          sec,
+					Results:          len(res.Items),
+					UsefulWork:       res.Counters.Work(),
+					WastedWork:       res.Spec.Wasted.Work(),
+					CriticalPathWork: res.Spec.CriticalPath.Work(),
+				}
+				if row.CriticalPathWork > 0 {
+					// The ET portion's deterministic latency bound. For
+					// fast-top-k-et the sequential pruned-topology merge
+					// rides on top in both columns, so the ratio uses the
+					// ET work only.
+					row.SpeedupWork = float64(baseline.Spec.CriticalPath.Work()) / float64(row.CriticalPathWork)
+				}
+				if sec > 0 {
+					row.SpeedupVs1 = baseSec / sec
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func itemsKey(items []methods.Item) string {
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprintf("%d:%d ", it.TID, it.Score)
+	}
+	return s
+}
+
+// WriteETBench writes the report as indented JSON to path.
+func WriteETBench(rep *ETBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintETBench renders the report as a speculation-width table, one
+// row per method and DGJ variant: wall seconds per width, the
+// deterministic work speedup at the widest setting, and the wasted
+// work there.
+func PrintETBench(w io.Writer, rep *ETBenchReport) {
+	byKey := map[string][]ETBenchRow{}
+	var order []string
+	for _, r := range rep.Rows {
+		key := r.Method + "/" + r.Variant
+		if len(byKey[key]) == 0 {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], r)
+	}
+	fmt.Fprintf(w, "%-22s", "method/variant")
+	if len(order) > 0 {
+		for _, r := range byKey[order[0]] {
+			fmt.Fprintf(w, "  s=%-8d", r.Speculation)
+		}
+	}
+	fmt.Fprintf(w, "  work-speedup@max  wasted@max  results\n")
+	for _, key := range order {
+		rows := byKey[key]
+		fmt.Fprintf(w, "%-22s", key)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %8.4fs", r.Seconds)
+		}
+		last := rows[len(rows)-1]
+		fmt.Fprintf(w, "  %15.2fx  %10d  %7d\n", last.SpeedupWork, last.WastedWork, last.Results)
+	}
+	fmt.Fprintf(w, "(gomaxprocs %d; work-speedup = useful work / slowest racing segment's share)\n", rep.GoMaxProcs)
+}

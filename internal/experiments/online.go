@@ -38,9 +38,10 @@ type OnlineBenchReport struct {
 }
 
 // OnlineBenchMethods lists the methods the online benchmark sweeps. The
-// ET and Opt methods are included even though their DGJ stacks are
-// inherently sequential (early termination is a serial decision), so
-// the report shows which methods scale and which don't.
+// ET and Opt methods are included even though their DGJ stacks do not
+// shard across workers (early termination is a serial decision; they
+// parallelize via speculation instead, measured by BenchET), so the
+// report shows which methods scale with plain workers and which don't.
 func OnlineBenchMethods() []string {
 	return []string{
 		methods.MethodFullTop,

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"fmt"
 
 	"toposearch/internal/core"
@@ -130,23 +131,31 @@ func (s *Store) prunedExists(tid core.TopologyID, q Query, c *engine.Counters) (
 	return len(rows) == 1, nil
 }
 
-// etPlan builds the Figure 15 early-termination pipeline over the given
-// Tops table and drains it: an ordered scan of TopInfo in descending
-// score order feeding a DGJ stack, topped by DistinctGroups(k).
-func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, error) {
-	if q.Ranking == "" {
-		return nil, fmt.Errorf("methods: ET plans need a ranking")
-	}
+// buildETStack constructs the Figure 15 DGJ stack over the given Tops
+// table: an ordered scan of TopInfo in descending score order —
+// restricted to the order-position window [lo, hi); hi < 0 means the
+// whole stream — feeding the three-join DGJ pipeline. Speculative ET
+// builds one stack per contiguous segment of the group stream, all
+// sharing one pre-resolved order snapshot; the sequential plans build
+// one over the whole stream (order nil: the scan resolves it itself).
+// ctx threads cancellation GroupGuards into the stack (losing segment
+// workers abort mid-group); a nil ctx adds no guards, so the guarded
+// and unguarded stacks charge identical counters. It returns the stack
+// root plus the output positions of the TID and score columns.
+func (s *Store) buildETStack(tops *relstore.Table, q Query, order []int32, lo, hi int, c *engine.Counters, ctx context.Context) (engine.GroupOp, int, int, error) {
 	scoreCol := core.ScoreColumn(q.Ranking)
-	ti, err := engine.NewOrderedScan(s.TopInfo, "TI", scoreCol, true, nil, c)
+	ti, err := engine.NewOrderedScanRange(s.TopInfo, "TI", scoreCol, true, nil, c, lo, hi)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	base := engine.NewGroupBase(ti)
+	ti.Order = order
+	var base engine.GroupOp = engine.NewGroupBase(ti)
 	tidCol := engine.MustColIndex(base, "TI.TID")
+	scoreIdx := engine.MustColIndex(base, "TI."+scoreCol)
+	base = engine.NewGroupGuard(base, ctx)
 	g1, err := engine.NewIDGJ(base, tidCol, tops, "T", "TID", nil, c)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	e1 := engine.MustColIndex(g1, "T.E1")
 	var g2 engine.GroupOp
@@ -156,10 +165,25 @@ func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters)
 		g2, err = engine.NewIDGJ(g1, e1, s.T1, "A", "ID", q.Pred1, c)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
+	g2 = engine.NewGroupGuard(g2, ctx)
 	e2 := engine.MustColIndex(g2, "T.E2")
 	g3, err := engine.NewIDGJ(g2, e2, s.T2, "B", "ID", q.Pred2, c)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return g3, tidCol, scoreIdx, nil
+}
+
+// etPlan builds the Figure 15 early-termination pipeline over the given
+// Tops table and drains it sequentially: the DGJ stack over the whole
+// score-ordered group stream, topped by DistinctGroups(k).
+func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, error) {
+	if q.Ranking == "" {
+		return nil, fmt.Errorf("methods: ET plans need a ranking")
+	}
+	g3, tidCol, scoreIdx, err := s.buildETStack(tops, q, nil, 0, -1, c, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +195,6 @@ func (s *Store) etPlan(tops *relstore.Table, q Query, k int, c *engine.Counters)
 	if c != nil {
 		c.TuplesOut += int64(len(rows))
 	}
-	scoreIdx := engine.MustColIndex(base, "TI."+scoreCol)
 	items := make([]Item, len(rows))
 	for i, r := range rows {
 		items[i] = Item{TID: core.TopologyID(r[tidCol].Int), Score: r[scoreIdx].Int}

@@ -35,6 +35,15 @@ type Query struct {
 	// sequential execution. Result items AND merged counter totals are
 	// byte-identical at every setting.
 	Parallelism int
+	// Speculation is the speculative ET width: the ET plans partition
+	// the score-ordered group stream into this many contiguous
+	// segments, race one restartable DGJ stack per segment, and commit
+	// witnesses in canonical group order, cancelling in-flight losers
+	// the moment the k-th witness commits. 0 and 1 run the classical
+	// sequential stack. Result items, plans AND useful-work counters
+	// are byte-identical at every setting; the extra work burned by
+	// losing segments is reported separately in QueryResult.Spec.
+	Speculation int
 }
 
 // Item is one ranked result.
@@ -50,6 +59,31 @@ type QueryResult struct {
 	Items    []Item
 	Counters engine.Counters
 	Plan     optimizer.PlanKind
+	// Spec accounts speculative-execution work (zero unless the query
+	// ran an ET plan with Query.Speculation > 1). Counters above always
+	// reports the useful work only — byte-identical to a sequential
+	// run — while Spec.Wasted holds the extra work losing segments
+	// burned before they were cancelled.
+	Spec SpecReport
+}
+
+// SpecReport is the speculative-execution work accounting of one
+// query.
+type SpecReport struct {
+	// Width is the speculation width the ET plan ran with (0 = the
+	// query ran without speculation).
+	Width int
+	// Wasted is the work performed by speculative segment workers
+	// beyond the committed useful work in QueryResult.Counters: groups
+	// raced past the k-th witness, plus partial work in flight when
+	// the losers were cancelled.
+	Wasted engine.Counters
+	// CriticalPath is the largest single-segment share of the useful
+	// work: the racing phase cannot finish before its slowest segment,
+	// so this bounds the ET latency from below on hardware with one
+	// core per segment. For a sequential ET run it equals the whole ET
+	// work.
+	CriticalPath engine.Counters
 }
 
 // TIDs lists the result topology IDs in order.

@@ -1,0 +1,212 @@
+package methods
+
+import (
+	"context"
+	"fmt"
+
+	"toposearch/internal/core"
+	"toposearch/internal/engine"
+	"toposearch/internal/relstore"
+)
+
+// This file is the speculative parallel early-termination driver: the
+// methods half of the subsystem whose engine half (segment drains,
+// witness snapshots, the commit sequencer) lives in engine/spec.go.
+//
+// The sequential ET plans (etPlan) win by stopping the moment k groups
+// have produced a witness — but a single worker crawls the group
+// stream while the rest of the machine idles. etPlanSpec partitions
+// the score-ordered stream into Query.Speculation contiguous segments,
+// races one restartable DGJ stack per segment, and commits witnesses
+// in canonical group order, cancelling in-flight losers the moment the
+// k-th witness commits. Items, plans and the useful-work counters stay
+// byte-identical to the sequential run at any width; the work burned
+// by losing segments is reported separately in QueryResult.Spec.
+
+// etRun dispatches an ET query between the sequential driver and the
+// speculative one. Both ET methods call it with fresh counters, so the
+// sequential critical path is simply everything charged by the plan.
+func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, error) {
+	if q.Speculation > 1 {
+		return s.etPlanSpec(tops, q, k, c)
+	}
+	items, err := s.etPlan(tops, q, k, c)
+	return items, SpecReport{CriticalPath: *c}, err
+}
+
+// specEvent is one message from a segment worker to the sequencing
+// loop: either a witness, or the worker's exit (err == nil means the
+// segment ran to completion; total always carries the worker's final
+// counters, partial or not).
+type specEvent struct {
+	seg     int
+	witness engine.GroupWitness
+	exit    bool
+	err     error
+	total   engine.Counters
+}
+
+// etPlanSpec is the speculative ET driver. Segment workers stream
+// witnesses into an engine.Sequencer; the loop cancels every in-flight
+// worker the moment the commit is fully determined. The committed
+// counters are completed with the one piece of sequential work no
+// segment performs — the HDGJ group lookahead that would have run past
+// the stopping segment's boundary — via replayBoundaryLookahead.
+func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, error) {
+	if q.Ranking == "" {
+		return nil, SpecReport{}, fmt.Errorf("methods: ET plans need a ranking")
+	}
+	// Resolve the score order once; every segment's windowed scan and
+	// the boundary replay share this one (read-only) snapshot instead
+	// of each re-materializing all N positions.
+	order, err := s.scoreOrder(q.Ranking)
+	if err != nil {
+		return nil, SpecReport{}, err
+	}
+	width := q.Speculation
+	segs := shardRanges(len(order), width)
+	rep := SpecReport{Width: width}
+	// Resolve the witness rows' TID/score positions from the real stack
+	// output layout (an empty-window stack; operators are never opened)
+	// instead of assuming TopInfo's columns prefix the row.
+	var probe engine.Counters
+	_, tidCol, scoreIdx, err := s.buildETStack(tops, q, order, 0, 0, &probe, nil)
+	if err != nil {
+		return nil, rep, err
+	}
+
+	parent := q.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	events := make(chan specEvent, 2*len(segs))
+	for i := range segs {
+		go func(seg int, lo, hi int) {
+			var wc engine.Counters
+			g, _, _, err := s.buildETStack(tops, q, order, lo, hi, &wc, ctx)
+			if err == nil {
+				err = engine.DrainGroupWitnesses(ctx, g, &wc, k, func(w engine.GroupWitness) {
+					events <- specEvent{seg: seg, witness: w}
+				})
+			}
+			events <- specEvent{seg: seg, exit: true, err: err, total: wc}
+		}(i, int(segs[i][0]), int(segs[i][1]))
+	}
+
+	// Sequencing loop: commit in canonical order as events arrive, and
+	// cancel the racers the moment the outcome is determined. The loop
+	// keeps draining until every worker has exited so no goroutine is
+	// left blocked on the events channel.
+	seqr := engine.NewSequencer(k, len(segs))
+	errs := make([]error, len(segs))
+	var burned engine.Counters // every worker's final counters, won or lost
+	for remaining := len(segs); remaining > 0; {
+		ev := <-events
+		switch {
+		case ev.exit:
+			remaining--
+			burned.Add(ev.total)
+			if ev.err != nil {
+				errs[ev.seg] = ev.err
+				break
+			}
+			if seqr.SegmentDone(ev.seg, ev.total) {
+				cancel()
+			}
+		default:
+			if seqr.Witness(ev.seg, ev.witness) {
+				cancel()
+			}
+		}
+	}
+	if !seqr.Finished() {
+		// A segment the commit still needed failed; surface the
+		// earliest failure in canonical order (losers past the commit
+		// point are the only segments allowed to die cancelled).
+		for _, err := range errs {
+			if err != nil {
+				return nil, rep, err
+			}
+		}
+		return nil, rep, fmt.Errorf("methods: speculative ET stalled without error")
+	}
+	out, err := seqr.Outcome()
+	if err != nil {
+		return nil, rep, err
+	}
+
+	committed := out.Counters
+	c.Add(committed)
+	rep.CriticalPath = out.CriticalPath
+	if out.NeedLookahead {
+		// The stopping witness left its segment's HDGJ lookahead open:
+		// a sequential run would have kept scanning the group stream
+		// past the segment boundary for the next non-empty group.
+		// Replay exactly that boundary scan so the useful-work counters
+		// stay byte-identical to the sequential stack's. The replay is
+		// part of the stopping segment's share of the latency bound.
+		before := *c
+		if err := s.replayBoundaryLookahead(tops, order, int(segs[out.StopSeg][1]), c); err != nil {
+			return nil, rep, err
+		}
+		delta := *c
+		delta.Sub(before)
+		rep.CriticalPath.Add(delta)
+	}
+	c.TuplesOut += int64(len(out.Witnesses))
+
+	// Wasted work: everything the racers burned beyond the committed
+	// useful work.
+	rep.Wasted = burned
+	rep.Wasted.Sub(committed)
+
+	items := make([]Item, len(out.Witnesses))
+	for i, w := range out.Witnesses {
+		items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
+	}
+	return items, rep, nil
+}
+
+// scoreOrder resolves the descending score order of the TopInfo rows —
+// the canonical group order of the ET plans — as one reusable position
+// snapshot.
+func (s *Store) scoreOrder(rk string) ([]int32, error) {
+	idx, ok := s.TopInfo.OrderedIndexOn(core.ScoreColumn(rk))
+	if !ok {
+		return nil, fmt.Errorf("methods: no score index for ranking %q", rk)
+	}
+	order := make([]int32, 0, s.TopInfo.NumRows())
+	idx.Scan(true, func(pos int32) bool {
+		order = append(order, pos)
+		return true
+	})
+	return order, nil
+}
+
+// replayBoundaryLookahead charges the work a sequential HDGJ stack
+// performs after emitting the stopping witness: loading the witness's
+// group buffered one tuple of the next non-empty group, which scans
+// the score-ordered TopInfo stream — one row read and one Tops index
+// probe per group — until a group with Tops matches appears (or the
+// stream ends). The stopping segment's own window already absorbed the
+// scan up to its boundary; this replays the continuation from the
+// first row after the window, mirroring IDGJ's probe accounting
+// exactly.
+func (s *Store) replayBoundaryLookahead(tops *relstore.Table, order []int32, from int, c *engine.Counters) error {
+	topsIdx, err := tops.CreateHashIndex("TID")
+	if err != nil {
+		return err
+	}
+	tidCol, _ := s.TopInfo.Schema.ColIndex("TID")
+	for _, pos := range order[from:] {
+		c.RowsScanned++
+		c.IndexProbes++
+		if len(topsIdx.LookupInt(s.TopInfo.IntAt(pos, tidCol))) > 0 {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package methods_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/core"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+func syntheticStore(t *testing.T, scale int, seed int64, threshold int) *methods.Store {
+	t.Helper()
+	cfg := biozon.DefaultConfig(scale)
+	cfg.Seed = seed
+	db := biozon.Generate(cfg)
+	s, err := methods.BuildStore(context.Background(), db, biozon.SchemaGraph(), biozon.Protein, biozon.DNA,
+		methods.StoreConfig{
+			Opts:           core.DefaultOptions(),
+			PruneThreshold: threshold,
+			Scores:         ranking.Schemes(),
+		})
+	if err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+	return s
+}
+
+// TestSpeculativeETMatchesSequential pins the speculative ET contract
+// at the methods level: for every ET method, both DGJ stack variants,
+// several k values and predicate mixes, the items AND the useful-work
+// counters at any speculation width are byte-identical to the
+// sequential stack's, and the wasted-work report never goes negative.
+func TestSpeculativeETMatchesSequential(t *testing.T) {
+	s := syntheticStore(t, 1, 42, 2)
+	sel, err := biozon.SelectivityPred(s.T1.Schema, "selective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := biozon.SelectivityPred(s.T2.Schema, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrna, err := relstore.Eq(s.T2.Schema, "type", relstore.StrVal("mRNA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []struct {
+		name     string
+		pr1, pr2 relstore.Pred
+	}{
+		{"none", nil, nil},
+		{"sel-med", sel, med},
+		{"sel-mrna", sel, mrna},
+	}
+	for _, method := range []string{methods.MethodFullTopKET, methods.MethodFastTopKET} {
+		for _, pp := range preds {
+			for _, hdgj := range []bool{false, true} {
+				for _, k := range []int{1, 3, 10, 1000, 0} {
+					q := methods.Query{Pred1: pp.pr1, Pred2: pp.pr2, K: k,
+						Ranking: ranking.Domain, UseHDGJ: hdgj, Parallelism: 1}
+					want, err := s.Run(method, q)
+					if err != nil {
+						t.Fatalf("%s seq: %v", method, err)
+					}
+					for _, spec := range []int{2, 3, 8, 64} {
+						qq := q
+						qq.Speculation = spec
+						got, err := s.Run(method, qq)
+						if err != nil {
+							t.Fatalf("%s spec=%d: %v", method, spec, err)
+						}
+						tag := fmt.Sprintf("%s/%s/hdgj=%v/k=%d/spec=%d", method, pp.name, hdgj, k, spec)
+						if gi, wi := itemsStr(got.Items), itemsStr(want.Items); gi != wi {
+							t.Errorf("%s: items %s, want %s", tag, gi, wi)
+						}
+						if got.Counters != want.Counters {
+							t.Errorf("%s: counters %+v, want %+v", tag, got.Counters, want.Counters)
+						}
+						if got.Spec.Width != spec {
+							t.Errorf("%s: spec width %d, want %d", tag, got.Spec.Width, spec)
+						}
+						w := got.Spec.Wasted
+						if w.RowsScanned < 0 || w.IndexProbes < 0 || w.TuplesOut < 0 || w.Comparisons < 0 {
+							t.Errorf("%s: negative wasted work %+v", tag, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func itemsStr(items []methods.Item) string {
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprintf("%d:%d ", it.TID, it.Score)
+	}
+	return s
+}
+
+// TestSpeculativeETCancelled pins that an already-cancelled context
+// aborts the speculative driver with the context's error.
+func TestSpeculativeETCancelled(t *testing.T) {
+	s := syntheticStore(t, 1, 7, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := methods.Query{K: 5, Ranking: ranking.Domain, Speculation: 4}
+	if _, err := s.RunContext(ctx, methods.MethodFullTopKET, q); err != context.Canceled {
+		t.Fatalf("cancelled speculative ET returned %v, want context.Canceled", err)
+	}
+}

@@ -98,20 +98,24 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 
 // FullTopKET is the early-termination method over AllTops (no pruning):
 // the Figure 15 DGJ stack, stopping after k groups produce a witness.
+// Query.Speculation > 1 races the stack's group stream across
+// speculative segment workers with byte-identical results.
 func (s *Store) FullTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, err := s.etPlan(s.AllTops, q, q.K, &c)
+	items, rep, err := s.etRun(s.AllTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c}, nil
+	return QueryResult{Items: items, Counters: c, Spec: rep}, nil
 }
 
 // FastTopKET is the Fast-Top-k-ET method of Section 5.3: the DGJ stack
 // over LeftTops plus the SQL5 merging of pruned topologies.
+// Query.Speculation > 1 races the stack's group stream across
+// speculative segment workers with byte-identical results.
 func (s *Store) FastTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, err := s.etPlan(s.LeftTops, q, q.K, &c)
+	items, rep, err := s.etRun(s.LeftTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -119,5 +123,5 @@ func (s *Store) FastTopKET(q Query) (QueryResult, error) {
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c}, nil
+	return QueryResult{Items: items, Counters: c, Spec: rep}, nil
 }

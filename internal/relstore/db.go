@@ -93,3 +93,20 @@ func (db *DB) ApproxBytes() int64 {
 	}
 	return b
 }
+
+// DeltaBytes sums DeltaBytes over all tables: the footprint of the
+// not-yet-compacted write state across the whole database. The
+// auto-compaction policy compares it against ApproxBytes.
+func (db *DB) DeltaBytes() int64 {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	var b int64
+	for _, t := range tables {
+		b += t.DeltaBytes()
+	}
+	return b
+}

@@ -34,6 +34,15 @@ type SearcherConfig struct {
 	// The precomputed tables AND every query result are byte-identical
 	// at every setting.
 	Parallelism int
+	// Speculation is the default speculative ET width for queries that
+	// leave SearchQuery.Speculation at 0: early-termination plans
+	// partition their score-ordered group stream into this many
+	// contiguous segments racing on their own workers, cancelling
+	// losers the moment the k-th witness commits. 0 and 1 keep the
+	// classical sequential stack. Results (items, plans, useful-work
+	// counters) are byte-identical at every setting; only latency and
+	// the wasted-work report change.
+	Speculation int
 }
 
 // DefaultSearcherConfig matches the paper's main experimental setup:
@@ -56,11 +65,14 @@ func DefaultSearcherConfig() SearcherConfig {
 // new generation (recomputing only the affected start-node frontier)
 // and swaps it in; queries already running finish on the old one.
 type Searcher struct {
-	db    *DB
+	db   *DB
+	spec int // default speculative ET width for queries
+
 	store atomic.Pointer[methods.Store]
 
 	refreshMu sync.Mutex // serializes Refresh
 	cursor    int        // applied-edge log position this searcher has absorbed
+	closed    bool
 }
 
 // current returns the store generation queries should run against.
@@ -92,10 +104,15 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	}
 	// Snapshot the graph together with the applied-edge log position it
 	// reflects, so the first Refresh starts exactly where this build
-	// left off.
+	// left off. The searcher's cursor is registered with the DB inside
+	// the same critical section: from this moment the applied-edge log
+	// must retain everything at or after it until the searcher
+	// refreshes past it or closes.
+	s := &Searcher{db: db, spec: cfg.Speculation}
 	db.mu.Lock()
 	g := db.graphNow()
-	cursor := db.log.Len()
+	s.cursor = db.log.Len()
+	db.cursors[s] = s.cursor
 	db.mu.Unlock()
 	st, err := methods.BuildStoreFromGraph(ctx, db.rel, g, db.sg, es1, es2, methods.StoreConfig{
 		Opts:           opts,
@@ -103,11 +120,29 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 		Scores:         ranking.Schemes(),
 	})
 	if err != nil {
+		s.Close()
 		return nil, err
 	}
-	s := &Searcher{db: db, cursor: cursor}
 	s.store.Store(st)
 	return s, nil
+}
+
+// Close releases the searcher's claim on the DB's applied-edge log:
+// its cursor leaves the DB's registry, allowing the log to be
+// truncated past the mutations this searcher had not yet absorbed.
+// Queries on a closed searcher keep working against its last store
+// generation, but Refresh becomes a no-op. Close is idempotent.
+func (s *Searcher) Close() {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.db.mu.Lock()
+	delete(s.db.cursors, s)
+	s.db.truncateLogLocked()
+	s.db.mu.Unlock()
 }
 
 // Refresh incrementally folds the mutations applied to the DB since
@@ -130,6 +165,9 @@ func (s *Searcher) Refresh() (int, error) {
 func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
+	if s.closed {
+		return 0, nil
+	}
 	s.db.mu.Lock()
 	g := s.db.graphNow()
 	edges, cursor := s.db.log.Since(s.cursor)
@@ -142,7 +180,7 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 		// Entity-only growth: topology tables cannot have changed, only
 		// the graph needs swapping.
 		s.store.Store(st.RefreshShallow(g))
-		s.cursor = cursor
+		s.advanceCursor(cursor)
 		return 0, nil
 	}
 	affected := delta.AffectedStarts(g, st.ES1, st.Cfg.Opts.EffectiveMaxLen(), edges)
@@ -151,8 +189,19 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	s.store.Store(ns)
-	s.cursor = cursor
+	s.advanceCursor(cursor)
 	return len(edges), nil
+}
+
+// advanceCursor records that this searcher has absorbed the log up to
+// cursor, both locally and in the DB's registry, and lets the DB drop
+// log entries no live searcher needs anymore.
+func (s *Searcher) advanceCursor(cursor int) {
+	s.cursor = cursor
+	s.db.mu.Lock()
+	s.db.cursors[s] = cursor
+	s.db.truncateLogLocked()
+	s.db.mu.Unlock()
 }
 
 // SearchQuery is a 2-query: constraints on both entity sets, plus
@@ -168,6 +217,10 @@ type SearchQuery struct {
 	// nine method names, e.g. "fast-top-k-opt"). Empty picks
 	// fast-top-k-opt for top-k queries and fast-top otherwise.
 	Method string
+	// Speculation overrides the searcher's default speculative ET
+	// width for this query (0 = inherit SearcherConfig.Speculation;
+	// 1 = force the sequential stack).
+	Speculation int
 }
 
 // TopologyResult describes one result topology.
@@ -189,6 +242,13 @@ type SearchResult struct {
 	Method string
 	// Plan is the physical strategy the optimizer chose (Opt methods).
 	Plan string
+	// Speculation is the speculative ET width the query ran with (0 =
+	// no speculation). Speculation changes only latency, never results.
+	Speculation int
+	// WastedWork is the physical work (rows scanned + index probes)
+	// burned by losing speculative segment workers; useful work is
+	// byte-identical to a sequential run.
+	WastedWork int64
 }
 
 func (q SearchQuery) method() string {
@@ -221,6 +281,10 @@ func (s *Searcher) compileQuery(st *methods.Store, q SearchQuery) (methods.Query
 		return methods.Query{}, err
 	}
 	mq := methods.Query{Pred1: p1, Pred2: p2, K: q.K, Ranking: q.ranking()}
+	mq.Speculation = q.Speculation
+	if mq.Speculation == 0 {
+		mq.Speculation = s.spec
+	}
 	return mq, nil
 }
 
@@ -242,7 +306,8 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 	if err != nil {
 		return nil, err
 	}
-	out := &SearchResult{Method: m, Plan: res.Plan.String()}
+	out := &SearchResult{Method: m, Plan: res.Plan.String(),
+		Speculation: res.Spec.Width, WastedWork: res.Spec.Wasted.Work()}
 	pd := st.Res.Pair(st.ES1, st.ES2)
 	for _, it := range res.Items {
 		info := st.Res.Reg.Info(it.TID)

@@ -23,8 +23,14 @@
 // Both phases run on worker pools (SearcherConfig.Parallelism; results
 // are byte-identical at every setting): the offline computation shards
 // start nodes, and each query shards its driving entity scan and the
-// pruned-topology existence checks. A built Searcher is safe for
-// concurrent queries. Both phases are also cancellable:
+// pruned-topology existence checks. The early-termination plans
+// parallelize by speculation instead (SearcherConfig.Speculation /
+// SearchQuery.Speculation): contiguous segments of the score-ordered
+// group stream race on their own workers, witnesses commit in
+// canonical order, and losers are cancelled at the k-th commit —
+// again with byte-identical results and useful-work counters. A built
+// Searcher is safe for concurrent queries. Both phases are also
+// cancellable:
 // NewSearcherContext aborts the topology computation at start-node
 // granularity, and SearchContext aborts running query plans, each
 // returning the context's error.
@@ -93,9 +99,22 @@ type DB struct {
 	sg  *graph.SchemaGraph
 	g   atomic.Pointer[graph.Graph]
 
-	mu      sync.Mutex // serializes ApplyBatch
+	mu      sync.Mutex // serializes ApplyBatch and guards cursors
 	applier *delta.Applier
 	log     *delta.Log
+	// cursors registers, per live Searcher, the applied-edge log
+	// position it has absorbed; the log is truncated below the minimum
+	// so it stops growing with the lifetime of the DB.
+	cursors map[*Searcher]int
+	// autoCompactFrac, when positive, triggers Compact after a batch
+	// once the un-compacted write state exceeds this fraction of the
+	// total footprint.
+	autoCompactFrac float64
+	// approxCache remembers the last measured total footprint so the
+	// per-batch policy check stays O(delta state): the total only
+	// grows, so comparing against a stale (smaller) value can only
+	// trigger the exact re-measure early, never skip a compaction.
+	approxCache atomic.Int64
 }
 
 // Figure3 opens the paper's 11-entity running-example database
@@ -125,9 +144,24 @@ func open(rel *relstore.DB) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("toposearch: %w", err)
 	}
-	db := &DB{rel: rel, sg: sg, applier: delta.NewApplier(rel, sg), log: &delta.Log{}}
+	db := &DB{rel: rel, sg: sg, applier: delta.NewApplier(rel, sg),
+		log: &delta.Log{}, cursors: make(map[*Searcher]int)}
 	db.g.Store(g)
 	return db, nil
+}
+
+// truncateLogLocked drops applied-edge log entries below the minimum
+// cursor of the live searchers (all of them, when none is registered:
+// a future searcher starts at the log's current end). Callers hold
+// db.mu.
+func (db *DB) truncateLogLocked() {
+	min := db.log.Len()
+	for _, cur := range db.cursors {
+		if cur < min {
+			min = cur
+		}
+	}
+	db.log.TruncateBelow(min)
 }
 
 // graphNow returns the current published data graph.
@@ -181,14 +215,42 @@ func (db *DB) Insert(u Update) error { return db.ApplyBatch([]Update{u}) }
 // each Searcher's Refresh.
 func (db *DB) ApplyBatch(us []Update) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	ng, applied, err := db.applier.Apply(db.graphNow(), delta.Batch(us))
 	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	db.g.Store(ng)
 	db.log.Append(applied.Edges)
+	frac := db.autoCompactFrac
+	db.mu.Unlock()
+	if frac > 0 {
+		d := db.rel.DeltaBytes() // walks only the delta state
+		if d > 0 && float64(d) > frac*float64(db.approxCache.Load()) {
+			// Passed against the cached total: measure the real one
+			// (the expensive full walk) and decide on it.
+			total := db.rel.ApproxBytes()
+			db.approxCache.Store(total)
+			if float64(d) > frac*float64(total) {
+				db.Compact()
+			}
+		}
+	}
 	return nil
+}
+
+// SetAutoCompact installs the automatic compaction policy: after a
+// batch, when the un-compacted write state (delta columns, delta-era
+// dictionary entries, pending index buffers) exceeds fraction of the
+// database's total footprint, the DB compacts itself, restoring fully
+// lock-free reads without anyone having to call Compact explicitly.
+// A fraction <= 0 disables the policy (the default). Typical values
+// are small (e.g. 0.05): compaction is cheap relative to letting
+// every read path keep merging delta state.
+func (db *DB) SetAutoCompact(fraction float64) {
+	db.mu.Lock()
+	db.autoCompactFrac = fraction
+	db.mu.Unlock()
 }
 
 // Compact folds every table's delta columns and pending index buffers
