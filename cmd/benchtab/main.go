@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchstorage|benchupdate|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -13,7 +13,12 @@
 // sweeps the early-termination methods across speculation widths on an
 // unselective query (few qualifying pairs, deep group-stream crawl),
 // verifies each speculative run byte-identical to the sequential one,
-// and writes -etout (default BENCH_et.json). The benchstorage
+// and writes -etout (default BENCH_et.json). The benchshard experiment
+// sweeps scatter-gather sharded execution across shard counts,
+// verifies each sharded run byte-identical to the single-store one,
+// measures the cost-weighted cut balance and the work the global
+// bound exchange prunes, and writes -shardout (default
+// BENCH_shard.json). The benchstorage
 // experiment measures the columnar storage engine (scan, probe, build,
 // Fast-Top) and the bytes-per-row footprint of the precomputed tables,
 // writing -storageout (default BENCH_storage.json). The benchupdate
@@ -51,6 +56,7 @@ func main() {
 		spec     = flag.Int("speculation", 0, "speculative ET width for table2 queries (0/1 = sequential; results identical)")
 		benchout = flag.String("benchout", "BENCH_online.json", "output file for -exp benchonline")
 		etout    = flag.String("etout", "BENCH_et.json", "output file for -exp benchet")
+		shardout = flag.String("shardout", "BENCH_shard.json", "output file for -exp benchshard")
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 	)
@@ -182,6 +188,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *etout)
+	}
+	if need("benchshard") {
+		fmt.Println("== Scatter-gather sharded execution across shard counts ==")
+		rep, err := experiments.BenchShard(env, *k, *reps, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintShardBench(os.Stdout, rep)
+		if err := experiments.WriteShardBench(rep, *shardout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *shardout)
 	}
 	if need("benchstorage") {
 		fmt.Println("== Columnar storage engine: hot paths and table footprints ==")

@@ -70,31 +70,50 @@ func lookaheadOpen(op Op) bool {
 // c must be the same counters object every operator of the stack
 // charges into.
 func DrainGroupWitnesses(ctx context.Context, g GroupOp, c *Counters, max int, emit func(GroupWitness)) error {
+	_, err := DrainGroupWitnessesFunc(ctx, g, c, max, func(w GroupWitness) bool {
+		emit(w)
+		return false
+	})
+	return err
+}
+
+// DrainGroupWitnessesFunc is DrainGroupWitnesses with a stop-capable
+// emit: when emit returns true the drain stops after the witness it
+// just delivered, without touching the stream again. The bool result
+// reports whether the drain was stopped by emit (as opposed to
+// exhausting the stream or hitting max) — a stopped drain did NOT run
+// its window to completion, so its counters are not a full-segment
+// total. This is the hook the scatter-gather bound exchange uses: a
+// shard executor stops the moment the exchange tells it the global
+// k-th score is unbeatable by anything it can still produce.
+func DrainGroupWitnessesFunc(ctx context.Context, g GroupOp, c *Counters, max int, emit func(GroupWitness) bool) (stopped bool, err error) {
 	if err := g.Open(); err != nil {
-		return err
+		return false, err
 	}
 	defer g.Close()
 	for n := 0; max <= 0 || n < max; n++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		r, ok, err := g.Next()
 		if err != nil {
-			return err
+			return false, err
 		}
 		if !ok {
-			return nil
+			return false, nil
 		}
 		ord := g.GroupOrdinal()
 		row := r.Clone() // advancing invalidates the tuple
 		if err := g.AdvanceToNextGroup(); err != nil {
-			return err
+			return false, err
 		}
-		emit(GroupWitness{Ord: ord, Row: row, C: *c, LookaheadOpen: lookaheadOpen(g)})
+		if emit(GroupWitness{Ord: ord, Row: row, C: *c, LookaheadOpen: lookaheadOpen(g)}) {
+			return true, nil
+		}
 	}
-	return nil
+	return false, nil
 }
 
 // SpecWitness is one committed witness: the segment it came from plus

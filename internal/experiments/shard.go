@@ -1,0 +1,267 @@
+package experiments
+
+// This file is the scatter-gather sharding benchmark: the Fast-Top-k
+// family measured across shard counts, with single-store equivalence
+// verified every round. cmd/benchtab -exp benchshard writes
+// BENCH_shard.json so the scale-out trajectory is tracked release over
+// release. Two effects are measured: the scatter-gather speedup (how
+// evenly the cost-weighted cuts spread the work, reported as total
+// shard work over the slowest shard's share) and the bound-exchange
+// pruning (how much speculative work the global top-k bound avoids,
+// reported against a rerun with the exchange disabled).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+// ShardBenchRow is one measurement: one method on one workload at one
+// shard count.
+type ShardBenchRow struct {
+	Method string `json:"method"`
+	// Workload names the query shape: "deep-crawl" (needle predicate,
+	// fewer matches than k — the crawl runs to the end of the stream, so
+	// the rows isolate the scatter-gather split) or "early-stop" (broad
+	// predicate, many matches — the sequential run stops at k, so the
+	// rows isolate what the bound exchange prunes).
+	Workload string  `json:"workload"`
+	Shards   int     `json:"shards"`
+	Seconds float64 `json:"seconds"`
+	Results int     `json:"results"`
+	// UsefulWork is the committed work (rows scanned + index probes);
+	// identical across shard counts by construction.
+	UsefulWork int64 `json:"useful_work"`
+	// ShardWork is the summed work of the shard executors (useful or
+	// not); MaxShardWork is the slowest executor's share — the
+	// scatter-gather critical path.
+	ShardWork    int64 `json:"shard_work"`
+	MaxShardWork int64 `json:"max_shard_work"`
+	// SpeedupWork is ShardWork / MaxShardWork: the machine-independent
+	// scatter-gather speedup the cost-weighted cuts expose (how evenly
+	// the partition spread the sharded portion of the query).
+	SpeedupWork float64 `json:"speedup_work"`
+	// SpeedupVs1 is the single-store wall time divided by this row's
+	// wall time.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// WastedWork is the speculative work burned beyond the committed
+	// useful work; for the ET method the bound exchange prunes it.
+	WastedWork int64 `json:"wasted_work"`
+	// WastedNoExchange reruns the ET query with the bound exchange
+	// disabled: the speculative work the shards burn when nothing
+	// shares the global k-th bound (0 for non-ET methods).
+	WastedNoExchange int64 `json:"wasted_no_exchange"`
+	// PrunedRatio is 1 - WastedWork/WastedNoExchange: the fraction of
+	// the exchange-free speculative work the bound exchange avoided.
+	PrunedRatio float64 `json:"pruned_ratio"`
+	// PrunedShards counts the shard executors the exchange stopped
+	// before they finished their window.
+	PrunedShards int `json:"pruned_shards"`
+}
+
+// ShardBenchReport is the file-level shape of BENCH_shard.json.
+type ShardBenchReport struct {
+	Scale      int             `json:"scale"`
+	Seed       int64           `json:"seed"`
+	Pair       [2]string       `json:"pair"`
+	K          int             `json:"k"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Note       string          `json:"note"`
+	Rows       []ShardBenchRow `json:"rows"`
+}
+
+// BenchShard measures scatter-gather sharded execution on the
+// Protein-Interaction pair over two workloads. "deep-crawl" is the
+// adversarial query BenchET uses (medium predicate one side, needle
+// predicate the other): the scan method crawls the whole entity space
+// and the ET method essentially the whole group stream, so sharding
+// splits exactly the dominant cost. "early-stop" drops the needle so
+// matches far exceed k and the sequential ET run stops early: sharded
+// executors past the stop boundary are pure speculative waste, which
+// is exactly what the bound exchange prunes — the pruned_ratio rows.
+// Per-query parallelism and speculation are pinned to 1 so the rows
+// isolate the sharding effect. Every sharded run is verified
+// byte-identical (items AND useful-work counters) to the single-store
+// run before its timing is reported.
+func BenchShard(env *Env, k, reps int, counts []int) (*ShardBenchReport, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	st := env.Store(PairPI)
+	p1, err := PredFor(st.T1, "medium")
+	if err != nil {
+		return nil, err
+	}
+	// The generator writes "interaction <i>" into each desc, so the
+	// bare index token matches exactly one interaction entity.
+	p2, err := relstore.Contains(st.T2.Schema, "desc", "17")
+	if err != nil {
+		return nil, err
+	}
+	rep := &ShardBenchReport{
+		Scale: env.Setup.Scale, Seed: env.Setup.Seed, Pair: PairPI, K: k,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "speedup_work = summed shard work / slowest shard's share: the scatter-gather speedup " +
+			"the cost-weighted cuts expose once each shard has its own core. pruned_ratio = " +
+			"1 - wasted/wasted_no_exchange: the speculative work the global top-k bound exchange avoids. " +
+			"Canonical-priority worker spawning already keeps waste near zero on undersubscribed hosts, " +
+			"so both wasted columns shrink with the core count of the measuring machine. " +
+			"Every sharded row is verified byte-identical to shards=1 before being reported.",
+	}
+	// The early-stop workload keeps the needle-style crawl (most pairs
+	// fail, so every group is expensive) but widens the needle to a
+	// handful of interaction entities: matches now exceed k yet stay
+	// sparse, so the sequential run stops mid-stream and every segment
+	// past the stop boundary is pure speculative waste — the work the
+	// bound exchange is there to prune.
+	var wide []relstore.Pred
+	for _, tok := range []string{"11", "17", "23", "29", "37", "41", "53", "67",
+		"71", "83", "97", "101", "103", "107", "109", "113"} {
+		p, err := relstore.Contains(st.T2.Schema, "desc", tok)
+		if err != nil {
+			return nil, err
+		}
+		wide = append(wide, p)
+	}
+	p2wide := relstore.Or(wide...)
+	cases := []struct {
+		workload string
+		method   string
+		p1, p2   relstore.Pred
+	}{
+		{"deep-crawl", methods.MethodFastTopK, p1, p2},
+		{"deep-crawl", methods.MethodFastTopKET, p1, p2},
+		{"early-stop", methods.MethodFastTopKET, p1, p2wide},
+	}
+	for _, cs := range cases {
+		m := cs.method
+		var baseline methods.QueryResult
+		var baseSec float64
+		for _, n := range counts {
+			q := methods.Query{Pred1: cs.p1, Pred2: cs.p2, K: k, Ranking: ranking.Domain,
+				Parallelism: 1, Speculation: 1, Shards: n}
+			// One untimed warm-up so the first configurations measured
+			// don't absorb heap stabilization after the offline build.
+			if _, err := st.Run(m, q); err != nil {
+				return nil, fmt.Errorf("experiments: %s at %d shards: %w", m, n, err)
+			}
+			var res methods.QueryResult
+			sec, err := Measure(reps, func() error {
+				var runErr error
+				res, runErr = st.Run(m, q)
+				return runErr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %d shards: %w", m, n, err)
+			}
+			if n == counts[0] {
+				baseline, baseSec = res, sec
+			} else {
+				// Equivalence gate: sharding must never change what the
+				// query returns or what useful work it reports.
+				if got, want := itemsKey(res.Items), itemsKey(baseline.Items); got != want {
+					return nil, fmt.Errorf("experiments: %s at %d shards items %s diverge from single-store %s", m, n, got, want)
+				}
+				if res.Counters != baseline.Counters {
+					return nil, fmt.Errorf("experiments: %s at %d shards counters %+v diverge from single-store %+v", m, n, res.Counters, baseline.Counters)
+				}
+			}
+			row := ShardBenchRow{
+				Method:       m,
+				Workload:     cs.workload,
+				Shards:       n,
+				Seconds:      sec,
+				Results:      len(res.Items),
+				UsefulWork:   res.Counters.Work(),
+				MaxShardWork: res.Shard.MaxWork(),
+				WastedWork:   res.Spec.Wasted.Work(),
+				PrunedShards: res.Shard.PrunedShards(),
+			}
+			for _, sh := range res.Shard.Stats {
+				row.ShardWork += sh.Work
+			}
+			if row.MaxShardWork > 0 {
+				row.SpeedupWork = float64(row.ShardWork) / float64(row.MaxShardWork)
+			}
+			if sec > 0 {
+				row.SpeedupVs1 = baseSec / sec
+			}
+			if m == methods.MethodFastTopKET && n > 1 {
+				// Pruning effectiveness: the same query with the bound
+				// exchange off shows what the shards burn when nothing
+				// shares the global k-th bound.
+				qn := q
+				qn.NoBoundExchange = true
+				resn, err := st.Run(m, qn)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s at %d shards (no exchange): %w", m, n, err)
+				}
+				if got, want := itemsKey(resn.Items), itemsKey(baseline.Items); got != want {
+					return nil, fmt.Errorf("experiments: %s at %d shards (no exchange) items %s diverge from single-store %s", m, n, got, want)
+				}
+				if resn.Counters != baseline.Counters {
+					return nil, fmt.Errorf("experiments: %s at %d shards (no exchange) counters %+v diverge from single-store %+v", m, n, resn.Counters, baseline.Counters)
+				}
+				row.WastedNoExchange = resn.Spec.Wasted.Work()
+				if row.WastedNoExchange > 0 {
+					row.PrunedRatio = 1 - float64(row.WastedWork)/float64(row.WastedNoExchange)
+					if row.PrunedRatio < 0 {
+						row.PrunedRatio = 0
+					}
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// WriteShardBench writes the report as indented JSON to path.
+func WriteShardBench(rep *ShardBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintShardBench renders the report as a shard-count table, one row
+// per method × workload: wall seconds per count, the scatter-gather
+// work speedup and bound-exchange pruning ratio at the widest setting.
+func PrintShardBench(w io.Writer, rep *ShardBenchReport) {
+	byCase := map[string][]ShardBenchRow{}
+	var order []string
+	for _, r := range rep.Rows {
+		key := r.Method
+		if r.Workload != "" {
+			key = r.Method + " (" + r.Workload + ")"
+		}
+		if len(byCase[key]) == 0 {
+			order = append(order, key)
+		}
+		byCase[key] = append(byCase[key], r)
+	}
+	fmt.Fprintf(w, "%-28s", "method (workload)")
+	if len(order) > 0 {
+		for _, r := range byCase[order[0]] {
+			fmt.Fprintf(w, "  n=%-8d", r.Shards)
+		}
+	}
+	fmt.Fprintf(w, "  work-speedup@max  pruned@max  results\n")
+	for _, key := range order {
+		rows := byCase[key]
+		fmt.Fprintf(w, "%-28s", key)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %8.4fs", r.Seconds)
+		}
+		last := rows[len(rows)-1]
+		fmt.Fprintf(w, "  %15.2fx  %9.0f%%  %7d\n", last.SpeedupWork, 100*last.PrunedRatio, last.Results)
+	}
+	fmt.Fprintf(w, "(gomaxprocs %d; work-speedup = summed shard work / slowest shard; pruned = wasted work the bound exchange avoided)\n", rep.GoMaxProcs)
+}

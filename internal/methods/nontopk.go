@@ -138,7 +138,7 @@ func (s *Store) sqlCandidate(tid core.TopologyID, starts []graph.NodeID, q Query
 //	WHERE pred1(A) AND pred2(B) AND A.ID = AT.E1 AND B.ID = AT.E2
 func (s *Store) FullTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	tids, err := s.distinctTopsTIDs(s.AllTops, q, &c)
+	tids, stats, err := s.distinctTopsTIDs(s.AllTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -147,7 +147,7 @@ func (s *Store) FullTop(q Query) (QueryResult, error) {
 		return QueryResult{}, err
 	}
 	sortItemsByTID(items)
-	return QueryResult{Items: items, Counters: c}, nil
+	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}, nil
 }
 
 // FastTop is the Section 4.3 method (query SQL1): the same join over
@@ -158,7 +158,7 @@ func (s *Store) FullTop(q Query) (QueryResult, error) {
 // pruned-topology list.
 func (s *Store) FastTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	tids, err := s.distinctTopsTIDs(s.LeftTops, q, &c)
+	tids, stats, err := s.distinctTopsTIDs(s.LeftTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -172,5 +172,5 @@ func (s *Store) FastTop(q Query) (QueryResult, error) {
 		return QueryResult{}, err
 	}
 	sortItemsByTID(items)
-	return QueryResult{Items: items, Counters: c}, nil
+	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}, nil
 }

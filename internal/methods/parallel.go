@@ -73,14 +73,24 @@ func shardRanges(n, w int) [][2]int32 {
 }
 
 // distinctTopsTIDs evaluates the Figure 14 join over the given Tops
-// table and returns the distinct TIDs in first-occurrence order. The
-// driving ES1 scan is sharded into contiguous row ranges across the
-// query workers; concatenating the per-shard outputs in shard order
+// table and returns the distinct TIDs in first-occurrence order, plus
+// per-shard stats when the query runs sharded. The driving ES1 scan is
+// partitioned into contiguous row ranges — under Query.Shards into
+// that many cost-weighted entity shards (one searcher-like executor
+// per shard, all racing), otherwise into equal windows across the
+// query workers. Concatenating the per-shard outputs in shard order
 // reproduces the sequential scan's row order exactly, so the TID list —
 // and the merged counter totals, each row costing the same work in
-// whichever shard it lands — are byte-identical at every parallelism.
-func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counters) ([]core.TopologyID, error) {
-	shards := shardRanges(s.T1.NumRows(), s.queryWorkers(q))
+// whichever shard it lands — are byte-identical at every parallelism
+// and shard count.
+func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counters) ([]core.TopologyID, []ShardStat, error) {
+	sharded := q.Shards > 1
+	var shards [][2]int32
+	if sharded {
+		shards = s.EntityShardRanges(q.Shards)
+	} else {
+		shards = shardRanges(s.T1.NumRows(), s.queryWorkers(q))
+	}
 	type shardOut struct {
 		tids []core.TopologyID
 		c    engine.Counters
@@ -100,7 +110,7 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 	seen := make(map[core.TopologyID]bool)
 	for i := range outs {
 		if outs[i].err != nil {
-			return nil, outs[i].err
+			return nil, nil, outs[i].err
 		}
 		c.Add(outs[i].c)
 		// Per-shard dedup composes: the global first occurrence of a
@@ -115,7 +125,17 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 		}
 	}
 	c.TuplesOut += int64(len(tids))
-	return tids, nil
+	var stats []ShardStat
+	if sharded {
+		stats = make([]ShardStat, len(shards))
+		for i := range outs {
+			stats[i] = ShardStat{
+				Shard: i, Lo: shards[i][0], Hi: shards[i][1],
+				Work: outs[i].c.Work(), Witnesses: len(outs[i].tids),
+			}
+		}
+	}
+	return tids, stats, nil
 }
 
 // drainDistinctTIDs runs a tops join plan to exhaustion and collects

@@ -44,6 +44,23 @@ type Query struct {
 	// are byte-identical at every setting; the extra work burned by
 	// losing segments is reported separately in QueryResult.Spec.
 	Speculation int
+	// Shards is the scatter-gather shard count: the driving position
+	// space — entity rows for the scan methods, the score-ordered
+	// group stream for the ET plans — is partitioned into this many
+	// contiguous cost-weighted ranges, one searcher-like executor per
+	// shard, and the per-shard streams are merged by a coordinator.
+	// ET executors additionally exchange the global top-k bound: a
+	// shard is cancelled once the results emitted below it already
+	// cover k (nothing it can still produce can enter the top k).
+	// 0 and 1 run single-store execution. Result items, plans AND
+	// merged useful-work counter totals are byte-identical at every
+	// shard count; per-shard accounting lands in QueryResult.Shard.
+	Shards int
+	// NoBoundExchange disables the ET shards' global bound exchange
+	// (results stay identical; the shards merely stop pruning each
+	// other). It exists so the bench harness can measure the work the
+	// exchange avoids.
+	NoBoundExchange bool
 }
 
 // Item is one ranked result.
@@ -65,6 +82,61 @@ type QueryResult struct {
 	// run — while Spec.Wasted holds the extra work losing segments
 	// burned before they were cancelled.
 	Spec SpecReport
+	// Shard is the scatter-gather accounting (zero unless the query ran
+	// with Query.Shards > 1): one entry per shard executor with its
+	// position range, the work it burned, and whether the bound
+	// exchange pruned it.
+	Shard ShardReport
+}
+
+// ShardReport is the scatter-gather accounting of one sharded query.
+type ShardReport struct {
+	// Count is the shard count the query ran with (0 = unsharded).
+	Count int
+	// Stats holds one entry per shard executor, in shard order.
+	Stats []ShardStat
+}
+
+// ShardStat is one shard executor's share of a sharded query.
+type ShardStat struct {
+	// Shard is the executor's index in partition order.
+	Shard int
+	// Lo and Hi delimit the shard's position window [Lo, Hi) — entity
+	// rows for the scan methods, score-order positions for ET.
+	Lo, Hi int32
+	// Work is the total work the shard burned (useful or not), in the
+	// Counters.Work unit.
+	Work int64
+	// Witnesses is the number of results the shard produced (emitted
+	// ET witnesses, or distinct TIDs before the global merge).
+	Witnesses int
+	// Pruned reports that the bound exchange stopped this shard early:
+	// results already emitted below it covered the top k, so its
+	// remaining window could not contribute (ET only).
+	Pruned bool
+}
+
+// MaxWork returns the largest single-shard work share — the
+// scatter-gather critical path.
+func (r ShardReport) MaxWork() int64 {
+	var m int64
+	for _, st := range r.Stats {
+		if st.Work > m {
+			m = st.Work
+		}
+	}
+	return m
+}
+
+// PrunedShards counts the shards the bound exchange stopped early.
+func (r ShardReport) PrunedShards() int {
+	n := 0
+	for _, st := range r.Stats {
+		if st.Pruned {
+			n++
+		}
+	}
+	return n
 }
 
 // SpecReport is the speculative-execution work accounting of one

@@ -1,0 +1,236 @@
+package methods_test
+
+import (
+	"fmt"
+	"testing"
+
+	"toposearch/internal/biozon"
+	"toposearch/internal/methods"
+	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+)
+
+// TestShardedETMatchesSingleStore pins the scatter-gather contract at
+// the methods level: for every ET method, both DGJ variants, several k
+// values, with and without the bound exchange, items AND useful-work
+// counters at any shards × speculation combination are byte-identical
+// to the single-store sequential run, and the shard report accounts
+// every executor.
+func TestShardedETMatchesSingleStore(t *testing.T) {
+	s := syntheticStore(t, 1, 42, 2)
+	sel, err := biozon.SelectivityPred(s.T1.Schema, "selective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := biozon.SelectivityPred(s.T2.Schema, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{methods.MethodFullTopKET, methods.MethodFastTopKET} {
+		for _, hdgj := range []bool{false, true} {
+			for _, k := range []int{1, 5, 100, 0} {
+				q := methods.Query{Pred1: sel, Pred2: med, K: k,
+					Ranking: ranking.Domain, UseHDGJ: hdgj, Parallelism: 1}
+				want, err := s.Run(method, q)
+				if err != nil {
+					t.Fatalf("%s single: %v", method, err)
+				}
+				for _, shards := range []int{2, 3, 8} {
+					for _, spec := range []int{1, 4} {
+						for _, noEx := range []bool{false, true} {
+							qq := q
+							qq.Shards = shards
+							qq.Speculation = spec
+							qq.NoBoundExchange = noEx
+							got, err := s.Run(method, qq)
+							if err != nil {
+								t.Fatalf("%s shards=%d spec=%d: %v", method, shards, spec, err)
+							}
+							tag := fmt.Sprintf("%s/hdgj=%v/k=%d/shards=%d/spec=%d/noex=%v", method, hdgj, k, shards, spec, noEx)
+							if gi, wi := itemsStr(got.Items), itemsStr(want.Items); gi != wi {
+								t.Errorf("%s: items %s, want %s", tag, gi, wi)
+							}
+							if got.Counters != want.Counters {
+								t.Errorf("%s: counters %+v, want %+v", tag, got.Counters, want.Counters)
+							}
+							if got.Shard.Count != shards {
+								t.Errorf("%s: shard count %d, want %d", tag, got.Shard.Count, shards)
+							}
+							if len(got.Shard.Stats) != shards {
+								t.Fatalf("%s: %d shard stats, want %d", tag, len(got.Shard.Stats), shards)
+							}
+							checkShardStats(t, tag, got.Shard)
+							if noEx && got.Shard.PrunedShards() != 0 {
+								t.Errorf("%s: %d shards pruned with the exchange disabled", tag, got.Shard.PrunedShards())
+							}
+							w := got.Spec.Wasted
+							if w.RowsScanned < 0 || w.IndexProbes < 0 || w.TuplesOut < 0 || w.Comparisons < 0 {
+								t.Errorf("%s: negative wasted work %+v", tag, w)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkShardStats asserts the structural invariants of a shard report:
+// ordered contiguous windows and non-negative work.
+func checkShardStats(t *testing.T, tag string, rep methods.ShardReport) {
+	t.Helper()
+	for i, st := range rep.Stats {
+		if st.Shard != i {
+			t.Errorf("%s: stat %d has shard index %d", tag, i, st.Shard)
+		}
+		if st.Hi < st.Lo || st.Work < 0 || st.Witnesses < 0 {
+			t.Errorf("%s: malformed shard stat %+v", tag, st)
+		}
+		if i > 0 && st.Lo != rep.Stats[i-1].Hi {
+			t.Errorf("%s: shard %d window [%d,%d) not contiguous with previous hi %d",
+				tag, i, st.Lo, st.Hi, rep.Stats[i-1].Hi)
+		}
+	}
+}
+
+// TestShardedScanMethodsMatchSingleStore pins the scan-method half of
+// the contract: Full-Top/Fast-Top/Full-Top-k/Fast-Top-k over
+// cost-weighted entity shards return byte-identical items and counter
+// totals to the single-store run, at every shard count and with
+// parallel workers underneath.
+func TestShardedScanMethodsMatchSingleStore(t *testing.T) {
+	s := syntheticStore(t, 1, 42, 2)
+	med, err := biozon.SelectivityPred(s.T1.Schema, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrna, err := relstore.Eq(s.T2.Schema, "type", relstore.StrVal("mRNA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{methods.MethodFullTop, methods.MethodFastTop,
+		methods.MethodFullTopK, methods.MethodFastTopK} {
+		q := methods.Query{Pred1: med, Pred2: mrna, Parallelism: 1}
+		if method == methods.MethodFullTopK || method == methods.MethodFastTopK {
+			q.K = 5
+			q.Ranking = ranking.Domain
+		}
+		want, err := s.Run(method, q)
+		if err != nil {
+			t.Fatalf("%s single: %v", method, err)
+		}
+		for _, shards := range []int{2, 3, 8} {
+			for _, par := range []int{1, 4} {
+				qq := q
+				qq.Shards = shards
+				qq.Parallelism = par
+				got, err := s.Run(method, qq)
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", method, shards, err)
+				}
+				tag := fmt.Sprintf("%s/shards=%d/par=%d", method, shards, par)
+				if gi, wi := itemsStr(got.Items), itemsStr(want.Items); gi != wi {
+					t.Errorf("%s: items %s, want %s", tag, gi, wi)
+				}
+				if got.Counters != want.Counters {
+					t.Errorf("%s: counters %+v, want %+v", tag, got.Counters, want.Counters)
+				}
+				if got.Shard.Count == 0 || len(got.Shard.Stats) == 0 {
+					t.Fatalf("%s: missing shard report", tag)
+				}
+				checkShardStats(t, tag, got.Shard)
+				var total int64
+				for _, st := range got.Shard.Stats {
+					total += st.Work
+				}
+				if total <= 0 || total > got.Counters.Work() {
+					t.Errorf("%s: shard work sum %d outside (0, %d]", tag, total, got.Counters.Work())
+				}
+			}
+		}
+	}
+}
+
+// TestEntityShardRangesCoverAndRoute pins the partition function the
+// queries and delta routing share: the cost-weighted entity ranges
+// cover the entity table exactly, and ShardOfEntity routes every known
+// entity into its owning range (unknown entities clamp to the last
+// shard).
+func TestEntityShardRangesCoverAndRoute(t *testing.T) {
+	s := syntheticStore(t, 1, 42, 2)
+	n := s.T1.NumRows()
+	keyCol := s.T1.Schema.KeyCol
+	for _, shards := range []int{1, 2, 3, 7} {
+		r := s.EntityShardRanges(shards)
+		if len(r) != shards {
+			t.Fatalf("%d shards: got %d ranges", shards, len(r))
+		}
+		lo := int32(0)
+		for i, rg := range r {
+			if rg[0] != lo || rg[1] < rg[0] {
+				t.Fatalf("%d shards: range %d = %v not contiguous from %d", shards, i, rg, lo)
+			}
+			lo = rg[1]
+		}
+		if int(lo) != n {
+			t.Fatalf("%d shards: ranges cover [0,%d), want [0,%d)", shards, lo, n)
+		}
+		for pos := int32(0); pos < int32(n); pos++ {
+			id := s.T1.IntAt(pos, keyCol)
+			sh := s.ShardOfEntity(id, shards)
+			if pos < r[sh][0] || pos >= r[sh][1] {
+				t.Fatalf("%d shards: entity %d at pos %d routed to shard %d %v", shards, id, pos, sh, r[sh])
+			}
+		}
+		if sh := s.ShardOfEntity(-12345, shards); sh != shards-1 {
+			t.Errorf("%d shards: unknown entity routed to %d, want last shard %d", shards, sh, shards-1)
+		}
+	}
+}
+
+// TestMergePrunedParallelMatchesSequential pins the parallelized SQL4
+// cut-off merge: Fast-Top-k(-ET) with workers runs the pruned
+// existence checks speculatively in parallel, yet items and counter
+// totals stay byte-identical to the sequential merge — in the
+// underfull regime (large k: every pruned topology needs its check)
+// and the overfull-with-admissions regime (small k: the bar rises as
+// checks admit candidates, shrinking the executed set).
+func TestMergePrunedParallelMatchesSequential(t *testing.T) {
+	// Threshold 1 prunes aggressively so the merge has many candidates.
+	s := syntheticStore(t, 1, 42, 1)
+	if len(s.PrunedTIDs) < 2 {
+		t.Fatalf("store pruned only %d topologies; test needs candidates", len(s.PrunedTIDs))
+	}
+	med, err := biozon.SelectivityPred(s.T1.Schema, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{methods.MethodFastTopK, methods.MethodFastTopKET} {
+		for _, k := range []int{1, 2, 1000} {
+			q := methods.Query{Pred1: med, K: k, Ranking: ranking.Domain, Parallelism: 1}
+			want, err := s.Run(method, q)
+			if err != nil {
+				t.Fatalf("%s seq: %v", method, err)
+			}
+			for _, par := range []int{2, 8} {
+				qq := q
+				qq.Parallelism = par
+				got, err := s.Run(method, qq)
+				if err != nil {
+					t.Fatalf("%s par=%d: %v", method, par, err)
+				}
+				tag := fmt.Sprintf("%s/k=%d/par=%d", method, k, par)
+				if gi, wi := itemsStr(got.Items), itemsStr(want.Items); gi != wi {
+					t.Errorf("%s: items %s, want %s", tag, gi, wi)
+				}
+				if got.Counters != want.Counters {
+					t.Errorf("%s: counters %+v, want %+v", tag, got.Counters, want.Counters)
+				}
+				w := got.Spec.Wasted
+				if w.RowsScanned < 0 || w.IndexProbes < 0 {
+					t.Errorf("%s: negative wasted work %+v", tag, w)
+				}
+			}
+		}
+	}
+}

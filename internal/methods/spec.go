@@ -7,72 +7,124 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
 	"toposearch/internal/relstore"
+	"toposearch/internal/shard"
 )
 
-// This file is the speculative parallel early-termination driver: the
-// methods half of the subsystem whose engine half (segment drains,
-// witness snapshots, the commit sequencer) lives in engine/spec.go.
+// This file is the speculative/sharded parallel early-termination
+// driver: the methods half of the subsystem whose engine half (segment
+// drains, witness snapshots, the commit sequencer) lives in
+// engine/spec.go and whose partitioning half (cost-weighted cuts, the
+// scatter-gather bound exchange) lives in internal/shard.
 //
 // The sequential ET plans (etPlan) win by stopping the moment k groups
 // have produced a witness — but a single worker crawls the group
 // stream while the rest of the machine idles. etPlanSpec partitions
-// the score-ordered stream into Query.Speculation contiguous segments,
-// races one restartable DGJ stack per segment, and commits witnesses
-// in canonical group order, cancelling in-flight losers the moment the
-// k-th witness commits. Items, plans and the useful-work counters stay
-// byte-identical to the sequential run at any width; the work burned
-// by losing segments is reported separately in QueryResult.Spec.
+// the score-ordered stream into Shards × Speculation contiguous
+// segments — cut points balanced by the optimizer's per-group cost
+// estimates, not group counts, so a Zipfian head group no longer
+// dominates one segment — races one restartable DGJ stack per segment,
+// and commits witnesses in canonical group order. Two mechanisms
+// cancel in-flight losers: the sequencer the moment the k-th witness
+// commits, and (earlier) the bound exchange the moment the witnesses
+// emitted by a prefix of segments already cover k, making everything a
+// later segment can still produce unable to enter the top k — the
+// scatter-gather analogue of the paper's ET stopping rule. Items,
+// plans and the useful-work counters stay byte-identical to the
+// sequential run at any segment/shard count; the work burned by losing
+// segments is reported in QueryResult.Spec, the per-shard split in
+// QueryResult.Shard.
 
 // etRun dispatches an ET query between the sequential driver and the
-// speculative one. Both ET methods call it with fresh counters, so the
-// sequential critical path is simply everything charged by the plan.
-func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, error) {
-	if q.Speculation > 1 {
+// speculative/sharded one. Both ET methods call it with fresh
+// counters, so the sequential critical path is simply everything
+// charged by the plan.
+func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, error) {
+	if q.Speculation > 1 || q.Shards > 1 {
 		return s.etPlanSpec(tops, q, k, c)
 	}
 	items, err := s.etPlan(tops, q, k, c)
-	return items, SpecReport{CriticalPath: *c}, err
+	return items, SpecReport{CriticalPath: *c}, ShardReport{}, err
 }
 
 // specEvent is one message from a segment worker to the sequencing
 // loop: either a witness, or the worker's exit (err == nil means the
-// segment ran to completion; total always carries the worker's final
-// counters, partial or not).
+// segment finished cleanly; stopped marks a clean exit forced early by
+// the bound exchange, whose counters are NOT a full-segment total;
+// total always carries the worker's final counters, partial or not).
 type specEvent struct {
 	seg     int
 	witness engine.GroupWitness
 	exit    bool
+	stopped bool
 	err     error
 	total   engine.Counters
 }
 
-// etPlanSpec is the speculative ET driver. Segment workers stream
-// witnesses into an engine.Sequencer; the loop cancels every in-flight
-// worker the moment the commit is fully determined. The committed
-// counters are completed with the one piece of sequential work no
-// segment performs — the HDGJ group lookahead that would have run past
-// the stopping segment's boundary — via replayBoundaryLookahead.
-func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, error) {
+// etSegments cuts the score-ordered group stream into n contiguous
+// segments. For the in-order DGJ stack they are balanced by the
+// optimizer's per-group cost estimates (Appendix A probe-cost chains
+// over the group cardinality histogram), which evens out the Zipfian
+// group-cost skew equal-count cuts suffer from. HDGJ keeps equal
+// group counts: its dominant cost (hash probes plus the boundary
+// lookahead) is flat per group rather than chain-shaped, and weighting
+// by the chain estimates concentrates nearly all of its real work in
+// one segment. Equal counts are also the fallback when the estimates
+// are unavailable. The result is padded with empty trailing windows so
+// it always holds exactly n segments.
+func (s *Store) etSegments(tops *relstore.Table, q Query, order []int32, n int) shard.Ranges {
+	var segs shard.Ranges
+	if !q.UseHDGJ {
+		if _, stack, err := s.gatherStats(tops, q); err == nil && len(stack.Cards) == len(order) {
+			segs = shard.Weighted(stack.GroupCosts(), n)
+		}
+	}
+	if segs == nil {
+		segs = shard.Equal(len(order), n)
+	}
+	end := int32(len(order))
+	for len(segs) < n {
+		segs = append(segs, [2]int32{end, end})
+	}
+	return segs
+}
+
+// etPlanSpec is the speculative/sharded ET driver. Segment workers
+// stream witnesses into an engine.Sequencer; the loop cancels every
+// in-flight worker the moment the commit is fully determined, and the
+// bound exchange cancels trailing segments even earlier, as soon as
+// the witnesses emitted below them cover k. The committed counters are
+// completed with the one piece of sequential work no segment performs
+// — the HDGJ group lookahead that would have run past the stopping
+// segment's boundary — via replayBoundaryLookahead.
+func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, error) {
 	if q.Ranking == "" {
-		return nil, SpecReport{}, fmt.Errorf("methods: ET plans need a ranking")
+		return nil, SpecReport{}, ShardReport{}, fmt.Errorf("methods: ET plans need a ranking")
 	}
 	// Resolve the score order once; every segment's windowed scan and
 	// the boundary replay share this one (read-only) snapshot instead
 	// of each re-materializing all N positions.
 	order, err := s.scoreOrder(q.Ranking)
 	if err != nil {
-		return nil, SpecReport{}, err
+		return nil, SpecReport{}, ShardReport{}, err
 	}
 	width := q.Speculation
-	segs := shardRanges(len(order), width)
+	if width < 1 {
+		width = 1
+	}
+	nshards := q.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	segs := s.etSegments(tops, q, order, nshards*width)
 	rep := SpecReport{Width: width}
+	shrep := ShardReport{}
 	// Resolve the witness rows' TID/score positions from the real stack
 	// output layout (an empty-window stack; operators are never opened)
 	// instead of assuming TopInfo's columns prefix the row.
 	var probe engine.Counters
 	_, tidCol, scoreIdx, err := s.buildETStack(tops, q, order, 0, 0, &probe, nil)
 	if err != nil {
-		return nil, rep, err
+		return nil, rep, shrep, err
 	}
 
 	parent := q.Ctx
@@ -82,17 +134,55 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
-	events := make(chan specEvent, 2*len(segs))
+	// The bound exchange: segment workers report every emitted witness,
+	// and a segment is cancelled (or told to stop itself) the moment
+	// the witnesses emitted at or below some earlier segment already
+	// cover k. With k <= 0 every group is wanted, so there is no bound
+	// to exchange.
+	var ex *shard.Exchange
+	segCancels := make([]context.CancelFunc, len(segs))
+	segCtxs := make([]context.Context, len(segs))
 	for i := range segs {
+		segCtxs[i], segCancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, cf := range segCancels {
+			cf()
+		}
+	}()
+	if k > 0 && !q.NoBoundExchange && len(segs) > 1 {
+		ex = shard.NewExchange(k, len(segs))
+		for i := range segs {
+			ex.Bind(i, segCancels[i])
+		}
+	}
+
+	events := make(chan specEvent, 2*len(segs))
+	// Spawn segment 0 last: the runtime runs the last-spawned goroutine
+	// first and the rest in spawn order, so on undersubscribed machines
+	// the workers start in roughly canonical segment order — the
+	// sequential run's own priority, and the order that lets the stop
+	// (and the bound exchange) cancel high segments before they burn
+	// their windows. Results never depend on this scheduling hint; it
+	// only shifts work from wasted to never-started.
+	spawnOrder := make([]int, 0, len(segs))
+	for i := 1; i < len(segs); i++ {
+		spawnOrder = append(spawnOrder, i)
+	}
+	spawnOrder = append(spawnOrder, 0)
+	for _, i := range spawnOrder {
 		go func(seg int, lo, hi int) {
 			var wc engine.Counters
-			g, _, _, err := s.buildETStack(tops, q, order, lo, hi, &wc, ctx)
+			sctx := segCtxs[seg]
+			g, _, _, err := s.buildETStack(tops, q, order, lo, hi, &wc, sctx)
+			var stopped bool
 			if err == nil {
-				err = engine.DrainGroupWitnesses(ctx, g, &wc, k, func(w engine.GroupWitness) {
+				stopped, err = engine.DrainGroupWitnessesFunc(sctx, g, &wc, k, func(w engine.GroupWitness) bool {
 					events <- specEvent{seg: seg, witness: w}
+					return ex != nil && ex.Emit(seg)
 				})
 			}
-			events <- specEvent{seg: seg, exit: true, err: err, total: wc}
+			events <- specEvent{seg: seg, exit: true, stopped: stopped, err: err, total: wc}
 		}(i, int(segs[i][0]), int(segs[i][1]))
 	}
 
@@ -102,6 +192,9 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	// left blocked on the events channel.
 	seqr := engine.NewSequencer(k, len(segs))
 	errs := make([]error, len(segs))
+	segWork := make([]int64, len(segs))
+	segWitness := make([]int, len(segs))
+	segStopped := make([]bool, len(segs))
 	var burned engine.Counters // every worker's final counters, won or lost
 	for remaining := len(segs); remaining > 0; {
 		ev := <-events
@@ -109,14 +202,26 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		case ev.exit:
 			remaining--
 			burned.Add(ev.total)
+			segWork[ev.seg] = ev.total.Work()
+			segStopped[ev.seg] = ev.stopped
 			if ev.err != nil {
 				errs[ev.seg] = ev.err
+				break
+			}
+			if ev.stopped {
+				// The exchange stopped this worker mid-window: its
+				// counters are not a full-segment total, and the
+				// sequencer never needs the missing remainder (the
+				// witnesses that cover the top k were emitted before the
+				// stop). Reporting SegmentDone here would understate the
+				// segment, so don't.
 				break
 			}
 			if seqr.SegmentDone(ev.seg, ev.total) {
 				cancel()
 			}
 		default:
+			segWitness[ev.seg]++
 			if seqr.Witness(ev.seg, ev.witness) {
 				cancel()
 			}
@@ -128,14 +233,14 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		// point are the only segments allowed to die cancelled).
 		for _, err := range errs {
 			if err != nil {
-				return nil, rep, err
+				return nil, rep, shrep, err
 			}
 		}
-		return nil, rep, fmt.Errorf("methods: speculative ET stalled without error")
+		return nil, rep, shrep, fmt.Errorf("methods: speculative ET stalled without error")
 	}
 	out, err := seqr.Outcome()
 	if err != nil {
-		return nil, rep, err
+		return nil, rep, shrep, err
 	}
 
 	committed := out.Counters
@@ -150,7 +255,7 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		// part of the stopping segment's share of the latency bound.
 		before := *c
 		if err := s.replayBoundaryLookahead(tops, order, int(segs[out.StopSeg][1]), c); err != nil {
-			return nil, rep, err
+			return nil, rep, shrep, err
 		}
 		delta := *c
 		delta.Sub(before)
@@ -163,11 +268,29 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	rep.Wasted = burned
 	rep.Wasted.Sub(committed)
 
+	// Per-shard accounting: shard j owns the contiguous segment block
+	// [j*width, (j+1)*width).
+	if nshards > 1 {
+		shrep.Count = nshards
+		shrep.Stats = make([]ShardStat, 0, nshards)
+		for j := 0; j < nshards; j++ {
+			st := ShardStat{Shard: j, Lo: segs[j*width][0], Hi: segs[(j+1)*width-1][1]}
+			for i := j * width; i < (j+1)*width; i++ {
+				st.Work += segWork[i]
+				st.Witnesses += segWitness[i]
+				if segStopped[i] || (ex != nil && ex.Cancelled(i)) {
+					st.Pruned = true
+				}
+			}
+			shrep.Stats = append(shrep.Stats, st)
+		}
+	}
+
 	items := make([]Item, len(out.Witnesses))
 	for i, w := range out.Witnesses {
 		items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
 	}
-	return items, rep, nil
+	return items, rep, shrep, nil
 }
 
 // scoreOrder resolves the descending score order of the TopInfo rows —

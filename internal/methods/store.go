@@ -14,6 +14,7 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/graph"
 	"toposearch/internal/relstore"
+	"toposearch/internal/shard"
 )
 
 // StoreConfig controls the offline phase: topology computation options
@@ -58,6 +59,15 @@ type Store struct {
 	Cfg        StoreConfig
 
 	sigToPath map[graph.PathSig]graph.SchemaPath
+
+	// entityPrefix is the per-generation entity-shard weight profile:
+	// entityPrefix[p+1] - entityPrefix[p] = 1 + the AllTops fan-out of
+	// the entity at T1 position p (one scan charge plus its tops join
+	// matches — the dominant per-row cost of the Figure 14 plans).
+	// Sharded queries and delta routing both cut/route through this one
+	// prefix-sum array, so they can never disagree about which shard
+	// owns an entity within a store generation.
+	entityPrefix []int64
 }
 
 // BuildStore runs the offline phase for one entity-set pair: build the
@@ -169,7 +179,44 @@ func (s *Store) warmIndexes() error {
 	for _, t := range []*relstore.Table{s.T1, s.T2, s.AllTops, s.LeftTops, s.ExcpTops, s.TopInfo} {
 		t.Stats()
 	}
+	// Entity-shard weight profile: cost-weighted shard cuts and delta
+	// routing read this prefix-sum array (see the field doc). The E1
+	// hash index doubles as the probe index of the tops joins.
+	e1Idx, err := s.AllTops.CreateHashIndex("E1")
+	if err != nil {
+		return err
+	}
+	keyCol := s.T1.Schema.KeyCol
+	n := s.T1.NumRows()
+	prefix := make([]int64, n+1)
+	for pos := int32(0); pos < int32(n); pos++ {
+		w := 1 + int64(len(e1Idx.LookupInt(s.T1.IntAt(pos, keyCol))))
+		prefix[pos+1] = prefix[pos] + w
+	}
+	s.entityPrefix = prefix
 	return nil
+}
+
+// EntityShardRanges cuts the T1 position space into n cost-weighted
+// contiguous shards, balanced by each entity's AllTops fan-out. The
+// cut is a pure function of the store generation's weight profile:
+// every query and every delta-routing decision against this generation
+// sees the same partition.
+func (s *Store) EntityShardRanges(n int) shard.Ranges {
+	return shard.FromPrefix(s.entityPrefix, n)
+}
+
+// ShardOfEntity routes an entity-1 ID to its shard under an n-way
+// partition of this store generation. Entities unknown to the
+// generation (e.g. rows a delta batch is about to insert) clamp to the
+// last shard, which owns the append frontier until the next
+// generation re-cuts.
+func (s *Store) ShardOfEntity(id int64, n int) int {
+	r := s.EntityShardRanges(n)
+	if pos, ok := s.T1.PKPos(id); ok {
+		return r.Find(pos)
+	}
+	return len(r) - 1
 }
 
 func (s *Store) opts() core.Options {

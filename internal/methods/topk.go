@@ -8,29 +8,39 @@ import (
 // topKOverTops runs the regular top-k pipeline (SQL3/SQL4 upper
 // sub-query) over the given Tops table: join, attach scores, distinct,
 // order by score, fetch k. The join shards its driving entity scan
-// across the query workers.
-func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, error) {
-	tids, err := s.distinctTopsTIDs(tops, q, c)
+// across the query workers (or, under Query.Shards, across the
+// cost-weighted entity shards).
+func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, []ShardStat, error) {
+	tids, stats, err := s.distinctTopsTIDs(tops, q, c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	items, err := s.itemsForTIDs(tids, q.Ranking)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sortItems(items)
-	return items, nil
+	return items, stats, nil
+}
+
+// shardReportFor wraps per-shard stats into a report when the query
+// actually ran sharded.
+func shardReportFor(q Query, stats []ShardStat) ShardReport {
+	if q.Shards > 1 && len(stats) > 0 {
+		return ShardReport{Count: len(stats), Stats: stats}
+	}
+	return ShardReport{}
 }
 
 // FullTopK is SQL3 over AllTops: compute every topology result, order
 // by score, fetch the first k.
 func (s *Store) FullTopK(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, err := s.topKOverTops(s.AllTops, q, &c)
+	items, stats, err := s.topKOverTops(s.AllTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: trimK(items, q.K), Counters: c}, nil
+	return QueryResult{Items: trimK(items, q.K), Counters: c, Shard: shardReportFor(q, stats)}, nil
 }
 
 // FastTopK is the Fast-Top-k method of Section 5.1 (queries SQL4 and
@@ -40,88 +50,146 @@ func (s *Store) FullTopK(q Query) (QueryResult, error) {
 // per-topology existence check with the exception-table guard.
 func (s *Store) FastTopK(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, err := s.topKOverTops(s.LeftTops, q, &c)
+	items, stats, err := s.topKOverTops(s.LeftTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	items = trimK(items, q.K)
-	items, err = s.mergePruned(items, q, &c)
+	items, wasted, err := s.mergePruned(items, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c}, nil
+	res := QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}
+	res.Spec.Wasted.Add(wasted)
+	return res, nil
 }
 
 // mergePruned applies the SQL4 cut-off and runs SQL5 for each pruned
-// topology that could still reach the top k.
+// topology that could still reach the top k. It returns the merged
+// result plus the speculative work its parallel phase burned beyond
+// what the sequential loop charges.
 //
-// This loop stays sequential even when the query runs with workers: the
-// cut-off compares each pruned candidate against the current k-th
+// The cut-off compares each pruned candidate against the current k-th
 // result, which earlier admissions may have raised, so WHICH existence
-// checks run depends on the outcomes of previous ones. Parallelizing it
-// would either change the executed check set (non-deterministic
-// counters) or forfeit the cut-off; FastTop's unconditional checks are
-// the parallel case (prunedSurvivors).
-func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, error) {
+// checks run depends on the outcomes of previous ones — the loop's
+// decisions are inherently sequential. But the executed set can only
+// SHRINK as the bar rises: a candidate cut off against the initial
+// k-th result stays cut off forever. So with workers available the
+// checks passing the initial cut-off run speculatively in parallel
+// (each into private counters), and a sequential replay then re-walks
+// the candidates in order, re-applying the cut-off against the
+// evolving bar and charging exactly the checks the classical loop
+// would have executed — making items AND counters byte-identical to
+// the sequential run, with the surplus checks reported as wasted work.
+func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, engine.Counters, error) {
+	var wasted engine.Counters
 	if len(s.PrunedTIDs) == 0 {
-		return items, nil
+		return items, wasted, nil
 	}
-	for _, tid := range s.PrunedTIDs {
+	// Resolve candidate scores up front (score lookups charge nothing).
+	cands := make([]Item, len(s.PrunedTIDs))
+	for i, tid := range s.PrunedTIDs {
 		score := int64(0)
 		if q.Ranking != "" {
 			var err error
 			score, err = s.scoreOf(tid, q.Ranking)
 			if err != nil {
-				return nil, err
+				return nil, wasted, err
 			}
 		}
-		cand := Item{TID: tid, Score: score}
-		if q.K > 0 && len(items) >= q.K && !rankedBefore(cand, items[len(items)-1]) {
-			// SQL4 cut-off: this pruned topology cannot displace the
-			// current k-th result under the (score desc, TID asc)
-			// total order.
+		cands[i] = Item{TID: tid, Score: score}
+	}
+	// SQL4 cut-off: a pruned topology that cannot displace the current
+	// k-th result under the (score desc, TID asc) total order is
+	// skipped without an existence check.
+	cutOff := func(cand Item, cur []Item) bool {
+		return q.K > 0 && len(cur) >= q.K && !rankedBefore(cand, cur[len(cur)-1])
+	}
+	type checkOut struct {
+		run bool
+		ok  bool
+		err error
+		c   engine.Counters
+	}
+	outs := make([]checkOut, len(cands))
+	if workers := s.queryWorkers(q); workers > 1 {
+		var idxs []int
+		for i, cand := range cands {
+			if !cutOff(cand, items) {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 1 {
+			parallelFor(len(idxs), workers, func(_, j int) {
+				o := &outs[idxs[j]]
+				o.run = true
+				o.ok, o.err = s.prunedExists(cands[idxs[j]].TID, q, &o.c)
+			})
+		}
+	}
+	// Sequential replay: identical admissions and counter charges to
+	// the classical loop.
+	replayed := make([]bool, len(cands))
+	for i, cand := range cands {
+		if cutOff(cand, items) {
 			continue
 		}
-		ok, err := s.prunedExists(tid, q, c)
-		if err != nil {
-			return nil, err
+		o := &outs[i]
+		if !o.run {
+			// Not precomputed (sequential mode, or a single-candidate
+			// pass set): run it now. The replay never needs a check the
+			// initial pass over-approximation missed, because the bar
+			// only rises.
+			o.run = true
+			o.ok, o.err = s.prunedExists(cand.TID, q, &o.c)
 		}
-		if ok {
-			items = append(items, Item{TID: tid, Score: score})
+		replayed[i] = true
+		if o.err != nil {
+			return nil, wasted, o.err
+		}
+		c.Add(o.c)
+		if o.ok {
+			items = append(items, cand)
 			sortItems(items)
 			items = trimK(items, q.K)
 		}
 	}
+	for i := range outs {
+		if outs[i].run && !replayed[i] {
+			wasted.Add(outs[i].c)
+		}
+	}
 	sortItems(items)
-	return trimK(items, q.K), nil
+	return trimK(items, q.K), wasted, nil
 }
 
 // FullTopKET is the early-termination method over AllTops (no pruning):
 // the Figure 15 DGJ stack, stopping after k groups produce a witness.
-// Query.Speculation > 1 races the stack's group stream across
-// speculative segment workers with byte-identical results.
+// Query.Speculation > 1 or Query.Shards > 1 races the stack's group
+// stream across segment workers with byte-identical results.
 func (s *Store) FullTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, rep, err := s.etRun(s.AllTops, q, q.K, &c)
+	items, rep, shrep, err := s.etRun(s.AllTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c, Spec: rep}, nil
+	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep}, nil
 }
 
 // FastTopKET is the Fast-Top-k-ET method of Section 5.3: the DGJ stack
 // over LeftTops plus the SQL5 merging of pruned topologies.
-// Query.Speculation > 1 races the stack's group stream across
-// speculative segment workers with byte-identical results.
+// Query.Speculation > 1 or Query.Shards > 1 races the stack's group
+// stream across segment workers with byte-identical results.
 func (s *Store) FastTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, rep, err := s.etRun(s.LeftTops, q, q.K, &c)
+	items, rep, shrep, err := s.etRun(s.LeftTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	items, err = s.mergePruned(items, q, &c)
+	items, wasted, err := s.mergePruned(items, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c, Spec: rep}, nil
+	rep.Wasted.Add(wasted)
+	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep}, nil
 }

@@ -1,0 +1,107 @@
+package shard
+
+import "sync"
+
+// Exchange is the scatter-gather bound exchange: executors over the
+// ordered segments of a score-descending stream report every emitted
+// result, and the exchange converts the global count into
+// early-termination decisions. Because the segments partition the
+// stream in score order, segment j's emitted results all outrank
+// anything segment j+1.. can still produce; so the moment segments
+// 0..b have emitted k results in total, the global k-th committed
+// score is unbeatable by every segment past b — those executors are
+// cancelled, and the boundary executor b (or any later one that
+// observes the same condition) stops itself.
+//
+// Soundness with the canonical-order Sequencer: the k-th committed
+// witness always lies in some segment <= b, and within that segment
+// among the results already emitted when the condition first held, so
+// cancellation never discards a witness the commit still needs; and
+// every segment strictly before the eventual stopping segment can
+// never satisfy the condition, so it always runs to completion and
+// reports its full counter totals. Emitted counts only grow, so a
+// cancellation decision never has to be revoked.
+//
+// An Exchange is safe for concurrent use by the segment executors.
+type Exchange struct {
+	mu        sync.Mutex
+	k         int
+	emitted   []int
+	cancel    []func()
+	cancelled []bool
+}
+
+// NewExchange returns a bound exchange committing k results across n
+// ordered segments. k must be positive (with no result bound there is
+// nothing to exchange).
+func NewExchange(k, n int) *Exchange {
+	return &Exchange{
+		k:         k,
+		emitted:   make([]int, n),
+		cancel:    make([]func(), n),
+		cancelled: make([]bool, n),
+	}
+}
+
+// Bind registers the cancellation hook of one segment executor. Must
+// be called before the executor starts emitting.
+func (e *Exchange) Bind(seg int, cancel func()) {
+	e.mu.Lock()
+	e.cancel[seg] = cancel
+	e.mu.Unlock()
+}
+
+// Emit records one result emitted by seg and applies the bound: every
+// segment past the first prefix of segments that already covers k
+// results is cancelled. It returns true when seg itself is past (or
+// is) that boundary — the executor should stop after the result it
+// just emitted, and must NOT report a completed-segment total (its
+// remaining work was never done).
+func (e *Exchange) Emit(seg int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.emitted[seg]++
+	sum := 0
+	b := -1
+	for i := range e.emitted {
+		sum += e.emitted[i]
+		if sum >= e.k {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		return false
+	}
+	for j := b + 1; j < len(e.cancel); j++ {
+		if !e.cancelled[j] {
+			e.cancelled[j] = true
+			if e.cancel[j] != nil {
+				e.cancel[j]()
+			}
+		}
+	}
+	return seg >= b
+}
+
+// Cancelled reports whether the exchange cancelled the given segment.
+func (e *Exchange) Cancelled(seg int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cancelled[seg]
+}
+
+// CancelledCount reports how many segments the exchange cancelled —
+// the pruning the bound exchange achieved beyond the sequencer's own
+// cancel-at-commit.
+func (e *Exchange) CancelledCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, c := range e.cancelled {
+		if c {
+			n++
+		}
+	}
+	return n
+}

@@ -43,6 +43,17 @@ type SearcherConfig struct {
 	// counters) are byte-identical at every setting; only latency and
 	// the wasted-work report change.
 	Speculation int
+	// Shards is the default scatter-gather shard count for queries that
+	// leave SearchQuery.Shards at 0: the searcher partitions its start-
+	// entity space (and the ET plans' group stream) into this many
+	// contiguous cost-weighted ranges, runs one executor per shard, and
+	// merges the per-shard top-k streams — ET shards additionally
+	// exchanging the global k-th bound so a shard stops once results
+	// emitted below it already cover the top k. Delta batches route to
+	// shards by the same partition function, keeping sharded and
+	// single-store runs equivalent. 0 and 1 keep single-store
+	// execution. Results are byte-identical at every shard count.
+	Shards int
 }
 
 // DefaultSearcherConfig matches the paper's main experimental setup:
@@ -65,14 +76,16 @@ func DefaultSearcherConfig() SearcherConfig {
 // new generation (recomputing only the affected start-node frontier)
 // and swaps it in; queries already running finish on the old one.
 type Searcher struct {
-	db   *DB
-	spec int // default speculative ET width for queries
+	db     *DB
+	spec   int // default speculative ET width for queries
+	shards int // default scatter-gather shard count for queries
 
 	store atomic.Pointer[methods.Store]
 
-	refreshMu sync.Mutex // serializes Refresh
-	cursor    int        // applied-edge log position this searcher has absorbed
-	closed    bool
+	refreshMu   sync.Mutex // serializes Refresh
+	cursor      int        // applied-edge log position this searcher has absorbed
+	closed      bool
+	lastRouting []int // per-shard affected-start counts of the last sharded Refresh
 }
 
 // current returns the store generation queries should run against.
@@ -108,7 +121,7 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	// the same critical section: from this moment the applied-edge log
 	// must retain everything at or after it until the searcher
 	// refreshes past it or closes.
-	s := &Searcher{db: db, spec: cfg.Speculation}
+	s := &Searcher{db: db, spec: cfg.Speculation, shards: cfg.Shards}
 	db.mu.Lock()
 	g := db.graphNow()
 	s.cursor = db.log.Len()
@@ -184,6 +197,30 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 		return 0, nil
 	}
 	affected := delta.AffectedStarts(g, st.ES1, st.Cfg.Opts.EffectiveMaxLen(), edges)
+	if s.shards > 1 {
+		// Route the affected frontier to shards by the SAME partition
+		// function sharded queries cut their entity ranges with, then
+		// refresh every shard's share. The routed maps are disjoint with
+		// union equal to the frontier, so folding them back together
+		// recomputes exactly the affected set — one new generation, with
+		// per-shard routing recorded for observability. Entities the
+		// current generation doesn't know yet (this batch inserted them)
+		// clamp to the last shard until the new generation re-cuts.
+		routed := delta.RouteStarts(affected, s.shards, func(n graph.NodeID) int {
+			return st.ShardOfEntity(int64(n), s.shards)
+		})
+		s.lastRouting = make([]int, len(routed))
+		merged := make(map[graph.NodeID]bool, len(affected))
+		for i, m := range routed {
+			s.lastRouting[i] = len(m)
+			for n := range m {
+				merged[n] = true
+			}
+		}
+		affected = merged
+	} else {
+		s.lastRouting = nil
+	}
 	ns, err := st.Refresh(ctx, g, affected)
 	if err != nil {
 		return 0, err
@@ -191,6 +228,15 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 	s.store.Store(ns)
 	s.advanceCursor(cursor)
 	return len(edges), nil
+}
+
+// ShardRouting reports, per shard, how many affected start entities
+// the last sharded Refresh routed to it (nil when the searcher is
+// unsharded or has not refreshed since going sharded).
+func (s *Searcher) ShardRouting() []int {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return append([]int(nil), s.lastRouting...)
 }
 
 // advanceCursor records that this searcher has absorbed the log up to
@@ -221,6 +267,10 @@ type SearchQuery struct {
 	// width for this query (0 = inherit SearcherConfig.Speculation;
 	// 1 = force the sequential stack).
 	Speculation int
+	// Shards overrides the searcher's default scatter-gather shard
+	// count for this query (0 = inherit SearcherConfig.Shards;
+	// 1 = force single-store execution).
+	Shards int
 }
 
 // TopologyResult describes one result topology.
@@ -249,6 +299,28 @@ type SearchResult struct {
 	// burned by losing speculative segment workers; useful work is
 	// byte-identical to a sequential run.
 	WastedWork int64
+	// Shards is the scatter-gather shard count the query ran with (0 =
+	// single-store execution). Sharding changes only latency and the
+	// per-shard accounting below, never results.
+	Shards int
+	// ShardStats holds one entry per shard executor, in partition
+	// order (nil when Shards is 0).
+	ShardStats []ShardStat
+}
+
+// ShardStat is one shard executor's share of a sharded Search.
+type ShardStat struct {
+	// Shard is the executor's index in partition order.
+	Shard int
+	// Work is the physical work the shard burned (rows scanned + index
+	// probes), useful or not.
+	Work int64
+	// Witnesses is the number of results the shard produced before the
+	// global merge.
+	Witnesses int
+	// Pruned reports that the global bound exchange stopped the shard
+	// early: results emitted below it already covered the top k.
+	Pruned bool
 }
 
 func (q SearchQuery) method() string {
@@ -285,6 +357,10 @@ func (s *Searcher) compileQuery(st *methods.Store, q SearchQuery) (methods.Query
 	if mq.Speculation == 0 {
 		mq.Speculation = s.spec
 	}
+	mq.Shards = q.Shards
+	if mq.Shards == 0 {
+		mq.Shards = s.shards
+	}
 	return mq, nil
 }
 
@@ -307,7 +383,13 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 		return nil, err
 	}
 	out := &SearchResult{Method: m, Plan: res.Plan.String(),
-		Speculation: res.Spec.Width, WastedWork: res.Spec.Wasted.Work()}
+		Speculation: res.Spec.Width, WastedWork: res.Spec.Wasted.Work(),
+		Shards: res.Shard.Count}
+	for _, st := range res.Shard.Stats {
+		out.ShardStats = append(out.ShardStats, ShardStat{
+			Shard: st.Shard, Work: st.Work, Witnesses: st.Witnesses, Pruned: st.Pruned,
+		})
+	}
 	pd := st.Res.Pair(st.ES1, st.ES2)
 	for _, it := range res.Items {
 		info := st.Res.Reg.Info(it.TID)

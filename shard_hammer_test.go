@@ -1,0 +1,112 @@
+package toposearch_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"toposearch"
+)
+
+// TestShardConcurrentSearchRefreshHammer races sharded scatter-gather
+// searches against live batch application, incremental refreshes and
+// compactions (run under -race in CI): every query must keep
+// succeeding on one consistent store generation — no torn generation
+// between the shard executors of a single query — while the delta
+// router keeps feeding updates through the same partition function the
+// queries shard by.
+func TestShardConcurrentSearchRefreshHammer(t *testing.T) {
+	ctx := context.Background()
+	db, err := toposearch.Synthetic(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetAutoCompact(0.25)
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, toposearch.SearcherConfig{
+		MaxLen: 3, PruneThreshold: 8, MaxCombinations: 2048,
+		Parallelism: 4, Speculation: 2, Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []toposearch.SearchQuery{
+		{K: 5, Method: "fast-top-k-et", Cons1: []toposearch.Constraint{{Column: "desc", Keyword: "kwsel50"}}},
+		{K: 3, Method: "full-top-k-et", Shards: 4},
+		{K: 8, Method: "fast-top-k", Cons2: []toposearch.Constraint{{Column: "type", Equals: "mRNA"}}},
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := queries[w%len(queries)]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.SearchContext(ctx, q)
+				if err != nil {
+					t.Errorf("sharded search during live update: %v", err)
+					return
+				}
+				if len(res.Topologies) == 0 {
+					t.Error("sharded search returned no topologies during live update")
+					return
+				}
+				if res.Shards > 1 && len(res.ShardStats) != res.Shards {
+					t.Errorf("sharded search reported %d shard stats for %d shards", len(res.ShardStats), res.Shards)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		p := int64(1_970_000 + i)
+		d := int64(2_970_000 + i)
+		ups := []toposearch.Update{
+			toposearch.InsertEntity(toposearch.Protein, p, map[string]string{"desc": fmt.Sprintf("hammer protein %d kwsel50", i)}),
+			toposearch.InsertEntity(toposearch.DNA, d, map[string]string{"type": "mRNA", "desc": "hammer dna kwsel50"}),
+			toposearch.InsertRelationship("encodes", p, d),
+			toposearch.InsertRelationship("encodes", p, int64(2_000_000+i)),
+		}
+		if err := db.ApplyBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RefreshContext(ctx); err != nil {
+			t.Fatal(err)
+		}
+		routing := s.ShardRouting()
+		if len(routing) != 3 {
+			t.Fatalf("round %d: delta routing has %d shards, want 3", i, len(routing))
+		}
+		total := 0
+		for _, c := range routing {
+			total += c
+		}
+		if total == 0 {
+			t.Fatalf("round %d: delta routing assigned no affected starts to any shard", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The hammered searcher still answers identically to single-store
+	// sequential settings — Shards: 1 overrides the searcher default.
+	base := toposearch.SearchQuery{K: 5, Method: "fast-top-k-et", Speculation: 1, Shards: 1}
+	want, err := s.SearchContext(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SearchContext(ctx, toposearch.SearchQuery{K: 5, Method: "fast-top-k-et", Speculation: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want.Topologies) != fmt.Sprint(got.Topologies) {
+		t.Fatalf("sharded result diverges after hammer:\n got %v\nwant %v", got.Topologies, want.Topologies)
+	}
+}

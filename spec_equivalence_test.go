@@ -1,10 +1,11 @@
 // Randomized cross-method equivalence harness: seeded random databases
-// and query mixes, every evaluation method, across the full
-// parallelism x speculation grid. Items, counter totals and plan
-// choices must be byte-identical to the sequential baseline at every
-// setting — this is the gate that lets speculative parallel ET (and
-// any future execution strategy) ship without golden files for every
-// workload shape (CI runs it via -run SpecEquivalence).
+// and query mixes, every evaluation method, across the
+// parallelism x speculation x shards grid. Items, counter totals and
+// plan choices must be byte-identical to the single-store sequential
+// baseline at every setting — this is the gate that lets speculative
+// parallel ET and scatter-gather sharding (and any future execution
+// strategy) ship without golden files for every workload shape (CI
+// runs it via -run SpecEquivalence).
 package toposearch_test
 
 import (
@@ -66,8 +67,19 @@ func TestSpecEquivalenceRandomized(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:1]
 	}
-	parallelisms := []int{1, 4, 8}
-	speculations := []int{1, 2, 8}
+	type gridCfg struct{ par, spec, shards int }
+	var grid []gridCfg
+	for _, par := range []int{1, 4, 8} {
+		for _, spec := range []int{1, 2, 8} {
+			grid = append(grid, gridCfg{par, spec, 1})
+		}
+	}
+	// Sharded executions join the same gate: scatter-gather across
+	// cost-weighted entity shards, alone and stacked on top of query
+	// workers and speculation.
+	for _, shards := range []int{2, 4} {
+		grid = append(grid, gridCfg{1, 1, shards}, gridCfg{4, 2, shards})
+	}
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -110,27 +122,25 @@ func TestSpecEquivalenceRandomized(t *testing.T) {
 					if err != nil {
 						t.Fatalf("q%d %s baseline: %v", qi, m, err)
 					}
-					for _, par := range parallelisms {
-						for _, spec := range speculations {
-							if par == 1 && spec == 1 {
-								continue
-							}
-							run := mq
-							run.Parallelism, run.Speculation = par, spec
-							got, err := st.Run(m, run)
-							if err != nil {
-								t.Fatalf("q%d %s p=%d s=%d: %v", qi, m, par, spec, err)
-							}
-							tag := fmt.Sprintf("q%d %s hdgj=%v k=%d p=%d s=%d", qi, m, mq.UseHDGJ, mq.K, par, spec)
-							if gi, wi := itemsString(got.Items), itemsString(want.Items); gi != wi {
-								t.Errorf("%s: items %s diverge from baseline %s", tag, gi, wi)
-							}
-							if got.Counters != want.Counters {
-								t.Errorf("%s: counters %+v diverge from baseline %+v", tag, got.Counters, want.Counters)
-							}
-							if got.Plan != want.Plan {
-								t.Errorf("%s: plan %v diverges from baseline %v", tag, got.Plan, want.Plan)
-							}
+					for _, g := range grid {
+						if g.par == 1 && g.spec == 1 && g.shards == 1 {
+							continue
+						}
+						run := mq
+						run.Parallelism, run.Speculation, run.Shards = g.par, g.spec, g.shards
+						got, err := st.Run(m, run)
+						if err != nil {
+							t.Fatalf("q%d %s p=%d s=%d sh=%d: %v", qi, m, g.par, g.spec, g.shards, err)
+						}
+						tag := fmt.Sprintf("q%d %s hdgj=%v k=%d p=%d s=%d sh=%d", qi, m, mq.UseHDGJ, mq.K, g.par, g.spec, g.shards)
+						if gi, wi := itemsString(got.Items), itemsString(want.Items); gi != wi {
+							t.Errorf("%s: items %s diverge from baseline %s", tag, gi, wi)
+						}
+						if got.Counters != want.Counters {
+							t.Errorf("%s: counters %+v diverge from baseline %+v", tag, got.Counters, want.Counters)
+						}
+						if got.Plan != want.Plan {
+							t.Errorf("%s: plan %v diverges from baseline %v", tag, got.Plan, want.Plan)
 						}
 					}
 				}
