@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -26,7 +26,12 @@
 // throughput plus incremental-Refresh latency against a full offline
 // rebuild (verifying the two stay byte-identical), writing -updateout
 // (default BENCH_update.json); it mutates the environment, so it runs
-// last.
+// last. The benchcache experiment measures the searcher's
+// generation-tagged result cache — hit latency against the full
+// execution cost of a miss, and the hit ratio a mutating workload
+// sustains through frontier-scoped invalidation — verifying every
+// cached answer row-identical to a cache-off searcher, and writes
+// -cacheout (default BENCH_cache.json).
 package main
 
 import (
@@ -59,6 +64,7 @@ func main() {
 		shardout = flag.String("shardout", "BENCH_shard.json", "output file for -exp benchshard")
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
+		cacheout = flag.String("cacheout", "BENCH_cache.json", "output file for -exp benchcache")
 	)
 	flag.Parse()
 
@@ -95,6 +101,24 @@ func main() {
 		fmt.Printf("  %d%s distinct 3-topologies from %d unions in %v\n",
 			len(res3.Canons), trunc, res3.Unions, time.Since(start).Round(time.Millisecond))
 		fmt.Println()
+		if *exp != "all" {
+			return
+		}
+	}
+
+	// The cache benchmark drives the public Searcher end to end, so it
+	// builds its own database rather than using the methods-level env.
+	if need("benchcache") {
+		fmt.Println("== Result cache: hit vs miss latency, hit ratio under mutation ==")
+		rep, err := experiments.BenchCache(ctx, *scale, *seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintCacheBench(os.Stdout, rep)
+		if err := experiments.WriteCacheBench(rep, *cacheout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *cacheout)
 		if *exp != "all" {
 			return
 		}

@@ -21,6 +21,8 @@
 //	-speculation     speculative ET width (0/1 = sequential; results identical)
 //	-shards          scatter-gather shard count (0/1 = single store; results identical)
 //	-apply           replay a JSONL mutation batch, then Refresh incrementally
+//	-repeat          run the query N times, timing each (shows result-cache hits)
+//	-cachebytes      result-cache memory bound (0 = 64 MiB default, negative disables)
 //
 // The -apply file carries one mutation per line:
 //
@@ -114,6 +116,8 @@ func main() {
 		spec    = flag.Int("speculation", 0, "speculative ET width: race this many segment workers over the group stream (0/1 = sequential; results identical)")
 		shards  = flag.Int("shards", 0, "scatter-gather shard count: partition the search across this many cost-weighted shard executors with global bound exchange (0/1 = single store; results identical)")
 		apply   = flag.String("apply", "", "JSONL mutation batch to apply and Refresh before querying")
+		repeat  = flag.Int("repeat", 1, "run the query this many times, timing each (repeats hit the result cache)")
+		cacheB  = flag.Int64("cachebytes", 0, "result-cache memory bound in bytes (0 = 64 MiB default, negative disables)")
 	)
 	flag.Parse()
 
@@ -143,6 +147,7 @@ func main() {
 		Parallelism:     *workers,
 		Speculation:     *spec,
 		Shards:          *shards,
+		CacheBytes:      *cacheB,
 	}
 	s, err := db.NewSearcherContext(ctx, *es1, *es2, cfg)
 	if err != nil {
@@ -201,9 +206,31 @@ func main() {
 		fmt.Println(plan)
 	}
 
-	res, err := s.SearchContext(ctx, q)
-	if err != nil {
-		log.Fatal(err)
+	// -repeat re-runs the identical query: the first run pays the full
+	// method execution, repeats answer from the generation-tagged result
+	// cache (byte-identical, see SearchResult.CacheHit).
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var res *toposearch.SearchResult
+	for i := 0; i < *repeat; i++ {
+		start := time.Now()
+		res, err = s.SearchContext(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *repeat > 1 {
+			outcome := "miss"
+			if res.CacheHit {
+				outcome = "hit"
+			}
+			fmt.Printf("run %d: %v (cache %s)\n", i+1, time.Since(start), outcome)
+		}
+	}
+	if *repeat > 1 {
+		cs := s.CacheStats()
+		fmt.Printf("cache: %d hits / %d misses, %d evicted, %d invalidated, %d carried forward, %d entries (%d bytes) resident\n\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidated, cs.CarriedForward, cs.Entries, cs.Bytes)
 	}
 	fmt.Printf("%d topologies (method %s", len(res.Topologies), res.Method)
 	if res.Plan != "" {

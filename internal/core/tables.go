@@ -29,22 +29,38 @@ func topsSchema(name string) *relstore.Schema {
 	}, "")
 }
 
-func insertEntries(t *relstore.Table, entries []Entry) error {
-	for _, e := range entries {
-		if err := t.Insert(relstore.Row{
-			relstore.IntVal(int64(e.A)),
-			relstore.IntVal(int64(e.B)),
-			relstore.IntVal(int64(e.TID)),
-		}); err != nil {
-			return err
-		}
-	}
+// indexTops creates the hash indexes every tops table carries.
+func indexTops(t *relstore.Table) error {
 	for _, col := range []string{"E1", "E2", "TID"} {
 		if _, err := t.CreateHashIndex(col); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// buildEntries bulk-materializes entries into a fresh sealed table
+// (via IntTableBuilder — one array append per cell instead of a
+// published snapshot per row), indexes it, and registers it in the
+// catalog, replacing any previous generation's entry.
+func buildEntries(db *relstore.DB, name string, entries []Entry) (*relstore.Table, error) {
+	b, err := relstore.NewIntTableBuilder(topsSchema(name))
+	if err != nil {
+		return nil, err
+	}
+	b.Grow(len(entries))
+	for _, e := range entries {
+		b.AppendInts(int64(e.A), int64(e.B), int64(e.TID))
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := indexTops(t); err != nil {
+		return nil, err
+	}
+	db.PutTable(t)
+	return t, nil
 }
 
 // MaterializeAllTops writes the AllTops_<pair> table for one entity-set
@@ -54,11 +70,7 @@ func (res *Result) MaterializeAllTops(db *relstore.DB, es1, es2 string) (*relsto
 	if pd == nil {
 		return nil, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
 	}
-	t, err := db.CreateTable(topsSchema(TableName("AllTops", es1, es2)))
-	if err != nil {
-		return nil, err
-	}
-	return t, insertEntries(t, pd.Entries)
+	return buildEntries(db, TableName("AllTops", es1, es2), pd.Entries)
 }
 
 // Materialize writes the LeftTops_<pair> and ExcpTops_<pair> tables for
@@ -68,18 +80,12 @@ func (pr *Pruned) Materialize(db *relstore.DB, es1, es2 string) (left, excp *rel
 	if pp == nil {
 		return nil, nil, fmt.Errorf("core: no pruned data for pair %s-%s", es1, es2)
 	}
-	left, err = db.CreateTable(topsSchema(TableName("LeftTops", es1, es2)))
+	left, err = buildEntries(db, TableName("LeftTops", es1, es2), pp.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := insertEntries(left, pp.Left); err != nil {
-		return nil, nil, err
-	}
-	excp, err = db.CreateTable(topsSchema(TableName("ExcpTops", es1, es2)))
+	excp, err = buildEntries(db, TableName("ExcpTops", es1, es2), pp.Excp)
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := insertEntries(excp, pp.Excp); err != nil {
 		return nil, nil, err
 	}
 	return left, excp, nil
@@ -94,23 +100,8 @@ func (res *Result) MaterializeTopInfo(db *relstore.DB, es1, es2 string, scores m
 	if pd == nil {
 		return nil, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
 	}
-	rankings := make([]string, 0, len(scores))
-	for name := range scores {
-		rankings = append(rankings, name)
-	}
-	sort.Strings(rankings)
-	cols := []relstore.Column{
-		{Name: "TID", Type: relstore.TInt},
-		{Name: "FREQ", Type: relstore.TInt},
-		{Name: "NODES", Type: relstore.TInt},
-		{Name: "EDGES", Type: relstore.TInt},
-		{Name: "CLASSES", Type: relstore.TInt},
-		{Name: "ISPATH", Type: relstore.TInt},
-	}
-	for _, name := range rankings {
-		cols = append(cols, relstore.Column{Name: ScoreColumn(name), Type: relstore.TInt})
-	}
-	t, err := db.CreateTable(relstore.MustSchema(TableName("TopInfo", es1, es2), cols, "TID"))
+	rankings := sortedRankings(scores)
+	b, err := relstore.NewIntTableBuilder(topInfoSchema(TableName("TopInfo", es1, es2), rankings))
 	if err != nil {
 		return nil, err
 	}
@@ -119,34 +110,73 @@ func (res *Result) MaterializeTopInfo(db *relstore.DB, es1, es2 string, scores m
 		tids = append(tids, tid)
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	b.Grow(len(tids))
+	row := make([]int64, 0, 6+len(rankings))
 	for _, tid := range tids {
-		info := res.Reg.Info(tid)
-		isPath := int64(0)
-		if info.IsPath {
-			isPath = 1
-		}
-		row := relstore.Row{
-			relstore.IntVal(int64(tid)),
-			relstore.IntVal(int64(pd.Freq[tid])),
-			relstore.IntVal(int64(info.NumNodes)),
-			relstore.IntVal(int64(info.NumEdges)),
-			relstore.IntVal(int64(len(info.Sigs))),
-			relstore.IntVal(isPath),
-		}
-		for _, name := range rankings {
-			row = append(row, relstore.IntVal(scores[name](info, pd.Freq[tid])))
-		}
-		if err := t.Insert(row); err != nil {
-			return nil, err
-		}
+		b.AppendInts(res.topInfoRow(row, tid, pd.Freq[tid], rankings, scores)...)
 	}
-	for _, name := range rankings {
-		if _, err := t.CreateOrderedIndex(ScoreColumn(name)); err != nil {
-			return nil, err
-		}
-	}
-	if _, err := t.CreateHashIndex("TID"); err != nil {
+	t, err := b.Build()
+	if err != nil {
 		return nil, err
 	}
+	if err := indexTopInfo(t, rankings); err != nil {
+		return nil, err
+	}
+	db.PutTable(t)
 	return t, nil
+}
+
+func sortedRankings(scores map[string]ScoreFunc) []string {
+	rankings := make([]string, 0, len(scores))
+	for name := range scores {
+		rankings = append(rankings, name)
+	}
+	sort.Strings(rankings)
+	return rankings
+}
+
+func topInfoSchema(name string, rankings []string) *relstore.Schema {
+	cols := []relstore.Column{
+		{Name: "TID", Type: relstore.TInt},
+		{Name: "FREQ", Type: relstore.TInt},
+		{Name: "NODES", Type: relstore.TInt},
+		{Name: "EDGES", Type: relstore.TInt},
+		{Name: "CLASSES", Type: relstore.TInt},
+		{Name: "ISPATH", Type: relstore.TInt},
+	}
+	for _, r := range rankings {
+		cols = append(cols, relstore.Column{Name: ScoreColumn(r), Type: relstore.TInt})
+	}
+	return relstore.MustSchema(name, cols, "TID")
+}
+
+// topInfoRow encodes one TopInfo row into buf (reused across calls).
+func (res *Result) topInfoRow(buf []int64, tid TopologyID, freq int, rankings []string, scores map[string]ScoreFunc) []int64 {
+	info := res.Reg.Info(tid)
+	isPath := int64(0)
+	if info.IsPath {
+		isPath = 1
+	}
+	buf = append(buf[:0],
+		int64(tid),
+		int64(freq),
+		int64(info.NumNodes),
+		int64(info.NumEdges),
+		int64(len(info.Sigs)),
+		isPath,
+	)
+	for _, name := range rankings {
+		buf = append(buf, scores[name](info, freq))
+	}
+	return buf
+}
+
+func indexTopInfo(t *relstore.Table, rankings []string) error {
+	for _, name := range rankings {
+		if _, err := t.CreateOrderedIndex(ScoreColumn(name)); err != nil {
+			return err
+		}
+	}
+	_, err := t.CreateHashIndex("TID")
+	return err
 }

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"toposearch/internal/graph"
+	"toposearch/internal/relstore"
+)
+
+// TableDiff reports how a diff-aware materializer produced one table
+// generation.
+type TableDiff struct {
+	// Mode is "reused" (old table carried over wholesale), "spliced"
+	// (unchanged row runs bulk-copied, changed runs re-encoded), or
+	// "rebuilt" (full rematerialization fallback).
+	Mode string
+	// RowsChanged counts rows encoded fresh (spliced mode only).
+	RowsChanged int
+	// Rows is the total row count of the new generation.
+	Rows int
+}
+
+// Reused reports whether the previous generation's table was carried
+// over unchanged.
+func (d TableDiff) Reused() bool { return d.Mode == "reused" }
+
+func (d TableDiff) String() string {
+	if d.Mode == "spliced" {
+		return fmt.Sprintf("spliced(%d/%d)", d.RowsChanged, d.Rows)
+	}
+	return fmt.Sprintf("%s(%d)", d.Mode, d.Rows)
+}
+
+// span is one stretch of output rows: either a bulk copy of old-table
+// rows [lo, hi) or a fresh encoding of newEntries[lo:hi].
+type span struct {
+	fromOld bool
+	lo, hi  int32
+}
+
+// spliceEntries assembles the next generation of a tops table from the
+// previous one. Both generations' rows are grouped into runs by start
+// entity A (all three tops tables are emitted in ascending-A order), and
+// the incremental-update contract (core.UpdateResult replays unaffected
+// starts from the old generation's cell data) guarantees runs at
+// unaffected starts are identical. The splice therefore bulk-copies
+// unaffected runs from the old table's sealed arrays and re-encodes
+// only affected runs — and when even those came out identical, the old
+// table is reused wholesale.
+//
+// Every copied run is verified against newEntries before trusting it;
+// any contract violation returns ok=false and the caller falls back to
+// a full rebuild, so the output is byte-identical to buildEntries in
+// all cases.
+func spliceEntries(db *relstore.DB, name string, old *relstore.Table, oldEntries, newEntries []Entry, affected map[graph.NodeID]bool) (*relstore.Table, TableDiff, bool, error) {
+	if old == nil || old.NumRows() != len(oldEntries) {
+		return nil, TableDiff{}, false, nil
+	}
+	var spans []span
+	changed := 0
+	oi, ni := 0, 0
+	addSpan := func(fromOld bool, lo, hi int) {
+		if hi <= lo {
+			return
+		}
+		if n := len(spans); n > 0 && spans[n-1].fromOld == fromOld && spans[n-1].hi == int32(lo) {
+			spans[n-1].hi = int32(hi)
+			return
+		}
+		spans = append(spans, span{fromOld: fromOld, lo: int32(lo), hi: int32(hi)})
+	}
+	for oi < len(oldEntries) || ni < len(newEntries) {
+		switch {
+		case ni == len(newEntries) || (oi < len(oldEntries) && oldEntries[oi].A < newEntries[ni].A):
+			// Start present only in the old generation: its rows were
+			// removed, which is only legal at an affected start.
+			a := oldEntries[oi].A
+			if !affected[a] {
+				return nil, TableDiff{}, false, nil
+			}
+			for oi < len(oldEntries) && oldEntries[oi].A == a {
+				oi++
+			}
+		case oi == len(oldEntries) || newEntries[ni].A < oldEntries[oi].A:
+			// Start present only in the new generation.
+			a := newEntries[ni].A
+			if !affected[a] {
+				return nil, TableDiff{}, false, nil
+			}
+			lo := ni
+			for ni < len(newEntries) && newEntries[ni].A == a {
+				ni++
+			}
+			addSpan(false, lo, ni)
+			changed += ni - lo
+		default:
+			a := oldEntries[oi].A
+			olo, nlo := oi, ni
+			for oi < len(oldEntries) && oldEntries[oi].A == a {
+				oi++
+			}
+			for ni < len(newEntries) && newEntries[ni].A == a {
+				ni++
+			}
+			same := oi-olo == ni-nlo
+			if same {
+				for k := 0; k < oi-olo; k++ {
+					if oldEntries[olo+k] != newEntries[nlo+k] {
+						same = false
+						break
+					}
+				}
+			}
+			switch {
+			case same:
+				addSpan(true, olo, oi)
+			case affected[a]:
+				addSpan(false, nlo, ni)
+				changed += ni - nlo
+			default:
+				// Unaffected run differs: contract violation.
+				return nil, TableDiff{}, false, nil
+			}
+		}
+	}
+	if changed == 0 && len(oldEntries) == len(newEntries) {
+		return old, TableDiff{Mode: "reused", Rows: len(newEntries)}, true, nil
+	}
+	b, err := relstore.NewIntTableBuilder(topsSchema(name))
+	if err != nil {
+		return nil, TableDiff{}, false, err
+	}
+	b.Grow(len(newEntries))
+	for _, sp := range spans {
+		if sp.fromOld {
+			b.AppendRange(old, sp.lo, sp.hi)
+			continue
+		}
+		for _, e := range newEntries[sp.lo:sp.hi] {
+			b.AppendInts(int64(e.A), int64(e.B), int64(e.TID))
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, TableDiff{}, false, err
+	}
+	if err := indexTops(t); err != nil {
+		return nil, TableDiff{}, false, err
+	}
+	db.PutTable(t)
+	return t, TableDiff{Mode: "spliced", RowsChanged: changed, Rows: len(newEntries)}, true, nil
+}
+
+// materializeEntriesDiff splices when possible and falls back to a full
+// bulk rebuild otherwise.
+func materializeEntriesDiff(db *relstore.DB, name string, old *relstore.Table, oldEntries, newEntries []Entry, affected map[graph.NodeID]bool) (*relstore.Table, TableDiff, error) {
+	t, d, ok, err := spliceEntries(db, name, old, oldEntries, newEntries, affected)
+	if err != nil {
+		return nil, TableDiff{}, err
+	}
+	if ok {
+		return t, d, nil
+	}
+	t, err = buildEntries(db, name, newEntries)
+	return t, TableDiff{Mode: "rebuilt", Rows: len(newEntries)}, err
+}
+
+// MaterializeAllTopsDiff is the diff-aware counterpart of
+// MaterializeAllTops: oldRes/old are the previous generation's computed
+// data and table, affected the start-entity frontier of the update.
+func (res *Result) MaterializeAllTopsDiff(db *relstore.DB, es1, es2 string, oldRes *Result, old *relstore.Table, affected map[graph.NodeID]bool) (*relstore.Table, TableDiff, error) {
+	pd := res.Pair(es1, es2)
+	if pd == nil {
+		return nil, TableDiff{}, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
+	}
+	var oldEntries []Entry
+	if oldRes != nil {
+		if opd := oldRes.Pair(es1, es2); opd != nil {
+			oldEntries = opd.Entries
+		}
+	}
+	return materializeEntriesDiff(db, TableName("AllTops", es1, es2), old, oldEntries, pd.Entries, affected)
+}
+
+// PrunedStable reports whether both generations pruned exactly the same
+// topologies in the same (frequency-rank) order for the pair — the
+// precondition for splicing LeftTops and ExcpTops, whose rows depend on
+// the global pruned set, not just per-start cells.
+func (pr *Pruned) PrunedStable(oldPr *Pruned, es1, es2 string) bool {
+	if oldPr == nil {
+		return false
+	}
+	pp, opp := pr.Pair(es1, es2), oldPr.Pair(es1, es2)
+	if pp == nil || opp == nil || len(pp.PrunedTIDs) != len(opp.PrunedTIDs) {
+		return false
+	}
+	for i, tid := range pp.PrunedTIDs {
+		if opp.PrunedTIDs[i] != tid {
+			return false
+		}
+	}
+	return true
+}
+
+// MaterializeDiff is the diff-aware counterpart of Materialize. When
+// the pruned set is unstable the per-start-run equality argument breaks
+// for LeftTops/ExcpTops (a verdict flip rewrites rows at unaffected
+// starts), so both tables are fully rebuilt.
+func (pr *Pruned) MaterializeDiff(db *relstore.DB, es1, es2 string, oldPr *Pruned, oldLeft, oldExcp *relstore.Table, affected map[graph.NodeID]bool) (left, excp *relstore.Table, dl, de TableDiff, err error) {
+	pp := pr.Pair(es1, es2)
+	if pp == nil {
+		return nil, nil, TableDiff{}, TableDiff{}, fmt.Errorf("core: no pruned data for pair %s-%s", es1, es2)
+	}
+	if !pr.PrunedStable(oldPr, es1, es2) {
+		left, excp, err = pr.Materialize(db, es1, es2)
+		dl = TableDiff{Mode: "rebuilt", Rows: len(pp.Left)}
+		de = TableDiff{Mode: "rebuilt", Rows: len(pp.Excp)}
+		return left, excp, dl, de, err
+	}
+	opp := oldPr.Pair(es1, es2)
+	left, dl, err = materializeEntriesDiff(db, TableName("LeftTops", es1, es2), oldLeft, opp.Left, pp.Left, affected)
+	if err != nil {
+		return nil, nil, TableDiff{}, TableDiff{}, err
+	}
+	excp, de, err = materializeEntriesDiff(db, TableName("ExcpTops", es1, es2), oldExcp, opp.Excp, pp.Excp, affected)
+	if err != nil {
+		return nil, nil, TableDiff{}, TableDiff{}, err
+	}
+	return left, excp, dl, de, nil
+}
+
+// MaterializeTopInfoDiff is the diff-aware counterpart of
+// MaterializeTopInfo. Rows are keyed by TID in ascending order; a row
+// changes only when its frequency changed (scores are functions of the
+// immutable TopInfo and the frequency), so unchanged-frequency rows are
+// bulk-copied from the old table and only drifted/new topologies are
+// re-scored. Callers must only pass old when the topology registry is
+// stable across the generations (same TID ⇒ same canonical topology);
+// pass old == nil to force a rebuild.
+func (res *Result) MaterializeTopInfoDiff(db *relstore.DB, es1, es2 string, scores map[string]ScoreFunc, oldRes *Result, old *relstore.Table) (*relstore.Table, TableDiff, error) {
+	pd := res.Pair(es1, es2)
+	if pd == nil {
+		return nil, TableDiff{}, fmt.Errorf("core: no computed data for pair %s-%s", es1, es2)
+	}
+	rankings := sortedRankings(scores)
+	var oldFreq map[TopologyID]int
+	if oldRes != nil {
+		if opd := oldRes.Pair(es1, es2); opd != nil {
+			oldFreq = opd.Freq
+		}
+	}
+	rebuild := func() (*relstore.Table, TableDiff, error) {
+		t, err := res.MaterializeTopInfo(db, es1, es2, scores)
+		return t, TableDiff{Mode: "rebuilt", Rows: len(pd.Freq)}, err
+	}
+	if old == nil || oldFreq == nil ||
+		old.NumRows() != len(oldFreq) ||
+		len(old.Schema.Cols) != 6+len(rankings) {
+		return rebuild()
+	}
+	oldTids := make([]TopologyID, 0, len(oldFreq))
+	for tid := range oldFreq {
+		oldTids = append(oldTids, tid)
+	}
+	sort.Slice(oldTids, func(i, j int) bool { return oldTids[i] < oldTids[j] })
+	newTids := make([]TopologyID, 0, len(pd.Freq))
+	for tid := range pd.Freq {
+		newTids = append(newTids, tid)
+	}
+	sort.Slice(newTids, func(i, j int) bool { return newTids[i] < newTids[j] })
+
+	var spans []span
+	changed := 0
+	addSpan := func(fromOld bool, lo, hi int) {
+		if n := len(spans); n > 0 && spans[n-1].fromOld == fromOld && spans[n-1].hi == int32(lo) {
+			spans[n-1].hi = int32(hi)
+			return
+		}
+		spans = append(spans, span{fromOld: fromOld, lo: int32(lo), hi: int32(hi)})
+	}
+	oi, ni := 0, 0
+	for oi < len(oldTids) || ni < len(newTids) {
+		switch {
+		case ni == len(newTids) || (oi < len(oldTids) && oldTids[oi] < newTids[ni]):
+			// Topology no longer observed for the pair: its row drops out.
+			changed++
+			oi++
+		case oi == len(oldTids) || newTids[ni] < oldTids[oi]:
+			changed++
+			addSpan(false, ni, ni+1)
+			ni++
+		default:
+			if oldFreq[oldTids[oi]] == pd.Freq[newTids[ni]] {
+				addSpan(true, oi, oi+1)
+			} else {
+				changed++
+				addSpan(false, ni, ni+1)
+			}
+			oi++
+			ni++
+		}
+	}
+	if changed == 0 && len(oldTids) == len(newTids) {
+		return old, TableDiff{Mode: "reused", Rows: len(newTids)}, nil
+	}
+	b, err := relstore.NewIntTableBuilder(topInfoSchema(TableName("TopInfo", es1, es2), rankings))
+	if err != nil {
+		return nil, TableDiff{}, err
+	}
+	b.Grow(len(newTids))
+	row := make([]int64, 0, 6+len(rankings))
+	fresh := 0
+	for _, sp := range spans {
+		if sp.fromOld {
+			b.AppendRange(old, sp.lo, sp.hi)
+			continue
+		}
+		for _, tid := range newTids[sp.lo:sp.hi] {
+			b.AppendInts(res.topInfoRow(row, tid, pd.Freq[tid], rankings, scores)...)
+			fresh++
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, TableDiff{}, err
+	}
+	if err := indexTopInfo(t, rankings); err != nil {
+		return nil, TableDiff{}, err
+	}
+	db.PutTable(t)
+	return t, TableDiff{Mode: "spliced", RowsChanged: fresh, Rows: len(newTids)}, nil
+}

@@ -69,3 +69,163 @@ func TestLogTruncateBelow(t *testing.T) {
 		t.Fatalf("Since(6) on empty tail = %v (cursor %d), want none, cursor 6", got, cur)
 	}
 }
+
+// TestLogSinceWindows pins Since over the degenerate windows: an empty
+// log, a cursor at the logical end, and a cursor past the end (clamped
+// back).
+func TestLogSinceWindows(t *testing.T) {
+	var l Log
+	if got, cur := l.Since(0); len(got) != 0 || cur != 0 {
+		t.Fatalf("Since(0) on empty log = %v (cursor %d), want none, cursor 0", got, cur)
+	}
+	l.Append(edges(1, 2))
+	if got, cur := l.Since(2); len(got) != 0 || cur != 2 {
+		t.Fatalf("Since(Len) = %v (cursor %d), want empty window, cursor 2", got, cur)
+	}
+	if got, cur := l.Since(50); len(got) != 0 || cur != 2 {
+		t.Fatalf("Since past the end = %v (cursor %d), want clamped empty window, cursor 2", got, cur)
+	}
+	if got, _ := l.Since(1); len(got) != 1 || got[0].TupleID != 2 {
+		t.Fatalf("Since(1) = %v, want tuple 2", got)
+	}
+}
+
+// TestLogTruncateAtBase pins that truncating exactly at the current
+// base — and truncating the same point twice — reclaims nothing and
+// moves no cursor.
+func TestLogTruncateAtBase(t *testing.T) {
+	var l Log
+	l.Append(edges(1, 2, 3))
+	l.TruncateBelow(0) // at base: no-op
+	if l.Len() != 3 || l.Retained() != 3 {
+		t.Fatalf("Len/Retained after TruncateBelow(base) = %d/%d, want 3/3", l.Len(), l.Retained())
+	}
+	l.TruncateBelow(2)
+	l.TruncateBelow(2) // idempotent
+	if l.Len() != 3 || l.Retained() != 1 {
+		t.Fatalf("Len/Retained after repeated truncation = %d/%d, want 3/1", l.Len(), l.Retained())
+	}
+	if got, cur := l.Since(2); len(got) != 1 || got[0].TupleID != 3 || cur != 3 {
+		t.Fatalf("Since(2) = %v (cursor %d), want tuple 3, cursor 3", got, cur)
+	}
+}
+
+// TestLogAppendAfterTruncate pins that appends after a truncation keep
+// extending the logical log where it left off: cursors recorded before
+// the truncation still address the right edges.
+func TestLogAppendAfterTruncate(t *testing.T) {
+	var l Log
+	l.Append(edges(1, 2, 3, 4))
+	l.TruncateBelow(4) // everything reclaimed
+	if l.Retained() != 0 {
+		t.Fatalf("Retained = %d, want 0", l.Retained())
+	}
+	if got := l.Append(edges(5, 6)); got != 6 {
+		t.Fatalf("Append returned logical length %d, want 6", got)
+	}
+	got, cur := l.Since(4)
+	if len(got) != 2 || got[0].TupleID != 5 || got[1].TupleID != 6 || cur != 6 {
+		t.Fatalf("Since(4) = %v (cursor %d), want tuples 5,6 cursor 6", got, cur)
+	}
+	// A straddling cursor (below base, above zero) clamps to the base.
+	if got, _ := l.Since(2); len(got) != 2 {
+		t.Fatalf("Since(2) after truncation returned %d edges, want 2 (clamped to base)", len(got))
+	}
+}
+
+// branchGraph builds P/D test graphs for AffectedStarts: nodes 1..9
+// are type P, 101..109 type D, wired by the given (a, b) pairs.
+func branchGraph(t *testing.T, pairs [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	p := g.NodeTypes.Intern("P")
+	d := g.NodeTypes.Intern("D")
+	e := g.EdgeTypes.Intern("e")
+	node := func(n graph.NodeID) {
+		typ := p
+		if n > 100 {
+			typ = d
+		}
+		if err := g.AddNode(n, typ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eid := int64(1000)
+	for _, pr := range pairs {
+		node(pr[0])
+		node(pr[1])
+		if err := g.AddEdge(eid, pr[0], pr[1], e); err != nil {
+			t.Fatal(err)
+		}
+		eid++
+	}
+	return g
+}
+
+func wantStarts(t *testing.T, got map[graph.NodeID]bool, want ...graph.NodeID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("affected = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Fatalf("affected = %v, missing %d", got, n)
+		}
+	}
+}
+
+// TestAffectedStartsBranching pins the BFS radius on a branching
+// neighborhood: a hub D fanning out to several P starts, with a longer
+// chain hanging off one of them.
+func TestAffectedStartsBranching(t *testing.T) {
+	// Hub 101 fans out to starts 1, 2, 3; a chain 3-102-4-103-5 hangs
+	// off start 3. The new edge lands on the hub.
+	g := branchGraph(t, [][2]graph.NodeID{
+		{1, 101}, {2, 101}, {3, 101},
+		{3, 102}, {4, 102}, {4, 103}, {5, 103},
+	})
+	newEdge := []Edge{{A: 1, B: 101}}
+
+	// maxLen 2 (radius 1): the endpoint start plus the hub's direct fan.
+	wantStarts(t, AffectedStarts(g, "P", 2, newEdge), 1, 2, 3)
+	// maxLen 3 (radius 2): no further P within 2 hops (4 is 3 away).
+	wantStarts(t, AffectedStarts(g, "P", 3, newEdge), 1, 2, 3)
+	// maxLen 4 (radius 3): the chain's next start comes into range.
+	wantStarts(t, AffectedStarts(g, "P", 4, newEdge), 1, 2, 3, 4)
+	// maxLen 1 clamps to radius 0: only the edge's own P endpoint.
+	wantStarts(t, AffectedStarts(g, "P", 0, newEdge), 1)
+}
+
+// TestAffectedStartsCyclic pins termination and shortest-distance
+// dedup on a cyclic neighborhood.
+func TestAffectedStartsCyclic(t *testing.T) {
+	// 4-cycle 1-101-2-102-1 with a tail 2-103-3.
+	g := branchGraph(t, [][2]graph.NodeID{
+		{1, 101}, {2, 101}, {2, 102}, {1, 102},
+		{2, 103}, {3, 103},
+	})
+	newEdge := []Edge{{A: 1, B: 101}}
+
+	// Radius 1: both cycle starts (2 via the hub 101).
+	wantStarts(t, AffectedStarts(g, "P", 2, newEdge), 1, 2)
+	// Radius 2: the cycle offers no new starts, the tail's 3 is 3 hops
+	// from the nearest seed; the BFS must terminate despite the cycle.
+	wantStarts(t, AffectedStarts(g, "P", 3, newEdge), 1, 2)
+	// Radius 3: the tail start joins.
+	wantStarts(t, AffectedStarts(g, "P", 4, newEdge), 1, 2, 3)
+	// Duplicate seeds (parallel edge records) change nothing.
+	dup := []Edge{{A: 1, B: 101}, {A: 1, B: 101}}
+	wantStarts(t, AffectedStarts(g, "P", 2, dup), 1, 2)
+}
+
+// TestAffectedStartsDegenerate pins the nil returns: no edges, and an
+// entity set the graph does not know.
+func TestAffectedStartsDegenerate(t *testing.T) {
+	g := branchGraph(t, [][2]graph.NodeID{{1, 101}})
+	if got := AffectedStarts(g, "P", 3, nil); got != nil {
+		t.Fatalf("AffectedStarts with no edges = %v, want nil", got)
+	}
+	if got := AffectedStarts(g, "NoSuchSet", 3, []Edge{{A: 1, B: 101}}); got != nil {
+		t.Fatalf("AffectedStarts with unknown entity set = %v, want nil", got)
+	}
+}

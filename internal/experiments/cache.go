@@ -1,0 +1,326 @@
+package experiments
+
+// This file is the result-cache benchmark: the BENCH_cache.json
+// counterpart of the online and update sweeps. It measures the
+// generation-tagged query result cache end to end through the public
+// Searcher — hit latency against the full execution cost a miss pays,
+// the hit ratio a mutating workload sustains when Refresh carries
+// footprint-disjoint entries across generations instead of flushing —
+// and verifies every cached answer row-identical against a cache-off
+// searcher on the same database.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"toposearch"
+	"toposearch/internal/biozon"
+)
+
+// CacheBenchRow is one query of the repeated-query mix.
+type CacheBenchRow struct {
+	Query string `json:"query"`
+	// MissSec is the full execution cost a cache miss pays (measured on
+	// the cache-off searcher, fastest of reps).
+	MissSec float64 `json:"miss_sec"`
+	// ColdSec is the first cached run: execution + footprint + store.
+	ColdSec float64 `json:"cold_sec"`
+	// HitSec is a warm cached lookup (fastest of many).
+	HitSec float64 `json:"hit_sec"`
+	// Speedup is miss_sec / hit_sec.
+	Speedup float64 `json:"speedup"`
+	// Topologies is the result size; Equivalent asserts the cached rows
+	// equal the cache-off searcher's.
+	Topologies int  `json:"topologies"`
+	Equivalent bool `json:"equivalent"`
+}
+
+// CacheBenchWorkload summarizes the mutating phase: searches randomly
+// interleaved with insert batches and refreshes on both searchers.
+type CacheBenchWorkload struct {
+	Searches int `json:"searches"`
+	Batches  int `json:"batches"`
+	// Counter deltas over the phase (see methods.CacheStats).
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	HitRatio       float64 `json:"hit_ratio"`
+	CarriedForward int64   `json:"carried_forward"`
+	Invalidated    int64   `json:"invalidated"`
+	Flushes        int64   `json:"flushes"`
+	Evictions      int64   `json:"evictions"`
+	// Resident set after the final refresh.
+	Entries       int   `json:"entries"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	// Equivalent asserts every search of the phase matched the cache-off
+	// searcher row for row.
+	Equivalent bool `json:"equivalent"`
+}
+
+// CacheBenchReport is the file-level shape of BENCH_cache.json.
+type CacheBenchReport struct {
+	Scale    int                `json:"scale"`
+	Seed     int64              `json:"seed"`
+	Pair     [2]string          `json:"pair"`
+	Note     string             `json:"note"`
+	Rows     []CacheBenchRow    `json:"rows"`
+	// Mix aggregates: one pass over the whole query mix executed cold
+	// versus answered warm, and their ratio.
+	MixMissSec float64            `json:"mix_miss_sec"`
+	MixHitSec  float64            `json:"mix_hit_sec"`
+	MixSpeedup float64            `json:"mix_speedup"`
+	Workload   CacheBenchWorkload `json:"workload"`
+}
+
+const cacheNote = "miss_sec is the cache-off execution cost, hit_sec a warm lookup on the " +
+	"cached searcher; every cached answer is verified row-identical to the cache-off " +
+	"searcher. The workload interleaves the query mix with insert batches (growth, " +
+	"entity-only, parallel-duplicate edges) and refreshes: frontier-scoped invalidation " +
+	"carries footprint-disjoint entries across generations (carried_forward), so the hit " +
+	"ratio survives mutation instead of resetting per batch."
+
+// cacheQueryMix is the repeated-query mix: the paper's selectivity
+// levels crossed with rankings and methods, mirroring the randomized
+// equivalence harness's pool.
+func cacheQueryMix() []struct {
+	Name string
+	Q    toposearch.SearchQuery
+} {
+	kw := func(tok string) []toposearch.Constraint {
+		return []toposearch.Constraint{{Column: "desc", Keyword: tok}}
+	}
+	return []struct {
+		Name string
+		Q    toposearch.SearchQuery
+	}{
+		{"all-topologies", toposearch.SearchQuery{}},
+		{"top5-domain", toposearch.SearchQuery{K: 5}},
+		{"top3-freq", toposearch.SearchQuery{K: 3, Ranking: toposearch.RankFreq}},
+		{"top10-et-selective", toposearch.SearchQuery{K: 10, Method: "full-top-k-et", Cons1: kw(biozon.TokenSelective)}},
+		{"top5-medium-mrna", toposearch.SearchQuery{K: 5, Cons1: kw(biozon.TokenMedium),
+			Cons2: []toposearch.Constraint{{Column: "type", Equals: "mRNA"}}}},
+		{"fasttop-unselective", toposearch.SearchQuery{Method: "fast-top", Cons2: kw(biozon.TokenUnselective)}},
+		{"top8-rare-selective", toposearch.SearchQuery{K: 8, Ranking: toposearch.RankRare, Cons1: kw(biozon.TokenSelective)}},
+	}
+}
+
+// cacheGrowthBatch stages one growth unit: a fresh protein/DNA/unigene
+// triangle plus links into existing hub entities, returning the new
+// protein-DNA edge so later batches can duplicate it.
+func cacheGrowthBatch(i int) ([]toposearch.Update, [2]int64) {
+	p := int64(biozon.BaseProtein + 810000 + i)
+	d := int64(biozon.BaseDNA + 810000 + i)
+	u := int64(biozon.BaseUnigene + 810000 + i)
+	return []toposearch.Update{
+		toposearch.InsertEntity(toposearch.Protein, p, map[string]string{"desc": fmt.Sprintf("cache bench protein %d %s", i, biozon.TokenMedium)}),
+		toposearch.InsertEntity(toposearch.DNA, d, map[string]string{"type": "mRNA", "desc": fmt.Sprintf("cache bench dna %d %s", i, biozon.TokenUnselective)}),
+		toposearch.InsertEntity(toposearch.Unigene, u, map[string]string{"desc": fmt.Sprintf("cache bench cluster %d", i)}),
+		toposearch.InsertRelationship(biozon.RelEncodes, p, d),
+		toposearch.InsertRelationship(biozon.RelUniEncodes, u, p),
+		toposearch.InsertRelationship(biozon.RelUniContains, u, d),
+		toposearch.InsertRelationship(biozon.RelEncodes, p, int64(biozon.BaseDNA+i%29)),
+	}, [2]int64{p, d}
+}
+
+// BenchCache builds its own synthetic database with two searchers —
+// the default cached one and a cache-off oracle — and runs both phases.
+// reps is the fastest-of repetition count for the miss-cost timings.
+func BenchCache(ctx context.Context, scale int, seed int64, reps int) (*CacheBenchReport, error) {
+	db, err := toposearch.Synthetic(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := toposearch.DefaultSearcherConfig()
+	cached, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ucfg := cfg
+	ucfg.CacheBytes = -1
+	uncached, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, ucfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CacheBenchReport{
+		Scale: scale, Seed: seed,
+		Pair: [2]string{toposearch.Protein, toposearch.DNA},
+		Note: cacheNote,
+	}
+	mix := cacheQueryMix()
+
+	// Phase 1: repeated-query mix. Miss cost on the oracle, cold + warm
+	// on the cached searcher, row equivalence between the two.
+	for _, cq := range mix {
+		var oracle *toposearch.SearchResult
+		missSec, err := Measure(reps, func() error {
+			var e error
+			oracle, e = uncached.SearchContext(ctx, cq.Q)
+			return e
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: benchcache %s (uncached): %w", cq.Name, err)
+		}
+		start := time.Now()
+		cres, err := cached.SearchContext(ctx, cq.Q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: benchcache %s (cold): %w", cq.Name, err)
+		}
+		coldSec := time.Since(start).Seconds()
+		if cres.CacheHit {
+			return nil, fmt.Errorf("experiments: benchcache %s: first run reported a cache hit", cq.Name)
+		}
+		hitSec, err := Measure(20*reps, func() error {
+			var e error
+			cres, e = cached.SearchContext(ctx, cq.Q)
+			return e
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: benchcache %s (warm): %w", cq.Name, err)
+		}
+		if !cres.CacheHit {
+			return nil, fmt.Errorf("experiments: benchcache %s: warm run missed the cache", cq.Name)
+		}
+		row := CacheBenchRow{
+			Query:      cq.Name,
+			MissSec:    missSec,
+			ColdSec:    coldSec,
+			HitSec:     hitSec,
+			Topologies: len(cres.Topologies),
+			Equivalent: fmt.Sprint(cres.Topologies) == fmt.Sprint(oracle.Topologies),
+		}
+		if hitSec > 0 {
+			row.Speedup = missSec / hitSec
+		}
+		rep.Rows = append(rep.Rows, row)
+		if !row.Equivalent {
+			return rep, fmt.Errorf("experiments: benchcache %s: cached result diverged from cache-off execution", cq.Name)
+		}
+		rep.MixMissSec += missSec
+		rep.MixHitSec += hitSec
+	}
+	if rep.MixHitSec > 0 {
+		rep.MixSpeedup = rep.MixMissSec / rep.MixHitSec
+	}
+
+	// Phase 2: mutating workload. Deterministically interleave searches
+	// with growth / entity-only / duplicate-edge batches, refreshing both
+	// searchers after each batch, and verify every answer against the
+	// oracle. The counter deltas over this phase are the headline
+	// numbers: hit ratio sustained under mutation and entries carried
+	// across generations by frontier-scoped invalidation.
+	base := cached.CacheStats()
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	wl := &rep.Workload
+	wl.Equivalent = true
+	lastEdge := [2]int64{}
+	growth := 0
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 6; i++ {
+			cq := mix[rng.Intn(len(mix))]
+			cres, err := cached.SearchContext(ctx, cq.Q)
+			if err != nil {
+				return rep, err
+			}
+			oracle, err := uncached.SearchContext(ctx, cq.Q)
+			if err != nil {
+				return rep, err
+			}
+			wl.Searches++
+			if fmt.Sprint(cres.Topologies) != fmt.Sprint(oracle.Topologies) {
+				wl.Equivalent = false
+				return rep, fmt.Errorf("experiments: benchcache workload: %s diverged at round %d", cq.Name, round)
+			}
+		}
+		// Batch kinds rotate deterministically so every invalidation
+		// regime shows up in the counters: growth (frontier-scoped
+		// invalidation), parallel duplicates (entries carried forward),
+		// entity-only (generation survives, cache stays fully warm).
+		var batch []toposearch.Update
+		switch kind := round % 3; {
+		case kind == 1 && lastEdge != [2]int64{}:
+			// Parallel duplicate: same endpoints, one more edge. The
+			// path-class signatures are unchanged, so the refresh carries
+			// every cache entry forward.
+			batch = []toposearch.Update{toposearch.InsertRelationship(biozon.RelEncodes, lastEdge[0], lastEdge[1])}
+		case kind == 2:
+			// Entity-only: topology tables cannot change; the generation
+			// tag survives and the cache stays fully warm.
+			batch = []toposearch.Update{toposearch.InsertEntity(toposearch.Protein,
+				int64(biozon.BaseProtein+820000+round), map[string]string{"desc": fmt.Sprintf("cache bench lone %d", round)})}
+		default:
+			batch, lastEdge = cacheGrowthBatch(growth)
+			growth++
+		}
+		if err := db.ApplyBatch(batch); err != nil {
+			return rep, err
+		}
+		if _, err := cached.RefreshContext(ctx); err != nil {
+			return rep, err
+		}
+		if _, err := uncached.RefreshContext(ctx); err != nil {
+			return rep, err
+		}
+		wl.Batches++
+	}
+	// Final sweep over the whole mix against the last generation.
+	for _, cq := range mix {
+		cres, err := cached.SearchContext(ctx, cq.Q)
+		if err != nil {
+			return rep, err
+		}
+		oracle, err := uncached.SearchContext(ctx, cq.Q)
+		if err != nil {
+			return rep, err
+		}
+		wl.Searches++
+		if fmt.Sprint(cres.Topologies) != fmt.Sprint(oracle.Topologies) {
+			wl.Equivalent = false
+			return rep, fmt.Errorf("experiments: benchcache workload: %s diverged in the final sweep", cq.Name)
+		}
+	}
+	stats := cached.CacheStats()
+	wl.Hits = stats.Hits - base.Hits
+	wl.Misses = stats.Misses - base.Misses
+	if n := wl.Hits + wl.Misses; n > 0 {
+		wl.HitRatio = float64(wl.Hits) / float64(n)
+	}
+	wl.CarriedForward = stats.CarriedForward - base.CarriedForward
+	wl.Invalidated = stats.Invalidated - base.Invalidated
+	wl.Flushes = stats.Flushes - base.Flushes
+	wl.Evictions = stats.Evictions - base.Evictions
+	wl.Entries = stats.Entries
+	wl.ResidentBytes = stats.Bytes
+	cached.Close()
+	uncached.Close()
+	return rep, nil
+}
+
+// WriteCacheBench writes the report as indented JSON to path.
+func WriteCacheBench(rep *CacheBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintCacheBench renders the report.
+func PrintCacheBench(w io.Writer, rep *CacheBenchReport) {
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %10s %6s %6s\n",
+		"query", "miss s", "cold s", "hit s", "speedup", "tops", "equal")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-22s %12.6f %12.6f %12.9f %9.0fx %6d %6v\n",
+			r.Query, r.MissSec, r.ColdSec, r.HitSec, r.Speedup, r.Topologies, r.Equivalent)
+	}
+	fmt.Fprintf(w, "mix: %.6fs cold vs %.9fs warm = %.0fx\n",
+		rep.MixMissSec, rep.MixHitSec, rep.MixSpeedup)
+	wl := rep.Workload
+	fmt.Fprintf(w, "workload: %d searches over %d batches: %d hits / %d misses (ratio %.2f), "+
+		"%d carried forward, %d invalidated, %d flushes, %d evictions, %d entries (%d bytes) resident, equivalent=%v\n",
+		wl.Searches, wl.Batches, wl.Hits, wl.Misses, wl.HitRatio,
+		wl.CarriedForward, wl.Invalidated, wl.Flushes, wl.Evictions, wl.Entries, wl.ResidentBytes, wl.Equivalent)
+}

@@ -58,6 +58,12 @@ type Store struct {
 	PrunedTIDs []core.TopologyID
 	Cfg        StoreConfig
 
+	// Gen numbers the store generation within a refresh chain: 0 for a
+	// from-scratch build, +1 per (non-shallow) Refresh. The result
+	// cache tags entries with it so a cached answer can never be served
+	// against a store it was not computed (or proven equal) for.
+	Gen uint64
+
 	sigToPath map[graph.PathSig]graph.SchemaPath
 
 	// entityPrefix is the per-generation entity-shard weight profile:
@@ -181,10 +187,15 @@ func (s *Store) warmIndexes() error {
 	}
 	// Entity-shard weight profile: cost-weighted shard cuts and delta
 	// routing read this prefix-sum array (see the field doc). The E1
-	// hash index doubles as the probe index of the tops joins.
+	// hash index doubles as the probe index of the tops joins. A refresh
+	// that carried AllTops over unchanged pre-seeds entityPrefix with
+	// the previous generation's profile, skipping the O(T1) rebuild.
 	e1Idx, err := s.AllTops.CreateHashIndex("E1")
 	if err != nil {
 		return err
+	}
+	if s.entityPrefix != nil {
+		return nil
 	}
 	keyCol := s.T1.Schema.KeyCol
 	n := s.T1.NumRows()

@@ -51,6 +51,18 @@ func (db *DB) DropTable(name string) {
 	db.mu.Unlock()
 }
 
+// PutTable registers an already-built table under its schema name,
+// replacing any previous entry. The diff-aware materializer uses it to
+// publish tables assembled outside the catalog (via IntTableBuilder)
+// or carried over from a previous store generation; readers holding
+// the replaced table keep their own pointer, exactly as with
+// DropTable + CreateTable.
+func (db *DB) PutTable(t *Table) {
+	db.mu.Lock()
+	db.tables[t.Schema.Name] = t
+	db.mu.Unlock()
+}
+
 // Table returns the named table, or nil if absent.
 func (db *DB) Table(name string) *Table {
 	db.mu.RLock()

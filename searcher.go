@@ -12,6 +12,8 @@ import (
 	"toposearch/internal/graph"
 	"toposearch/internal/methods"
 	"toposearch/internal/ranking"
+	"toposearch/internal/relstore"
+	"toposearch/internal/shard"
 )
 
 // SearcherConfig controls the offline phase of a Searcher.
@@ -54,6 +56,14 @@ type SearcherConfig struct {
 	// single-store runs equivalent. 0 and 1 keep single-store
 	// execution. Results are byte-identical at every shard count.
 	Shards int
+	// CacheBytes bounds the searcher's generation-tagged query result
+	// cache: repeated queries between mutation batches become O(1)
+	// lookups, and Refresh carries entries whose dependency footprint is
+	// disjoint from the update frontier forward into the new generation
+	// instead of flushing. 0 uses the 64 MiB default; a negative value
+	// disables the cache. Cached results are byte-identical to uncached
+	// execution (see SearchResult.CacheHit).
+	CacheBytes int64
 }
 
 // DefaultSearcherConfig matches the paper's main experimental setup:
@@ -82,10 +92,19 @@ type Searcher struct {
 
 	store atomic.Pointer[methods.Store]
 
+	// cache is the generation-tagged result cache (nil when disabled);
+	// cacheRanges is the entity-bucket partition its dependency
+	// footprints are recorded against, frozen at construction — table
+	// positions are append-only, so the position→bucket mapping stays
+	// valid across every later generation.
+	cache       *methods.ResultCache
+	cacheRanges shard.Ranges
+
 	refreshMu   sync.Mutex // serializes Refresh
 	cursor      int        // applied-edge log position this searcher has absorbed
 	closed      bool
-	lastRouting []int // per-shard affected-start counts of the last sharded Refresh
+	lastRouting []int                // per-shard affected-start counts of the last sharded Refresh
+	lastDiff    *methods.RefreshDiff // materializer outcome of the last full Refresh
 }
 
 // current returns the store generation queries should run against.
@@ -137,6 +156,14 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 		return nil, err
 	}
 	s.store.Store(st)
+	if cfg.CacheBytes >= 0 {
+		bytes := cfg.CacheBytes
+		if bytes == 0 {
+			bytes = 64 << 20
+		}
+		s.cache = methods.NewResultCache(bytes)
+		s.cacheRanges = st.EntityShardRanges(methods.FootprintBuckets)
+	}
 	return s, nil
 }
 
@@ -221,13 +248,44 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 	} else {
 		s.lastRouting = nil
 	}
-	ns, err := st.Refresh(ctx, g, affected)
+	ns, diff, err := st.RefreshDiff(ctx, g, affected)
 	if err != nil {
 		return 0, err
 	}
 	s.store.Store(ns)
+	s.lastDiff = diff
+	if s.cache != nil {
+		// Frontier-scoped invalidation: entries whose dependency
+		// footprint is disjoint from the update's dirty start set are
+		// retagged into the new generation; only intersecting entries
+		// are dropped. An unstable topology registry renumbers IDs, so
+		// nothing cached can be trusted — flush.
+		if diff.TidStable {
+			mask, tail := ns.InvalidationSet(diff, affected, s.cacheRanges)
+			s.cache.Advance(st.Gen, ns.Gen, cursor, mask, tail, ns.T1, false)
+		} else {
+			s.cache.Advance(st.Gen, ns.Gen, cursor, 0, nil, ns.T1, true)
+		}
+	}
 	s.advanceCursor(cursor)
 	return len(edges), nil
+}
+
+// LastRefreshDiff reports how the last full Refresh materialized each
+// precomputed table (nil before the first one).
+func (s *Searcher) LastRefreshDiff() *methods.RefreshDiff {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.lastDiff
+}
+
+// CacheStats snapshots the result cache's counters (zero value when
+// the cache is disabled).
+func (s *Searcher) CacheStats() methods.CacheStats {
+	if s.cache == nil {
+		return methods.CacheStats{}
+	}
+	return s.cache.Stats()
 }
 
 // ShardRouting reports, per shard, how many affected start entities
@@ -306,6 +364,12 @@ type SearchResult struct {
 	// ShardStats holds one entry per shard executor, in partition
 	// order (nil when Shards is 0).
 	ShardStats []ShardStat
+	// CacheHit reports the result came from the searcher's result cache
+	// (or a collapsed concurrent computation) instead of a method run.
+	// The topologies are byte-identical to a fresh execution; Method,
+	// Plan and the work accounting describe the run that populated the
+	// entry.
+	CacheHit bool
 }
 
 // ShardStat is one shard executor's share of a sharded Search.
@@ -378,6 +442,34 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 		return nil, err
 	}
 	m := q.method()
+	if s.cache == nil {
+		return s.execSearch(ctx, st, m, mq)
+	}
+	// Cache lookup under the (generation, edge-log position) tag: the
+	// store snapshot plus the applied-edge log position pin everything a
+	// result can depend on (method executors also read the live base
+	// tables, which only change when a batch appends to the log).
+	key := searchCacheKey(q)
+	epoch := s.db.log.Len()
+	v, hit, err := s.cache.GetOrCompute(key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, error) {
+		res, err := s.execSearch(ctx, st, m, mq)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		fp := methods.QueryFootprint(st.T1, mq.Pred1, s.cacheRanges)
+		return res, res.approxBytes(), fp, mq.Pred1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*SearchResult).clone()
+	res.CacheHit = hit
+	return res, nil
+}
+
+// execSearch runs the query against the store generation and shapes
+// the public result.
+func (s *Searcher) execSearch(ctx context.Context, st *methods.Store, m string, mq methods.Query) (*SearchResult, error) {
 	res, err := st.RunContext(ctx, m, mq)
 	if err != nil {
 		return nil, err
@@ -405,6 +497,47 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 		})
 	}
 	return out, nil
+}
+
+// searchCacheKey canonicalizes the result-identity part of the query:
+// resolved method and ranking, k, and the sorted constraint renderings.
+// Latency-only knobs (Speculation, Shards, the searcher's parallelism)
+// never enter the key — results are byte-identical across them.
+func searchCacheKey(q SearchQuery) string {
+	return methods.CacheKey(q.method(), q.ranking(), q.K, renderCons(q.Cons1), renderCons(q.Cons2))
+}
+
+func renderCons(cons []Constraint) []string {
+	out := make([]string, len(cons))
+	for i, c := range cons {
+		if c.Keyword != "" {
+			out[i] = "kw\x00" + c.Column + "\x00" + c.Keyword
+		} else {
+			out[i] = "eq\x00" + c.Column + "\x00" + c.Equals
+		}
+	}
+	return out
+}
+
+// clone returns a copy whose slices are detached from the receiver, so
+// callers can never mutate a cached entry through a returned result.
+func (r *SearchResult) clone() *SearchResult {
+	cp := *r
+	cp.Topologies = append([]TopologyResult(nil), r.Topologies...)
+	cp.ShardStats = append([]ShardStat(nil), r.ShardStats...)
+	return &cp
+}
+
+// approxBytes estimates the result's resident size for the cache's
+// memory accounting, mirroring relstore's ApproxBytes spirit: struct
+// sizes plus string payloads.
+func (r *SearchResult) approxBytes() int64 {
+	b := int64(128 + len(r.Method) + len(r.Plan))
+	for _, t := range r.Topologies {
+		b += int64(72 + len(t.Structure))
+	}
+	b += int64(32 * len(r.ShardStats))
+	return b
 }
 
 // Explain returns the optimizer's plan choice and rendering for a
