@@ -260,6 +260,7 @@ func TestCacheCarriedForward(t *testing.T) {
 // invalidating entries) and capacity evictions from a deliberately tiny
 // cache — run under -race in CI.
 func TestCacheConcurrentSearchRefreshHammer(t *testing.T) {
+	defer assertNoGoroutineLeak(t, goroutineBaseline())
 	ctx := context.Background()
 	db, err := toposearch.Synthetic(1, 7)
 	if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|benchchaos|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -31,7 +31,11 @@
 // execution cost of a miss, and the hit ratio a mutating workload
 // sustains through frontier-scoped invalidation — verifying every
 // cached answer row-identical to a cache-off searcher, and writes
-// -cacheout (default BENCH_cache.json).
+// -cacheout (default BENCH_cache.json). The benchchaos experiment
+// quantifies the failure-containment layer — the per-hit price of a
+// fault-injection point, admission-control behavior under an overload
+// burst, and a fault-schedule survival run verified byte-identical to
+// a fresh rebuild — and writes -chaosout (default BENCH_chaos.json).
 package main
 
 import (
@@ -65,6 +69,7 @@ func main() {
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 		cacheout = flag.String("cacheout", "BENCH_cache.json", "output file for -exp benchcache")
+		chaosout = flag.String("chaosout", "BENCH_chaos.json", "output file for -exp benchchaos")
 	)
 	flag.Parse()
 
@@ -101,6 +106,25 @@ func main() {
 		fmt.Printf("  %d%s distinct 3-topologies from %d unions in %v\n",
 			len(res3.Canons), trunc, res3.Unions, time.Since(start).Round(time.Millisecond))
 		fmt.Println()
+		if *exp != "all" {
+			return
+		}
+	}
+
+	// The chaos benchmark drives the public Searcher end to end under
+	// fault injection, so it builds its own database rather than using
+	// the methods-level env.
+	if need("benchchaos") {
+		fmt.Println("== Failure containment: injection overhead, overload shedding, chaos survival ==")
+		rep, err := experiments.BenchChaos(ctx, *scale, *seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintChaosBench(os.Stdout, rep)
+		if err := experiments.WriteChaosBench(rep, *chaosout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *chaosout)
 		if *exp != "all" {
 			return
 		}

@@ -2,13 +2,20 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 )
+
+// faultStart fires per claimed start node inside the worker pool,
+// exercising worker-level failure and panic containment (chaos
+// harness).
+var faultStart = fault.Register("core.start")
 
 // Entry is one row of the (All|Left)Tops tables: entity pair (A, B)
 // related by topology TID.
@@ -195,6 +202,12 @@ func newPairData(es1, es2 string) *PairData {
 // land in the per-start slot, so no two goroutines share state beyond
 // the atomic work counter. The incremental-update path reuses it over
 // just the affected start-node frontier.
+//
+// Workers are failure-contained: a panic in one worker is recovered
+// into a *fault.PanicError, cancels the siblings, and surfaces as the
+// pool's error — it never escapes to the caller's goroutine. When both
+// a real failure and the resulting cancellation are observed, the real
+// failure wins.
 func runStarts(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, starts []graph.NodeID,
 	schemaPaths []graph.SchemaPath, selfPair bool, opts Options) ([]startOutput, error) {
 	workers := opts.Workers()
@@ -204,14 +217,32 @@ func runStarts(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, start
 	if workers < 1 {
 		workers = 1
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]startOutput, len(starts))
 	var next atomic.Int64
-	var ctxErr atomic.Value
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(err error) {
+		failMu.Lock()
+		// Prefer the first non-cancellation error: a worker observing
+		// ctx.Canceled after a sibling panicked must not mask the panic.
+		if failErr == nil || (errors.Is(failErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			failErr = err
+		}
+		failMu.Unlock()
+		cancel()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					fail(fault.NewPanicError("core.start", v))
+				}
+			}()
 			localReg := NewRegistry()
 			sc := g.NewScratch()
 			acc := make(map[graph.NodeID][]graph.Path)
@@ -222,11 +253,15 @@ func runStarts(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, start
 				// sticky, so an abort inside the final unit is still
 				// observed here before the worker exits.
 				if err := ctx.Err(); err != nil {
-					ctxErr.Store(err)
+					fail(err)
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= len(starts) {
+					return
+				}
+				if err := faultStart.Hit(); err != nil {
+					fail(err)
 					return
 				}
 				results[i] = computeStart(ctx, g, sg, localReg, sc, acc, starts[i], schemaPaths, selfPair, opts)
@@ -234,8 +269,8 @@ func runStarts(ctx context.Context, g *graph.Graph, sg *graph.SchemaGraph, start
 		}()
 	}
 	wg.Wait()
-	if err, ok := ctxErr.Load().(error); ok {
-		return nil, err
+	if failErr != nil {
+		return nil, failErr
 	}
 	return results, nil
 }

@@ -19,9 +19,14 @@ import (
 	"fmt"
 	"sync"
 
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 	"toposearch/internal/relstore"
 )
+
+// faultApply fires between row inserts of a batch, exercising the
+// mid-apply rollback path (chaos harness).
+var faultApply = fault.Register("delta.apply")
 
 // Mutation is one staged insert: either a new entity (EntitySet set)
 // or a new relationship (Rel set). The zero value is invalid.
@@ -121,8 +126,13 @@ type resolved struct {
 // row (the tables absorb them into their delta columns without
 // blocking readers), extends a clone of g with the new nodes and
 // edges, and returns the clone plus the applied-edge records. On a
-// validation error nothing is touched.
-func (ap *Applier) Apply(g *graph.Graph, b Batch) (*graph.Graph, *Applied, error) {
+// validation error nothing is touched; on a mid-apply failure —
+// including a panic out of the store layer — every table the batch
+// touched is rolled back to its pre-batch row count, so a batch is
+// all-or-nothing even under injected faults. (Rollback is sound
+// because the DB serializes Apply against Compact, so the sealed
+// watermark cannot advance mid-batch.)
+func (ap *Applier) Apply(g *graph.Graph, b Batch) (ng *graph.Graph, applied *Applied, err error) {
 	if len(b) == 0 {
 		return g, &Applied{}, nil
 	}
@@ -168,17 +178,44 @@ func (ap *Applier) Apply(g *graph.Graph, b Batch) (*graph.Graph, *Applied, error
 	// Validated: apply. Rows first (readers may see a relationship row
 	// before the published graph has its edge; the searcher-visible
 	// topology tables change only at Refresh), then the graph clone.
-	ng := g.Clone()
-	applied := &Applied{}
+	// Snapshot every touched table's row count first so a mid-apply
+	// failure can undo the inserts; the graph clone and nextID map are
+	// discarded for free.
+	pre := make(map[*relstore.Table]int)
 	for _, r := range rs {
+		if _, ok := pre[r.table]; !ok {
+			pre[r.table] = r.table.NumRows()
+		}
+	}
+	rollback := func(cause error) error {
+		for tab, n := range pre {
+			if terr := tab.TruncateTo(n); terr != nil {
+				return fmt.Errorf("%w (rollback of %s also failed: %v)", cause, tab.Schema.Name, terr)
+			}
+		}
+		return cause
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			pe := fault.NewPanicError("delta.apply", v)
+			ng, applied = nil, nil
+			err = rollback(pe)
+		}
+	}()
+	ng = g.Clone()
+	applied = &Applied{}
+	for _, r := range rs {
+		if err := faultApply.Hit(); err != nil {
+			return nil, nil, rollback(fmt.Errorf("delta: applying to %s: %w", r.table.Schema.Name, err))
+		}
 		if err := r.table.Insert(r.row); err != nil {
 			// Unreachable after validation barring concurrent misuse.
-			return nil, nil, fmt.Errorf("delta: applying to %s: %w", r.table.Schema.Name, err)
+			return nil, nil, rollback(fmt.Errorf("delta: applying to %s: %w", r.table.Schema.Name, err))
 		}
 		if r.entitySet != "" {
 			tid, _ := ng.NodeTypes.Lookup(r.entitySet)
 			if err := ng.AddNode(r.id, tid); err != nil {
-				return nil, nil, fmt.Errorf("delta: extending graph: %w", err)
+				return nil, nil, rollback(fmt.Errorf("delta: extending graph: %w", err))
 			}
 			applied.Entities++
 			continue
@@ -186,7 +223,7 @@ func (ap *Applier) Apply(g *graph.Graph, b Batch) (*graph.Graph, *Applied, error
 		tid, _ := ng.EdgeTypes.Lookup(ap.sg.Rels[r.relIdx].Name)
 		eid := graph.EncodeEdgeID(r.relIdx, r.tupleID)
 		if err := ng.AddEdge(eid, r.a, r.b, tid); err != nil {
-			return nil, nil, fmt.Errorf("delta: extending graph: %w", err)
+			return nil, nil, rollback(fmt.Errorf("delta: extending graph: %w", err))
 		}
 		applied.Edges = append(applied.Edges, Edge{RelIdx: r.relIdx, TupleID: r.tupleID, A: r.a, B: r.b})
 	}

@@ -250,6 +250,14 @@ func (s *Sequencer) drain() {
 // either the k-th witness committed or every segment completed.
 func (s *Sequencer) Finished() bool { return s.finished }
 
+// Partial returns the witnesses committed so far, in canonical group
+// order. Unlike Outcome it is legal before Finished: the committed
+// prefix is exactly what a sequential run truncated at the same point
+// would have produced, which makes it the correct payload for a
+// deadline-bounded partial result. The returned slice is shared with
+// the sequencer and must not be mutated.
+func (s *Sequencer) Partial() []SpecWitness { return s.committed }
+
 // Outcome returns the committed result. It is an error to call it
 // before Finished reports true.
 func (s *Sequencer) Outcome() (SpecOutcome, error) {

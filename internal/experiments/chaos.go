@@ -1,0 +1,453 @@
+package experiments
+
+// This file is the robustness benchmark: the BENCH_chaos.json
+// counterpart of the chaos test harness. It quantifies what the
+// failure-containment layer costs and what it buys: the per-hit price
+// of a fault-injection point (disabled registry vs armed-but-silent),
+// the end-to-end query cost of the armed registry, admission-control
+// behavior under deliberate overload (admitted / degraded / shed), and
+// a fault-schedule survival run whose final state is verified
+// byte-identical to a fresh from-scratch rebuild.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"toposearch"
+	"toposearch/internal/fault"
+)
+
+// benchChaosPoint is a dedicated injection point for the overhead
+// measurement: arming only it leaves every engine point bound to no
+// rule, which is exactly the "registry enabled, point silent" state
+// the engine pays on every hot-path hit under an active chaos run.
+var benchChaosPoint = fault.Register("bench.chaos")
+
+// ChaosOverhead is the cost side: what the injection points charge.
+type ChaosOverhead struct {
+	// DisabledNsPerHit is one Point.Hit with the registry disabled —
+	// the tax every production call pays for having the point compiled
+	// in. ArmedNsPerHit is the same hit with the registry enabled but
+	// the point bound to no rule — what every silent point pays during
+	// a chaos run. BoundNsPerHit is a hit on a point bound to a
+	// never-firing rule (rule bookkeeping included).
+	DisabledNsPerHit float64 `json:"disabled_ns_per_hit"`
+	ArmedNsPerHit    float64 `json:"armed_ns_per_hit"`
+	BoundNsPerHit    float64 `json:"bound_ns_per_hit"`
+	// SearchPlainSec / SearchArmedSec time the same query mix end to
+	// end with the registry disabled vs enabled-but-silent (fastest of
+	// reps); OverheadPct is their relative difference.
+	SearchPlainSec float64 `json:"search_plain_sec"`
+	SearchArmedSec float64 `json:"search_armed_sec"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
+// ChaosOverload is the admission-control side: a burst of concurrent
+// callers against a MaxInflight-bounded searcher versus the same burst
+// unbounded.
+type ChaosOverload struct {
+	Callers     int `json:"callers"`
+	PerCaller   int `json:"queries_per_caller"`
+	MaxInflight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+	// Outcome counts on the bounded searcher: every query is admitted
+	// (possibly degraded to sequential execution) or shed with
+	// ErrOverloaded — never anything else.
+	Admitted int64 `json:"admitted"`
+	Degraded int64 `json:"degraded"`
+	Rejected int64 `json:"rejected"`
+	// Wall-clock for the whole burst, bounded vs unbounded.
+	BoundedSec   float64 `json:"bounded_sec"`
+	UnboundedSec float64 `json:"unbounded_sec"`
+}
+
+// ChaosSurvival is the containment side: a fault schedule armed over
+// every engine point while queries, batches, refreshes and compactions
+// run; the layer must keep every failure typed and the final state
+// byte-identical to a fresh rebuild.
+type ChaosSurvival struct {
+	Searches        int   `json:"searches"`
+	Batches         int   `json:"batches"`
+	FaultsFired     int64 `json:"faults_fired"`
+	TypedErrors     int   `json:"typed_errors"`
+	PanicsContained int64 `json:"panics_contained"`
+	Partials        int64 `json:"partials"`
+	// FiredByPoint breaks FaultsFired down per injection point.
+	FiredByPoint map[string]int64 `json:"fired_by_point"`
+	// Equivalent asserts the post-chaos searcher answers byte-identical
+	// to a fresh from-scratch searcher on the final database.
+	Equivalent bool `json:"equivalent"`
+}
+
+// ChaosBenchReport is the file-level shape of BENCH_chaos.json.
+type ChaosBenchReport struct {
+	Scale    int            `json:"scale"`
+	Seed     int64          `json:"seed"`
+	Pair     [2]string      `json:"pair"`
+	Note     string         `json:"note"`
+	Overhead ChaosOverhead  `json:"overhead"`
+	Overload ChaosOverload  `json:"overload"`
+	Survival ChaosSurvival  `json:"survival"`
+}
+
+const chaosNote = "disabled_ns_per_hit is the production-mode price of one injection point " +
+	"(registry off); armed_ns_per_hit the price during a chaos run (registry on, point " +
+	"silent). The overload burst drives a MaxInflight-bounded searcher past capacity: " +
+	"queries are admitted, degraded to sequential execution, or shed with ErrOverloaded. " +
+	"The survival run arms errors, panics and latency across every engine injection point " +
+	"and verifies the surviving searcher byte-identical to a fresh rebuild."
+
+// chaosMix is the query mix reused by the overhead and survival
+// phases.
+func chaosMix() []toposearch.SearchQuery {
+	return []toposearch.SearchQuery{
+		{K: 5, Method: "fast-top-k"},
+		{K: 5, Method: "fast-top-k-et", Speculation: 2},
+		{Method: "fast-top", Shards: 2},
+		{K: 3, Method: "full-top-k", Cons2: []toposearch.Constraint{{Column: "type", Equals: "mRNA"}}},
+	}
+}
+
+func chaosTypedErr(err error) bool {
+	if err == nil {
+		return true
+	}
+	var pe *toposearch.EnginePanicError
+	return errors.Is(err, toposearch.ErrInjected) ||
+		errors.As(err, &pe) ||
+		errors.Is(err, toposearch.ErrOverloaded) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// BenchChaos runs the three phases and assembles the report.
+func BenchChaos(ctx context.Context, scale int, seed int64, reps int) (*ChaosBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &ChaosBenchReport{
+		Scale: scale, Seed: seed,
+		Pair: [2]string{toposearch.Protein, toposearch.DNA},
+		Note: chaosNote,
+	}
+
+	// Phase 1: point overhead. The micro loop times the disabled fast
+	// path (one atomic load) and the armed-but-silent path (two loads).
+	fault.Disable()
+	const hits = 5_000_000
+	start := time.Now()
+	for i := 0; i < hits; i++ {
+		if err := benchChaosPoint.Hit(); err != nil {
+			return nil, err
+		}
+	}
+	rep.Overhead.DisabledNsPerHit = float64(time.Since(start).Nanoseconds()) / hits
+	if err := fault.Enable(seed); err != nil { // registry on, every point unbound
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < hits; i++ {
+		if err := benchChaosPoint.Hit(); err != nil {
+			return nil, err
+		}
+	}
+	rep.Overhead.ArmedNsPerHit = float64(time.Since(start).Nanoseconds()) / hits
+	if err := fault.Enable(seed, fault.Rule{Point: "bench.chaos", After: 1 << 50}); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < hits; i++ {
+		if err := benchChaosPoint.Hit(); err != nil {
+			return nil, err
+		}
+	}
+	rep.Overhead.BoundNsPerHit = float64(time.Since(start).Nanoseconds()) / hits
+	fault.Disable()
+
+	db, err := toposearch.Synthetic(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.CacheBytes = -1 // uncached: the mix must execute every time
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	mix := chaosMix()
+	runMix := func() (time.Duration, error) {
+		start := time.Now()
+		for _, q := range mix {
+			if _, err := s.SearchContext(ctx, q); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	fastest := func() (float64, error) {
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			d, err := runMix()
+			if err != nil {
+				return 0, err
+			}
+			if d < best {
+				best = d
+			}
+		}
+		return best.Seconds(), nil
+	}
+	if rep.Overhead.SearchPlainSec, err = fastest(); err != nil {
+		return nil, err
+	}
+	if err := fault.Enable(seed); err != nil {
+		return nil, err
+	}
+	if rep.Overhead.SearchArmedSec, err = fastest(); err != nil {
+		return nil, err
+	}
+	fault.Disable()
+	if rep.Overhead.SearchPlainSec > 0 {
+		rep.Overhead.OverheadPct = 100 * (rep.Overhead.SearchArmedSec - rep.Overhead.SearchPlainSec) / rep.Overhead.SearchPlainSec
+	}
+
+	// Phase 2: overload burst. Injected executor latency makes each
+	// query hold its slot long enough that the burst actually queues.
+	if err := benchChaosOverload(ctx, db, rep); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: survival under a full fault schedule.
+	if err := benchChaosSurvival(ctx, db, seed, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func benchChaosOverload(ctx context.Context, db *toposearch.DB, rep *ChaosBenchReport) error {
+	const callers, perCaller = 8, 3
+	rep.Overload = ChaosOverload{
+		Callers: callers, PerCaller: perCaller,
+		MaxInflight: 2, MaxQueue: 4,
+	}
+	burst := func(s *toposearch.Searcher) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, callers*perCaller)
+		start := time.Now()
+		for c := 0; c < callers; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perCaller; i++ {
+					// Distinct constraints keep callers off each other's
+					// cache flights.
+					q := toposearch.SearchQuery{Method: "fast-top",
+						Cons1: []toposearch.Constraint{{Column: "desc", Keyword: fmt.Sprintf("kwsel%d", 10*(1+(c*perCaller+i)%6))}}}
+					_, errs[c*perCaller+i] = s.SearchContext(ctx, q)
+				}
+			}()
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, toposearch.ErrOverloaded) {
+				return 0, fmt.Errorf("overload burst: unexpected error %w", err)
+			}
+		}
+		return dur, nil
+	}
+
+	if err := fault.Enable(rep.Seed, fault.Rule{
+		Point: "shard.executor", Delay: 10 * time.Millisecond, DelayOnly: true}); err != nil {
+		return err
+	}
+	defer fault.Disable()
+
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.CacheBytes = -1
+	unbounded, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return err
+	}
+	defer unbounded.Close()
+	du, err := burst(unbounded)
+	if err != nil {
+		return err
+	}
+	rep.Overload.UnboundedSec = du.Seconds()
+
+	cfg.MaxInflight = rep.Overload.MaxInflight
+	cfg.MaxQueue = rep.Overload.MaxQueue
+	cfg.QueueTimeout = 2 * time.Second
+	bounded, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return err
+	}
+	defer bounded.Close()
+	dbt, err := burst(bounded)
+	if err != nil {
+		return err
+	}
+	rep.Overload.BoundedSec = dbt.Seconds()
+	st := bounded.Stats()
+	rep.Overload.Admitted = st.Admitted
+	rep.Overload.Degraded = st.Degraded
+	rep.Overload.Rejected = st.Rejected
+	return nil
+}
+
+func benchChaosSurvival(ctx context.Context, db *toposearch.DB, seed int64, rep *ChaosBenchReport) error {
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.Speculation, cfg.Shards = 2, 2
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	if err := fault.Enable(seed,
+		fault.Rule{Point: "*", Prob: 0.05},
+		fault.Rule{Point: "engine.segment", Prob: 0.05, Panic: true},
+		fault.Rule{Point: "shard.executor", Prob: 0.05, Panic: true},
+		fault.Rule{Point: "cache.fill", Prob: 0.1, Panic: true},
+		fault.Rule{Point: "delta.apply", Prob: 0.1, Panic: true},
+		fault.Rule{Point: "relstore.compact.mid", Prob: 0.5, Panic: true},
+		fault.Rule{Point: "bench.chaos", After: 1 << 50},
+	); err != nil {
+		return err
+	}
+	defer fault.Disable()
+
+	sv := &rep.Survival
+	mix := chaosMix()
+	for round := 0; round < 6; round++ {
+		for _, q := range mix {
+			sv.Searches++
+			if _, err := s.SearchContext(ctx, q); err != nil {
+				if !chaosTypedErr(err) {
+					return fmt.Errorf("survival: untyped search error %w", err)
+				}
+				sv.TypedErrors++
+			}
+		}
+		p := int64(6_810_000 + round)
+		d := int64(7_810_000 + round)
+		batch := []toposearch.Update{
+			toposearch.InsertEntity(toposearch.Protein, p, map[string]string{"desc": fmt.Sprintf("chaos bench protein %d kwsel50", round)}),
+			toposearch.InsertEntity(toposearch.DNA, d, map[string]string{"type": "mRNA", "desc": "chaos bench dna"}),
+			toposearch.InsertRelationship("encodes", p, d),
+		}
+		for attempt := 0; attempt < 100; attempt++ {
+			err := db.ApplyBatch(batch)
+			if err == nil {
+				sv.Batches++
+				break
+			}
+			if !chaosTypedErr(err) {
+				return fmt.Errorf("survival: untyped batch error %w", err)
+			}
+			sv.TypedErrors++
+		}
+		if err := db.Compact(); err != nil {
+			if !chaosTypedErr(err) {
+				return fmt.Errorf("survival: untyped compact error %w", err)
+			}
+			sv.TypedErrors++
+		}
+		for attempt := 0; attempt < 100; attempt++ {
+			_, err := s.RefreshContext(ctx)
+			if err == nil {
+				break
+			}
+			if !chaosTypedErr(err) {
+				return fmt.Errorf("survival: untyped refresh error %w", err)
+			}
+			sv.TypedErrors++
+		}
+	}
+	// Stats are per-arming: the snapshot covers exactly this schedule.
+	sv.FaultsFired = fault.TotalFired()
+	sv.FiredByPoint = map[string]int64{}
+	for _, ps := range fault.Stats() {
+		if ps.Fired > 0 {
+			sv.FiredByPoint[ps.Name] = ps.Fired
+		}
+	}
+	fault.Disable()
+
+	st := s.Stats()
+	sv.PanicsContained = st.PanicsContained
+	sv.Partials = st.Partials
+
+	// Equivalence gate: the survivor answers like a fresh rebuild.
+	if _, err := s.RefreshContext(ctx); err != nil {
+		return err
+	}
+	if err := db.Compact(); err != nil {
+		return err
+	}
+	fresh, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return err
+	}
+	defer fresh.Close()
+	sv.Equivalent = true
+	for _, q := range chaosMix() {
+		got, err := s.SearchContext(ctx, q)
+		if err != nil {
+			return err
+		}
+		want, err := fresh.SearchContext(ctx, q)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(got.Topologies) != fmt.Sprint(want.Topologies) {
+			sv.Equivalent = false
+		}
+	}
+	if !sv.Equivalent {
+		return fmt.Errorf("survival: post-chaos searcher diverges from fresh rebuild")
+	}
+	return nil
+}
+
+// WriteChaosBench writes the report as indented JSON.
+func WriteChaosBench(rep *ChaosBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintChaosBench renders the report.
+func PrintChaosBench(w io.Writer, rep *ChaosBenchReport) {
+	o := rep.Overhead
+	fmt.Fprintf(w, "injection point: %.2f ns/hit disabled, %.2f ns/hit armed-silent, %.2f ns/hit bound-never-fires\n",
+		o.DisabledNsPerHit, o.ArmedNsPerHit, o.BoundNsPerHit)
+	fmt.Fprintf(w, "query mix: %.6fs plain vs %.6fs armed registry (%+.1f%%)\n",
+		o.SearchPlainSec, o.SearchArmedSec, o.OverheadPct)
+	ov := rep.Overload
+	fmt.Fprintf(w, "overload burst (%d callers x %d, max_inflight=%d): admitted %d, degraded %d, shed %d; %.3fs bounded vs %.3fs unbounded\n",
+		ov.Callers, ov.PerCaller, ov.MaxInflight, ov.Admitted, ov.Degraded, ov.Rejected, ov.BoundedSec, ov.UnboundedSec)
+	sv := rep.Survival
+	fmt.Fprintf(w, "survival: %d searches, %d batches, %d faults fired, %d typed errors, %d panics contained, equivalent=%v\n",
+		sv.Searches, sv.Batches, sv.FaultsFired, sv.TypedErrors, sv.PanicsContained, sv.Equivalent)
+	points := make([]string, 0, len(sv.FiredByPoint))
+	for p := range sv.FiredByPoint {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	for _, p := range points {
+		fmt.Fprintf(w, "  fired %-22s %d\n", p, sv.FiredByPoint[p])
+	}
+}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChaosRegistryConcurrent hammers a set of points from many
+// goroutines while the registry is repeatedly armed and disarmed,
+// asserting the registry itself never corrupts under the very
+// concurrency it exists to test: every returned error is typed, every
+// panic carries an *Injected value, and the counters stay coherent.
+func TestChaosRegistryConcurrent(t *testing.T) {
+	pts := []*Point{
+		Register("chaos.reg.a"),
+		Register("chaos.reg.b"),
+		Register("chaos.reg.c"),
+	}
+	var wrong atomic.Int64
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := pts[(g+i)%len(pts)]
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							fired.Add(1)
+							if inj, ok := v.(*Injected); !ok || inj.Point != p.Name() {
+								wrong.Add(1)
+							}
+						}
+					}()
+					if err := p.Hit(); err != nil {
+						fired.Add(1)
+						if !errors.Is(err, ErrInjected) {
+							wrong.Add(1)
+						}
+					}
+				}()
+			}
+		}(g)
+	}
+	for round := 0; round < 50; round++ {
+		rules := []Rule{
+			{Point: "chaos.reg.a", Prob: 0.5},
+			{Point: "chaos.reg.b", Prob: 0.5, Panic: true},
+			{Point: "chaos.reg.c", Prob: 0.5, After: 2},
+		}
+		if err := Enable(int64(round), rules...); err != nil {
+			t.Fatalf("Enable round %d: %v", round, err)
+		}
+		Disable()
+	}
+	close(stop)
+	wg.Wait()
+	Disable()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d mistyped failures escaped the registry", wrong.Load())
+	}
+	if fired.Load() == 0 {
+		t.Log("note: no fault fired during the race window (acceptable, timing-dependent)")
+	}
+}
+
+// TestChaosSeedReproducible drives one point through a fixed hit
+// sequence under several seeds and checks each seed reproduces its own
+// fire pattern exactly — the property chaos failures are replayed with.
+func TestChaosSeedReproducible(t *testing.T) {
+	p := Register("chaos.seed")
+	pattern := func(seed int64) string {
+		if err := Enable(seed, Rule{Point: "chaos.seed", Prob: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		defer Disable()
+		out := make([]byte, 300)
+		for i := range out {
+			if p.Hit() != nil {
+				out[i] = '1'
+			} else {
+				out[i] = '0'
+			}
+		}
+		return string(out)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a, b := pattern(seed), pattern(seed)
+		if a != b {
+			t.Fatalf("seed %d not reproducible:\n%s\n%s", seed, a, b)
+		}
+	}
+}

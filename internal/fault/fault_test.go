@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// arm is a test helper: Enable with t-scoped cleanup so a failing test
+// never leaves the registry armed for its neighbors.
+func arm(t *testing.T, seed int64, rules ...Rule) {
+	t.Helper()
+	if err := Enable(seed, rules...); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	t.Cleanup(Disable)
+}
+
+func TestDisabledPointReturnsNil(t *testing.T) {
+	p := Register("test.disabled")
+	for i := 0; i < 100; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disabled point fired: %v", err)
+		}
+	}
+}
+
+func TestErrorActionAndSentinel(t *testing.T) {
+	p := Register("test.err")
+	arm(t, 1, Rule{Point: "test.err"})
+	err := p.Hit()
+	if err == nil {
+		t.Fatal("armed point with prob 1 did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != "test.err" {
+		t.Fatalf("injected error does not carry the point name: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	p := Register("test.custom")
+	custom := errors.New("disk on fire")
+	arm(t, 1, Rule{Point: "test.custom", Err: custom})
+	if err := p.Hit(); !errors.Is(err, custom) {
+		t.Fatalf("custom error not returned: %v", err)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	p := Register("test.window")
+	arm(t, 1, Rule{Point: "test.window", After: 3, Count: 2})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.Hit() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("After=3 Count=2 fired at %v, want [3 4]", fired)
+	}
+}
+
+func TestProbDeterministicAcrossRuns(t *testing.T) {
+	p := Register("test.prob")
+	run := func() []int {
+		arm(t, 42, Rule{Point: "test.prob", Prob: 0.3})
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if p.Hit() != nil {
+				fired = append(fired, i)
+			}
+		}
+		Disable()
+		return fired
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different fire sequence:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times; rng not applied", len(a))
+	}
+	arm(t, 43, Rule{Point: "test.prob", Prob: 0.3})
+	var c []int
+	for i := 0; i < 200; i++ {
+		if p.Hit() != nil {
+			c = append(c, i)
+		}
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fire sequences")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	p := Register("test.panic")
+	arm(t, 1, Rule{Point: "test.panic", Panic: true})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		inj, ok := v.(*Injected)
+		if !ok || inj.Point != "test.panic" {
+			t.Fatalf("panic value = %v, want *Injected for test.panic", v)
+		}
+		if !errors.Is(inj, ErrInjected) {
+			t.Fatal("panic value does not satisfy errors.Is(ErrInjected)")
+		}
+	}()
+	p.Hit()
+}
+
+func TestDelayOnly(t *testing.T) {
+	p := Register("test.delay")
+	arm(t, 1, Rule{Point: "test.delay", Delay: 20 * time.Millisecond, DelayOnly: true})
+	start := time.Now()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("delay-only rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay-only rule slept %v, want >= 20ms", d)
+	}
+}
+
+func TestWildcardAndStats(t *testing.T) {
+	a := Register("test.wild.a")
+	b := Register("test.wild.b")
+	arm(t, 7, Rule{Point: "*", Count: 1})
+	a.Hit()
+	b.Hit()
+	b.Hit()
+	var sa, sb PointStats
+	for _, st := range Stats() {
+		switch st.Name {
+		case "test.wild.a":
+			sa = st
+		case "test.wild.b":
+			sb = st
+		}
+	}
+	if sa.Seen != 1 || sa.Fired != 1 {
+		t.Fatalf("point a stats = %+v, want seen 1 fired 1", sa)
+	}
+	if sb.Seen != 2 || sb.Fired != 1 {
+		t.Fatalf("point b stats = %+v, want seen 2 fired 1 (Count bound)", sb)
+	}
+	if TotalFired() < 2 {
+		t.Fatalf("TotalFired = %d, want >= 2", TotalFired())
+	}
+}
+
+func TestUnknownPointRejected(t *testing.T) {
+	if err := Enable(1, Rule{Point: "no.such.point"}); err == nil {
+		Disable()
+		t.Fatal("Enable with unknown point succeeded")
+	}
+	if Enabled() {
+		t.Fatal("failed Enable left the registry armed")
+	}
+}
+
+func TestDisableStopsFiring(t *testing.T) {
+	p := Register("test.off")
+	arm(t, 1, Rule{Point: "test.off"})
+	if p.Hit() == nil {
+		t.Fatal("armed point did not fire")
+	}
+	Disable()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestPanicErrorContainment(t *testing.T) {
+	boom := func() (err error) {
+		defer RecoverTo(&err, "test.site")
+		panic(&Injected{Point: "test.deep"})
+	}
+	err := boom()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RecoverTo produced %T, want *PanicError", err)
+	}
+	if pe.Site != "test.site" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing site/stack: %+v", pe)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("containment hid the injected sentinel from errors.Is")
+	}
+	// Re-containment at an outer boundary keeps the inner site.
+	outer := func() (err error) {
+		defer RecoverTo(&err, "test.outer")
+		panic(NewPanicError("test.inner", "boom"))
+	}
+	err = outer()
+	if !errors.As(err, &pe) || pe.Site != "test.inner" {
+		t.Fatalf("re-contained panic lost inner site: %v", err)
+	}
+}
+
+func TestNoPanicOnNonErrorValue(t *testing.T) {
+	boom := func() (err error) {
+		defer RecoverTo(&err, "test.site")
+		panic("plain string")
+	}
+	err := boom()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "plain string" {
+		t.Fatalf("string panic not contained: %v", err)
+	}
+	if errors.Unwrap(err) != nil {
+		t.Fatal("non-error panic value should unwrap to nil")
+	}
+}
+
+func BenchmarkHitDisabled(b *testing.B) {
+	p := Register("bench.disabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHitArmedNeverFires(b *testing.B) {
+	p := Register("bench.armed")
+	if err := Enable(1, Rule{Point: "bench.armed", Prob: 1e-18}); err != nil {
+		b.Fatal(err)
+	}
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Hit()
+	}
+}

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -8,10 +9,16 @@ import (
 	"sync/atomic"
 
 	"toposearch/internal/core"
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
 )
+
+// faultFill fires inside the cache's detached fill goroutine (chaos
+// harness): a failed or panicking fill must fail every waiter with a
+// typed error and never cache anything.
+var faultFill = fault.Register("cache.fill")
 
 // FootprintBuckets is the width of the cache's dependency bitmask: the
 // frozen entity-bucket partition a searcher cuts once at construction
@@ -196,7 +203,20 @@ func (c *ResultCache) shardOf(key string) *cacheShard {
 // whether the value came from the cache (or a collapsed flight) rather
 // than this caller's own computation. Errors are returned to every
 // waiter and never cached.
-func (c *ResultCache) GetOrCompute(key string, gen uint64, epoch int, compute func() (val any, bytes int64, fp Footprint, pred relstore.Pred, err error)) (any, bool, error) {
+//
+// The fill runs on its own goroutine, detached from every waiter: a
+// waiter whose ctx is cancelled (including the fill's initiator) stops
+// waiting with the ctx error, but the shared computation keeps running
+// and completes the flight for everyone else — one abandoned caller
+// can no longer poison the collapsed flight with its cancellation.
+// compute must therefore not observe any single waiter's context (the
+// searcher passes a detached one). A panic out of compute is contained
+// into a typed *fault.PanicError, failing every waiter; nothing is
+// cached. A nil ctx behaves like context.Background().
+func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, epoch int, compute func() (val any, bytes int64, fp Footprint, pred relstore.Pred, err error)) (any, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sh := c.shardOf(key)
 	tag := fmt.Sprintf("%s\x00%d\x00%d", key, gen, epoch)
 	sh.mu.Lock()
@@ -208,7 +228,11 @@ func (c *ResultCache) GetOrCompute(key string, gen uint64, epoch int, compute fu
 	}
 	if f := sh.flights[tag]; f != nil {
 		sh.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, false, f.err
 		}
@@ -219,21 +243,41 @@ func (c *ResultCache) GetOrCompute(key string, gen uint64, epoch int, compute fu
 	sh.flights[tag] = f
 	sh.mu.Unlock()
 
-	val, bytes, fp, pred, err := compute()
-	f.val, f.err = val, err
+	go func() {
+		var val any
+		var bytes int64
+		var fp Footprint
+		var pred relstore.Pred
+		var err error
+		defer func() {
+			if v := recover(); v != nil {
+				err = fault.NewPanicError("cache.fill", v)
+			}
+			f.val, f.err = val, err
+			sh.mu.Lock()
+			delete(sh.flights, tag)
+			if err == nil {
+				sh.store(c, &cacheEntry{key: key, gen: gen, epoch: epoch, fp: fp, pred: pred, val: val, bytes: bytes})
+			}
+			sh.mu.Unlock()
+			close(f.done)
+			c.misses.Add(1)
+		}()
+		if err = faultFill.Hit(); err != nil {
+			return
+		}
+		val, bytes, fp, pred, err = compute()
+	}()
 
-	sh.mu.Lock()
-	delete(sh.flights, tag)
-	if err == nil {
-		sh.store(c, &cacheEntry{key: key, gen: gen, epoch: epoch, fp: fp, pred: pred, val: val, bytes: bytes})
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
 	}
-	sh.mu.Unlock()
-	close(f.done)
-	c.misses.Add(1)
-	if err != nil {
-		return nil, false, err
+	if f.err != nil {
+		return nil, false, f.err
 	}
-	return val, false, nil
+	return f.val, false, nil
 }
 
 // Advance migrates the cache across a store-generation swap: entries

@@ -54,7 +54,7 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 	ws := make([]sqlWorker, workers)
 	found := make([]bool, len(candidates))
 	errs := make([]error, len(candidates))
-	parallelFor(len(candidates), workers, func(worker, i int) {
+	if err := parallelFor(len(candidates), workers, func(worker, i int) {
 		w := &ws[worker]
 		if w.sc == nil {
 			w.sc = s.G.NewScratch()
@@ -62,7 +62,9 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 			w.cls = make(map[graph.PathSig][]graph.Path)
 		}
 		found[i], errs[i] = s.sqlCandidate(candidates[i], starts, q, opts, w)
-	})
+	}); err != nil {
+		return QueryResult{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return QueryResult{}, err
@@ -138,7 +140,7 @@ func (s *Store) sqlCandidate(tid core.TopologyID, starts []graph.NodeID, q Query
 //	WHERE pred1(A) AND pred2(B) AND A.ID = AT.E1 AND B.ID = AT.E2
 func (s *Store) FullTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	tids, stats, err := s.distinctTopsTIDs(s.AllTops, q, &c)
+	tids, stats, partial, err := s.distinctTopsTIDs(s.AllTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -147,7 +149,7 @@ func (s *Store) FullTop(q Query) (QueryResult, error) {
 		return QueryResult{}, err
 	}
 	sortItemsByTID(items)
-	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}, nil
+	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats), Partial: partial}, nil
 }
 
 // FastTop is the Section 4.3 method (query SQL1): the same join over
@@ -158,19 +160,24 @@ func (s *Store) FullTop(q Query) (QueryResult, error) {
 // pruned-topology list.
 func (s *Store) FastTop(q Query) (QueryResult, error) {
 	var c engine.Counters
-	tids, stats, err := s.distinctTopsTIDs(s.LeftTops, q, &c)
+	tids, stats, partial, err := s.distinctTopsTIDs(s.LeftTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	pruned, err := s.prunedSurvivors(q, &c)
-	if err != nil {
-		return QueryResult{}, err
+	if !partial {
+		// A deadline that already cut the join phase would fail every
+		// pruned check against the expired context; the partial answer
+		// ships without them.
+		pruned, err := s.prunedSurvivors(q, &c)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		tids = append(tids, pruned...)
 	}
-	tids = append(tids, pruned...)
 	items, err := s.itemsForTIDs(tids, q.Ranking)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	sortItemsByTID(items)
-	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}, nil
+	return QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats), Partial: partial}, nil
 }

@@ -1,13 +1,20 @@
 package methods
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
+	"toposearch/internal/fault"
 	"toposearch/internal/relstore"
 )
+
+// faultShardExec fires inside each shard executor of the scan-method
+// joins, exercising per-shard failure containment (chaos harness).
+var faultShardExec = fault.Register("shard.executor")
 
 // queryWorkers resolves the worker count for a query: the query's own
 // Parallelism setting, falling back to the store's offline setting
@@ -25,22 +32,45 @@ func (s *Store) queryWorkers(q Query) int {
 // scheme the offline computation uses for start nodes). With one
 // effective worker it degenerates to a plain loop on the caller's
 // goroutine, so sequential execution takes no scheduling detour.
-func parallelFor(n, w int, fn func(worker, i int)) {
+//
+// Workers are failure-contained: a panic out of fn — in a spawned
+// worker or on the caller's goroutine — is recovered into the returned
+// *fault.PanicError and aborts the remaining iterations; it never
+// escapes to the caller's caller or kills the process. fn itself
+// reports ordinary errors through its own out-slots, as before.
+func parallelFor(n, w int, fn func(worker, i int)) error {
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
+		var err error
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					err = fault.NewPanicError("methods.parallel", v)
+				}
+			}()
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+		}()
+		return err
 	}
 	var next atomic.Int64
+	var panicked atomic.Pointer[fault.PanicError]
 	var wg sync.WaitGroup
 	for wk := 0; wk < w; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicked.CompareAndSwap(nil, fault.NewPanicError("methods.parallel", v))
+					// Park the cursor past the end so no worker claims
+					// further iterations.
+					next.Store(int64(n))
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -51,6 +81,10 @@ func parallelFor(n, w int, fn func(worker, i int)) {
 		}(wk)
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // shardRanges splits [0, n) into at most w contiguous ranges of nearly
@@ -83,7 +117,7 @@ func shardRanges(n, w int) [][2]int32 {
 // and the merged counter totals, each row costing the same work in
 // whichever shard it lands — are byte-identical at every parallelism
 // and shard count.
-func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counters) ([]core.TopologyID, []ShardStat, error) {
+func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counters) ([]core.TopologyID, []ShardStat, bool, error) {
 	sharded := q.Shards > 1
 	var shards [][2]int32
 	if sharded {
@@ -97,20 +131,34 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 		err  error
 	}
 	outs := make([]shardOut, len(shards))
-	parallelFor(len(shards), len(shards), func(_, i int) {
+	if err := parallelFor(len(shards), len(shards), func(_, i int) {
 		o := &outs[i]
+		if err := faultShardExec.Hit(); err != nil {
+			o.err = err
+			return
+		}
 		plan, tidCol, err := s.topsJoinPlan(tops, q, shards[i][0], shards[i][1], &o.c)
 		if err != nil {
 			o.err = err
 			return
 		}
 		o.tids, o.err = drainDistinctTIDs(plan, tidCol)
-	})
+	}); err != nil {
+		return nil, nil, false, err
+	}
 	var tids []core.TopologyID
+	partial := false
 	seen := make(map[core.TopologyID]bool)
 	for i := range outs {
 		if outs[i].err != nil {
-			return nil, nil, outs[i].err
+			// A shard cut off by the query deadline still produced a
+			// valid (pair-supported) TID prefix; with PartialOK that
+			// prefix joins the partial answer instead of failing the
+			// query. Any other failure fails the whole query.
+			if !q.PartialOK || !errors.Is(outs[i].err, context.DeadlineExceeded) {
+				return nil, nil, false, outs[i].err
+			}
+			partial = true
 		}
 		c.Add(outs[i].c)
 		// Per-shard dedup composes: the global first occurrence of a
@@ -132,14 +180,17 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 			stats[i] = ShardStat{
 				Shard: i, Lo: shards[i][0], Hi: shards[i][1],
 				Work: outs[i].c.Work(), Witnesses: len(outs[i].tids),
+				Complete: outs[i].err == nil,
 			}
 		}
 	}
-	return tids, stats, nil
+	return tids, stats, partial, nil
 }
 
 // drainDistinctTIDs runs a tops join plan to exhaustion and collects
-// its distinct TIDs without materializing any joined rows.
+// its distinct TIDs without materializing any joined rows. On error the
+// TIDs collected before the failure are returned alongside it, so a
+// deadline-bounded caller can keep the prefix as a partial answer.
 func drainDistinctTIDs(plan engine.Op, tidCol int) ([]core.TopologyID, error) {
 	dist := engine.NewDistinct(plan, []int{tidCol})
 	if err := dist.Open(); err != nil {
@@ -150,7 +201,7 @@ func drainDistinctTIDs(plan engine.Op, tidCol int) ([]core.TopologyID, error) {
 	for {
 		r, ok, err := dist.Next()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if !ok {
 			return out, nil
@@ -176,10 +227,12 @@ func (s *Store) prunedSurvivors(q Query, c *engine.Counters) ([]core.TopologyID,
 		c   engine.Counters
 	}
 	outs := make([]checkOut, n)
-	parallelFor(n, s.queryWorkers(q), func(_, i int) {
+	if err := parallelFor(n, s.queryWorkers(q), func(_, i int) {
 		o := &outs[i]
 		o.ok, o.err = s.prunedExists(s.PrunedTIDs[i], q, &o.c)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var tids []core.TopologyID
 	for i := range outs {
 		if outs[i].err != nil {

@@ -61,6 +61,14 @@ type Query struct {
 	// other). It exists so the bench harness can measure the work the
 	// exchange avoids.
 	NoBoundExchange bool
+	// PartialOK permits a deadline-bounded query (Ctx carrying a
+	// deadline) to return the ranked results produced before the
+	// deadline instead of failing with context.DeadlineExceeded. The
+	// result's Partial flag reports that the answer is a subset;
+	// per-shard completeness lands in ShardStat.Complete. Cancellation
+	// (as opposed to deadline expiry) still fails the query: an
+	// abandoned caller wants no answer at all.
+	PartialOK bool
 }
 
 // Item is one ranked result.
@@ -87,6 +95,12 @@ type QueryResult struct {
 	// position range, the work it burned, and whether the bound
 	// exchange pruned it.
 	Shard ShardReport
+	// Partial reports that the query's deadline expired with PartialOK
+	// set: Items holds the ranked results produced before the cut, a
+	// subset of the full answer. Counters then report the work actually
+	// performed (the byte-identical useful-work discipline applies only
+	// to complete runs).
+	Partial bool
 }
 
 // ShardReport is the scatter-gather accounting of one sharded query.
@@ -114,6 +128,11 @@ type ShardStat struct {
 	// results already emitted below it covered the top k, so its
 	// remaining window could not contribute (ET only).
 	Pruned bool
+	// Complete reports that the shard ran its window to the end (or was
+	// legitimately pruned/cancelled by the bound exchange or the commit)
+	// rather than being cut off by the query deadline. Always true for
+	// non-partial results.
+	Complete bool
 }
 
 // MaxWork returns the largest single-shard work share — the

@@ -4,8 +4,15 @@ import (
 	"context"
 
 	"toposearch/internal/core"
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 )
+
+// faultRefresh fires at the start of a refresh materialization (chaos
+// harness). A refresh only ever builds a NEW store generation — the
+// receiver is immutable — so failing here proves refresh atomicity:
+// the caller keeps serving the old generation.
+var faultRefresh = fault.Register("methods.refresh")
 
 // RefreshDiff describes how a refresh produced its new store
 // generation — which tables were carried over, spliced, or rebuilt,
@@ -64,6 +71,9 @@ func (s *Store) Refresh(ctx context.Context, g *graph.Graph, affected map[graph.
 // returned diff reports what each table actually did and feeds the
 // result cache's invalidation.
 func (s *Store) RefreshDiff(ctx context.Context, g *graph.Graph, affected map[graph.NodeID]bool) (*Store, *RefreshDiff, error) {
+	if err := faultRefresh.Hit(); err != nil {
+		return nil, nil, err
+	}
 	res, err := core.UpdateResult(ctx, g, s.SG, s.Res, s.ES1, s.ES2, affected, s.opts())
 	if err != nil {
 		return nil, nil, err

@@ -2,12 +2,22 @@ package methods
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
+	"toposearch/internal/fault"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
+)
+
+var (
+	// faultSegment fires at the start of each speculative segment
+	// worker; faultExchange fires in the bound-exchange emit callback
+	// (chaos harness).
+	faultSegment  = fault.Register("engine.segment")
+	faultExchange = fault.Register("shard.exchange")
 )
 
 // This file is the speculative/sharded parallel early-termination
@@ -38,12 +48,16 @@ import (
 // speculative/sharded one. Both ET methods call it with fresh
 // counters, so the sequential critical path is simply everything
 // charged by the plan.
-func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, error) {
-	if q.Speculation > 1 || q.Shards > 1 {
+func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, bool, error) {
+	// PartialOK queries always take the speculative driver, even at
+	// width 1: its streaming witness commit means a deadline cut leaves
+	// a well-defined committed prefix to return, which the monolithic
+	// sequential stack cannot provide.
+	if q.Speculation > 1 || q.Shards > 1 || q.PartialOK {
 		return s.etPlanSpec(tops, q, k, c)
 	}
 	items, err := s.etPlan(tops, q, k, c)
-	return items, SpecReport{CriticalPath: *c}, ShardReport{}, err
+	return items, SpecReport{CriticalPath: *c}, ShardReport{}, false, err
 }
 
 // specEvent is one message from a segment worker to the sequencing
@@ -96,16 +110,16 @@ func (s *Store) etSegments(tops *relstore.Table, q Query, order []int32, n int) 
 // completed with the one piece of sequential work no segment performs
 // — the HDGJ group lookahead that would have run past the stopping
 // segment's boundary — via replayBoundaryLookahead.
-func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, error) {
+func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Counters) ([]Item, SpecReport, ShardReport, bool, error) {
 	if q.Ranking == "" {
-		return nil, SpecReport{}, ShardReport{}, fmt.Errorf("methods: ET plans need a ranking")
+		return nil, SpecReport{}, ShardReport{}, false, fmt.Errorf("methods: ET plans need a ranking")
 	}
 	// Resolve the score order once; every segment's windowed scan and
 	// the boundary replay share this one (read-only) snapshot instead
 	// of each re-materializing all N positions.
 	order, err := s.scoreOrder(q.Ranking)
 	if err != nil {
-		return nil, SpecReport{}, ShardReport{}, err
+		return nil, SpecReport{}, ShardReport{}, false, err
 	}
 	width := q.Speculation
 	if width < 1 {
@@ -124,7 +138,7 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	var probe engine.Counters
 	_, tidCol, scoreIdx, err := s.buildETStack(tops, q, order, 0, 0, &probe, nil)
 	if err != nil {
-		return nil, rep, shrep, err
+		return nil, rep, shrep, false, err
 	}
 
 	parent := q.Ctx
@@ -173,16 +187,39 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	for _, i := range spawnOrder {
 		go func(seg int, lo, hi int) {
 			var wc engine.Counters
-			sctx := segCtxs[seg]
-			g, _, _, err := s.buildETStack(tops, q, order, lo, hi, &wc, sctx)
 			var stopped bool
-			if err == nil {
-				stopped, err = engine.DrainGroupWitnessesFunc(sctx, g, &wc, k, func(w engine.GroupWitness) bool {
-					events <- specEvent{seg: seg, witness: w}
-					return ex != nil && ex.Emit(seg)
-				})
+			var err error
+			// The exit event is sent from the deferred recover so a
+			// panicking worker still reports — otherwise the sequencing
+			// loop would wait on it forever. The panic itself is
+			// contained into the event's typed error.
+			defer func() {
+				if v := recover(); v != nil {
+					err, stopped = fault.NewPanicError("engine.segment", v), false
+				}
+				events <- specEvent{seg: seg, exit: true, stopped: stopped, err: err, total: wc}
+			}()
+			sctx := segCtxs[seg]
+			if err = faultSegment.Hit(); err != nil {
+				return
 			}
-			events <- specEvent{seg: seg, exit: true, stopped: stopped, err: err, total: wc}
+			var g engine.GroupOp
+			g, _, _, err = s.buildETStack(tops, q, order, lo, hi, &wc, sctx)
+			if err != nil {
+				return
+			}
+			var exchErr error
+			stopped, err = engine.DrainGroupWitnessesFunc(sctx, g, &wc, k, func(w engine.GroupWitness) bool {
+				events <- specEvent{seg: seg, witness: w}
+				if e := faultExchange.Hit(); e != nil {
+					exchErr = e
+					return true
+				}
+				return ex != nil && ex.Emit(seg)
+			})
+			if err == nil && exchErr != nil {
+				err, stopped = exchErr, false
+			}
 		}(i, int(segs[i][0]), int(segs[i][1]))
 	}
 
@@ -228,19 +265,49 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		}
 	}
 	if !seqr.Finished() {
+		// Deadline cut with PartialOK: if every failure is the deadline
+		// (or the cancellation it cascaded into), the committed witness
+		// prefix is exactly what a sequential run truncated at the same
+		// point would have produced — return it as a partial answer.
+		// Counters then report the work actually burned.
+		deadlined := false
+		realErr := false
+		for _, err := range errs {
+			switch {
+			case err == nil:
+			case errors.Is(err, context.DeadlineExceeded):
+				deadlined = true
+			case errors.Is(err, context.Canceled):
+			default:
+				realErr = true
+			}
+		}
+		if q.PartialOK && deadlined && !realErr {
+			c.Add(burned)
+			witnesses := seqr.Partial()
+			c.TuplesOut += int64(len(witnesses))
+			if nshards > 1 {
+				shrep = etShardReport(nshards, width, segs, segWork, segWitness, segStopped, segComplete(errs), ex)
+			}
+			items := make([]Item, len(witnesses))
+			for i, w := range witnesses {
+				items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
+			}
+			return items, rep, shrep, true, nil
+		}
 		// A segment the commit still needed failed; surface the
 		// earliest failure in canonical order (losers past the commit
 		// point are the only segments allowed to die cancelled).
 		for _, err := range errs {
 			if err != nil {
-				return nil, rep, shrep, err
+				return nil, rep, shrep, false, err
 			}
 		}
-		return nil, rep, shrep, fmt.Errorf("methods: speculative ET stalled without error")
+		return nil, rep, shrep, false, fmt.Errorf("methods: speculative ET stalled without error")
 	}
 	out, err := seqr.Outcome()
 	if err != nil {
-		return nil, rep, shrep, err
+		return nil, rep, shrep, false, err
 	}
 
 	committed := out.Counters
@@ -255,7 +322,7 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		// part of the stopping segment's share of the latency bound.
 		before := *c
 		if err := s.replayBoundaryLookahead(tops, order, int(segs[out.StopSeg][1]), c); err != nil {
-			return nil, rep, shrep, err
+			return nil, rep, shrep, false, err
 		}
 		delta := *c
 		delta.Sub(before)
@@ -271,26 +338,47 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	// Per-shard accounting: shard j owns the contiguous segment block
 	// [j*width, (j+1)*width).
 	if nshards > 1 {
-		shrep.Count = nshards
-		shrep.Stats = make([]ShardStat, 0, nshards)
-		for j := 0; j < nshards; j++ {
-			st := ShardStat{Shard: j, Lo: segs[j*width][0], Hi: segs[(j+1)*width-1][1]}
-			for i := j * width; i < (j+1)*width; i++ {
-				st.Work += segWork[i]
-				st.Witnesses += segWitness[i]
-				if segStopped[i] || (ex != nil && ex.Cancelled(i)) {
-					st.Pruned = true
-				}
-			}
-			shrep.Stats = append(shrep.Stats, st)
-		}
+		shrep = etShardReport(nshards, width, segs, segWork, segWitness, segStopped, segComplete(errs), ex)
 	}
 
 	items := make([]Item, len(out.Witnesses))
 	for i, w := range out.Witnesses {
 		items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
 	}
-	return items, rep, shrep, nil
+	return items, rep, shrep, false, nil
+}
+
+// segComplete derives per-segment completeness from the worker exit
+// errors: a segment is complete unless the query deadline cut it off.
+// Cancellation by the commit or the bound exchange is a legitimate full
+// stop, not an incompleteness.
+func segComplete(errs []error) []bool {
+	out := make([]bool, len(errs))
+	for i, err := range errs {
+		out[i] = err == nil || errors.Is(err, context.Canceled)
+	}
+	return out
+}
+
+// etShardReport folds per-segment accounting into per-shard stats:
+// shard j owns the contiguous segment block [j*width, (j+1)*width).
+func etShardReport(nshards, width int, segs shard.Ranges, segWork []int64, segWitness []int, segStopped, segDone []bool, ex *shard.Exchange) ShardReport {
+	shrep := ShardReport{Count: nshards, Stats: make([]ShardStat, 0, nshards)}
+	for j := 0; j < nshards; j++ {
+		st := ShardStat{Shard: j, Lo: segs[j*width][0], Hi: segs[(j+1)*width-1][1], Complete: true}
+		for i := j * width; i < (j+1)*width; i++ {
+			st.Work += segWork[i]
+			st.Witnesses += segWitness[i]
+			if segStopped[i] || (ex != nil && ex.Cancelled(i)) {
+				st.Pruned = true
+			}
+			if !segDone[i] {
+				st.Complete = false
+			}
+		}
+		shrep.Stats = append(shrep.Stats, st)
+	}
+	return shrep
 }
 
 // scoreOrder resolves the descending score order of the TopInfo rows —

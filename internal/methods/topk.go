@@ -1,6 +1,9 @@
 package methods
 
 import (
+	"context"
+	"errors"
+
 	"toposearch/internal/engine"
 	"toposearch/internal/relstore"
 )
@@ -10,17 +13,17 @@ import (
 // order by score, fetch k. The join shards its driving entity scan
 // across the query workers (or, under Query.Shards, across the
 // cost-weighted entity shards).
-func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, []ShardStat, error) {
-	tids, stats, err := s.distinctTopsTIDs(tops, q, c)
+func (s *Store) topKOverTops(tops *relstore.Table, q Query, c *engine.Counters) ([]Item, []ShardStat, bool, error) {
+	tids, stats, partial, err := s.distinctTopsTIDs(tops, q, c)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	items, err := s.itemsForTIDs(tids, q.Ranking)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	sortItems(items)
-	return items, stats, nil
+	return items, stats, partial, nil
 }
 
 // shardReportFor wraps per-shard stats into a report when the query
@@ -36,11 +39,11 @@ func shardReportFor(q Query, stats []ShardStat) ShardReport {
 // by score, fetch the first k.
 func (s *Store) FullTopK(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, stats, err := s.topKOverTops(s.AllTops, q, &c)
+	items, stats, partial, err := s.topKOverTops(s.AllTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: trimK(items, q.K), Counters: c, Shard: shardReportFor(q, stats)}, nil
+	return QueryResult{Items: trimK(items, q.K), Counters: c, Shard: shardReportFor(q, stats), Partial: partial}, nil
 }
 
 // FastTopK is the Fast-Top-k method of Section 5.1 (queries SQL4 and
@@ -50,16 +53,22 @@ func (s *Store) FullTopK(q Query) (QueryResult, error) {
 // per-topology existence check with the exception-table guard.
 func (s *Store) FastTopK(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, stats, err := s.topKOverTops(s.LeftTops, q, &c)
+	items, stats, partial, err := s.topKOverTops(s.LeftTops, q, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	items = trimK(items, q.K)
-	items, wasted, err := s.mergePruned(items, q, &c)
-	if err != nil {
-		return QueryResult{}, err
+	var wasted engine.Counters
+	if !partial {
+		// A deadline already cut the join phase: the expired context
+		// would fail every pruned-topology check, so the partial answer
+		// ships without the merge.
+		items, wasted, partial, err = s.mergePruned(items, q, &c)
+		if err != nil {
+			return QueryResult{}, err
+		}
 	}
-	res := QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats)}
+	res := QueryResult{Items: items, Counters: c, Shard: shardReportFor(q, stats), Partial: partial}
 	res.Spec.Wasted.Add(wasted)
 	return res, nil
 }
@@ -81,10 +90,10 @@ func (s *Store) FastTopK(q Query) (QueryResult, error) {
 // evolving bar and charging exactly the checks the classical loop
 // would have executed — making items AND counters byte-identical to
 // the sequential run, with the surplus checks reported as wasted work.
-func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, engine.Counters, error) {
+func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, engine.Counters, bool, error) {
 	var wasted engine.Counters
 	if len(s.PrunedTIDs) == 0 {
-		return items, wasted, nil
+		return items, wasted, false, nil
 	}
 	// Resolve candidate scores up front (score lookups charge nothing).
 	cands := make([]Item, len(s.PrunedTIDs))
@@ -94,7 +103,7 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 			var err error
 			score, err = s.scoreOf(tid, q.Ranking)
 			if err != nil {
-				return nil, wasted, err
+				return nil, wasted, false, err
 			}
 		}
 		cands[i] = Item{TID: tid, Score: score}
@@ -120,15 +129,18 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 			}
 		}
 		if len(idxs) > 1 {
-			parallelFor(len(idxs), workers, func(_, j int) {
+			if err := parallelFor(len(idxs), workers, func(_, j int) {
 				o := &outs[idxs[j]]
 				o.run = true
 				o.ok, o.err = s.prunedExists(cands[idxs[j]].TID, q, &o.c)
-			})
+			}); err != nil {
+				return nil, wasted, false, err
+			}
 		}
 	}
 	// Sequential replay: identical admissions and counter charges to
 	// the classical loop.
+	partial := false
 	replayed := make([]bool, len(cands))
 	for i, cand := range cands {
 		if cutOff(cand, items) {
@@ -145,7 +157,13 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 		}
 		replayed[i] = true
 		if o.err != nil {
-			return nil, wasted, o.err
+			if q.PartialOK && errors.Is(o.err, context.DeadlineExceeded) {
+				// Deadline cut mid-merge: ship the admissions made so
+				// far as a partial answer instead of failing.
+				partial = true
+				break
+			}
+			return nil, wasted, false, o.err
 		}
 		c.Add(o.c)
 		if o.ok {
@@ -160,7 +178,7 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 		}
 	}
 	sortItems(items)
-	return trimK(items, q.K), wasted, nil
+	return trimK(items, q.K), wasted, partial, nil
 }
 
 // FullTopKET is the early-termination method over AllTops (no pruning):
@@ -169,11 +187,11 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 // stream across segment workers with byte-identical results.
 func (s *Store) FullTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, rep, shrep, err := s.etRun(s.AllTops, q, q.K, &c)
+	items, rep, shrep, partial, err := s.etRun(s.AllTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep}, nil
+	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep, Partial: partial}, nil
 }
 
 // FastTopKET is the Fast-Top-k-ET method of Section 5.3: the DGJ stack
@@ -182,14 +200,17 @@ func (s *Store) FullTopKET(q Query) (QueryResult, error) {
 // stream across segment workers with byte-identical results.
 func (s *Store) FastTopKET(q Query) (QueryResult, error) {
 	var c engine.Counters
-	items, rep, shrep, err := s.etRun(s.LeftTops, q, q.K, &c)
+	items, rep, shrep, partial, err := s.etRun(s.LeftTops, q, q.K, &c)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	items, wasted, err := s.mergePruned(items, q, &c)
-	if err != nil {
-		return QueryResult{}, err
+	if !partial {
+		var wasted engine.Counters
+		items, wasted, partial, err = s.mergePruned(items, q, &c)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		rep.Wasted.Add(wasted)
 	}
-	rep.Wasted.Add(wasted)
-	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep}, nil
+	return QueryResult{Items: items, Counters: c, Spec: rep, Shard: shrep, Partial: partial}, nil
 }

@@ -77,6 +77,68 @@ func (ix *HashIndex) merge() {
 	ix.mu.Unlock()
 }
 
+// dropAtOrAbove removes every posting at position >= limit (rollback
+// support; writers only, under the table's write lock). Pending
+// postings are filtered in place under the index lock. The sealed map
+// normally never holds a doomed position — rolled-back rows are always
+// un-sealed — except when the index itself was built between the
+// doomed inserts and the rollback (CreateHashIndex scans the live
+// state); that case is detected and the sealed map rebuilt on fresh
+// backing, so probes holding the old map stay valid.
+func (ix *HashIndex) dropAtOrAbove(limit int32) {
+	ix.mu.Lock()
+	var removed int32
+	for k, ps := range ix.pend {
+		kept := ps[:0]
+		for _, pos := range ps {
+			if pos < limit {
+				kept = append(kept, pos)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.pend, k)
+		} else {
+			ix.pend[k] = kept
+		}
+	}
+	ix.mu.Unlock()
+	if removed > 0 {
+		ix.npend.Add(-removed)
+	}
+
+	sealed := *ix.sealed.Load()
+	dirty := false
+	for _, ps := range sealed {
+		for _, pos := range ps {
+			if pos >= limit {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			break
+		}
+	}
+	if !dirty {
+		return
+	}
+	rebuilt := make(map[int64][]int32, len(sealed))
+	for k, ps := range sealed {
+		kept := make([]int32, 0, len(ps))
+		for _, pos := range ps {
+			if pos < limit {
+				kept = append(kept, pos)
+			}
+		}
+		if len(kept) > 0 {
+			rebuilt[k] = kept
+		}
+	}
+	ix.sealed.Store(&rebuilt)
+}
+
 // Lookup returns the positions of all rows whose indexed column equals v.
 // The returned slice is shared; callers must not mutate it.
 func (ix *HashIndex) Lookup(v Value) []int32 {
@@ -235,6 +297,41 @@ func (ix *OrderedIndex) snapshot() ([]int32, *tableState) {
 
 // flush merges the pending block into the sorted permutation.
 func (ix *OrderedIndex) flush() { ix.snapshot() }
+
+// dropAtOrAbove removes every position >= limit from the index
+// (rollback support; writers only, under the table's write lock). A
+// concurrent reader's snapshot() call may already have merged pending
+// positions into the permutation, so BOTH the pending block and the
+// permutation are filtered; the permutation is rebuilt on fresh backing
+// so snapshots previously handed to readers stay valid.
+func (ix *OrderedIndex) dropAtOrAbove(limit int32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	kept := ix.pending[:0]
+	for _, pos := range ix.pending {
+		if pos < limit {
+			kept = append(kept, pos)
+		}
+	}
+	ix.pending = kept
+	dirty := false
+	for _, pos := range ix.perm {
+		if pos >= limit {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return
+	}
+	rebuilt := make([]int32, 0, len(ix.perm))
+	for _, pos := range ix.perm {
+		if pos < limit {
+			rebuilt = append(rebuilt, pos)
+		}
+	}
+	ix.perm = rebuilt
+}
 
 // Len returns the number of indexed rows.
 func (ix *OrderedIndex) Len() int {

@@ -5,6 +5,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"toposearch/internal/fault"
+)
+
+// Injection points at the storage engine's write seams (no-ops unless
+// a chaos harness arms them; see internal/fault).
+var (
+	faultInsert     = fault.Register("relstore.insert")
+	faultCompact    = fault.Register("relstore.compact")
+	faultCompactMid = fault.Register("relstore.compact.mid")
 )
 
 // column is the physical storage of one attribute: a typed array
@@ -245,6 +255,25 @@ func (ix *pkIndex) seal() {
 	ix.mu.Unlock()
 }
 
+// dropPendingAtOrAbove removes pending entries at positions >= limit
+// (rollback support; writers only, under the table write lock). Rolled-
+// back rows are always un-sealed — the caller serializes Compact
+// against the batch — so the sealed map never holds a dropped position.
+func (ix *pkIndex) dropPendingAtOrAbove(limit int32) {
+	ix.mu.Lock()
+	var removed int32
+	for k, pos := range ix.pend {
+		if pos >= limit {
+			delete(ix.pend, k)
+			removed++
+		}
+	}
+	ix.mu.Unlock()
+	if removed > 0 {
+		ix.npend.Add(-removed)
+	}
+}
+
 func (ix *pkIndex) len() int {
 	if ix.npend.Load() == 0 {
 		return len(*ix.sealed.Load())
@@ -443,6 +472,12 @@ func (t *Table) Insert(r Row) error {
 	if err := t.Schema.CheckRow(r); err != nil {
 		return err
 	}
+	// The injection point sits before any mutation: a firing hit (error
+	// or panic) rejects the row cleanly, leaving the table untouched —
+	// batch-level atomicity is the caller's rollback via TruncateTo.
+	if err := faultInsert.Hit(); err != nil {
+		return err
+	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 
@@ -522,6 +557,12 @@ func (t *Table) MustInsert(vals ...Value) {
 // writers. Call it after a burst of Inserts to restore lock-free
 // probes and branch-free scans.
 func (t *Table) Compact() {
+	// A firing error here skips the compaction — a no-op is always a
+	// legal outcome of Compact. A panic propagates to the caller's
+	// containment boundary with the table untouched.
+	if err := faultCompact.Hit(); err != nil {
+		return
+	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 
@@ -551,6 +592,15 @@ func (t *Table) Compact() {
 		t.state.Store(ns)
 	}
 
+	// Mid-compaction injection: the array merge above has published but
+	// the dictionary/index merges below have not run. Every intermediate
+	// state is consistent (each merge step is independently atomic and
+	// row positions are stable), so a panic here must leave a readable
+	// table — exactly what the chaos harness asserts.
+	if err := faultCompactMid.Hit(); err != nil {
+		return
+	}
+
 	t.dict.seal()
 	if t.pk != nil {
 		t.pk.seal()
@@ -563,6 +613,78 @@ func (t *Table) Compact() {
 		ix.flush()
 	}
 	t.mu.RUnlock()
+}
+
+// TruncateTo rolls the table back to its first n rows — the rollback
+// half of batch-atomic application: a mutation batch that fails mid-way
+// truncates every touched table to its pre-batch count, leaving no
+// trace of the partial batch. Only delta (un-sealed) rows can be
+// dropped; the caller guarantees no Compact sealed the doomed rows
+// (the DB serializes Compact against mutation batches).
+//
+// Snapshot discipline under rollback: concurrent readers may hold
+// snapshots that include the dropped rows — those snapshots stay fully
+// readable (their arrays are never mutated). The successor state
+// REBUILDS the delta arrays on fresh backing rather than truncating in
+// place, because a future Insert appending into the shared backing
+// array would otherwise overwrite cells a mid-batch reader can still
+// see. Interned dictionary strings of dropped rows are deliberately
+// kept: codes stay consistent, re-inserting the same strings reuses
+// them, and an orphan dictionary entry is invisible to queries.
+func (t *Table) TruncateTo(n int) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+
+	st := t.loadState()
+	limit := int32(n)
+	if limit >= st.nrows {
+		return nil
+	}
+	if limit < st.sealed {
+		return fmt.Errorf("relstore: table %q: cannot truncate to %d below the sealed watermark %d",
+			t.Schema.Name, n, st.sealed)
+	}
+
+	// Drop the doomed rows' pending primary-key entries (all of them
+	// are pending: the rows were never sealed).
+	if t.pk != nil {
+		t.pk.dropPendingAtOrAbove(limit)
+	}
+
+	keep := int(limit - st.sealed)
+	ns := &tableState{
+		sealed:     st.sealed,
+		nrows:      limit,
+		base:       st.base,
+		delta:      make([]column, len(st.delta)),
+		strs:       st.strs,
+		sealedStrs: st.sealedStrs,
+	}
+	for c := range st.delta {
+		if len(st.delta[c].ints) > 0 {
+			ns.delta[c].ints = append(make([]int64, 0, keep), st.delta[c].ints[:keep]...)
+		}
+		if len(st.delta[c].codes) > 0 {
+			ns.delta[c].codes = append(make([]uint32, 0, keep), st.delta[c].codes[:keep]...)
+		}
+	}
+	t.state.Store(ns)
+
+	t.mu.RLock()
+	for _, ix := range t.hash {
+		ix.dropAtOrAbove(limit)
+	}
+	for _, ix := range t.ordered {
+		ix.dropAtOrAbove(limit)
+	}
+	t.mu.RUnlock()
+
+	// Statistics watermarks may cover dropped rows; reset the cache so
+	// the next Stats() call rebuilds from the truncated state.
+	t.mu.Lock()
+	t.stats = newTableStatsCache(len(t.Schema.Cols))
+	t.mu.Unlock()
+	return nil
 }
 
 // keyFor maps a lookup value to the hash-index key space of column c.

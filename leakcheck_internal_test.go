@@ -1,0 +1,32 @@
+package toposearch
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// White-box twin of the leak-check helper in leakcheck_test.go: Go
+// keeps the toposearch and toposearch_test test packages separate, so
+// the white-box suites carry their own copy.
+func goroutineBaseline() int { return runtime.NumGoroutine() }
+
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+		n, baseline, buf[:runtime.Stack(buf, true)])
+}

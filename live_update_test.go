@@ -188,6 +188,7 @@ func TestLiveUpdateEquivalenceGolden(t *testing.T) {
 // application and incremental refreshes: queries must keep succeeding
 // on a consistent store generation throughout (run under -race in CI).
 func TestLiveUpdateConcurrentSearch(t *testing.T) {
+	defer assertNoGoroutineLeak(t, goroutineBaseline())
 	ctx := context.Background()
 	db, err := Synthetic(1, 7)
 	if err != nil {

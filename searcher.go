@@ -2,19 +2,42 @@ package toposearch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"toposearch/internal/core"
 	"toposearch/internal/delta"
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 	"toposearch/internal/methods"
 	"toposearch/internal/ranking"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
 )
+
+// EnginePanicError is the typed containment of a panic that occurred
+// inside the engine — in a speculative segment worker, a shard
+// executor, an offline-computation worker, a cache fill, or a refresh.
+// Panics never escape Search/Refresh or kill sibling queries; they
+// surface as an error carrying the containment site, the panic value,
+// and the goroutine stack. When the panic value was itself an error
+// (fault injection panics with one), errors.Is/As see through to it.
+type EnginePanicError = fault.PanicError
+
+// ErrInjected is the sentinel wrapped by every error the fault
+// registry injects (internal/fault); chaos tests match rejections
+// against it with errors.Is.
+var ErrInjected = fault.ErrInjected
+
+// ErrOverloaded is returned by Search when admission control rejects
+// the query: the searcher is at MaxInflight, the wait queue is at
+// MaxQueue (or the queue wait timed out), and load must shed. Callers
+// should back off and retry.
+var ErrOverloaded = errors.New("toposearch: searcher overloaded")
 
 // SearcherConfig controls the offline phase of a Searcher.
 type SearcherConfig struct {
@@ -64,6 +87,22 @@ type SearcherConfig struct {
 	// disables the cache. Cached results are byte-identical to uncached
 	// execution (see SearchResult.CacheHit).
 	CacheBytes int64
+	// MaxInflight bounds how many Search calls may execute
+	// concurrently (0 = unbounded). A query arriving while all slots
+	// are busy first degrades — its speculative width and shard count
+	// are clamped to 1, which never changes results — and waits in a
+	// bounded queue for a slot; only when the queue itself is full (or
+	// the wait exceeds QueueTimeout) is it rejected with ErrOverloaded.
+	MaxInflight int
+	// MaxQueue bounds how many degraded queries may wait for an
+	// admission slot before new arrivals are rejected with
+	// ErrOverloaded (0 = unbounded queue). Only meaningful with
+	// MaxInflight > 0.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued query waits for a slot
+	// before giving up with ErrOverloaded (0 = wait until the query's
+	// context expires). Only meaningful with MaxInflight > 0.
+	QueueTimeout time.Duration
 }
 
 // DefaultSearcherConfig matches the paper's main experimental setup:
@@ -105,6 +144,54 @@ type Searcher struct {
 	closed      bool
 	lastRouting []int                // per-shard affected-start counts of the last sharded Refresh
 	lastDiff    *methods.RefreshDiff // materializer outcome of the last full Refresh
+
+	// lifecycle lets Close drain in-flight queries: every Search holds
+	// the read side for its duration, Close takes the write side
+	// momentarily. Queries keep working on a closed searcher (see
+	// Close); the drain only guarantees none straddles the close.
+	lifecycle sync.RWMutex
+
+	// Admission control (nil admit = unbounded).
+	admit     chan struct{}
+	maxQueue  int
+	queueWait time.Duration
+	waiting   atomic.Int64
+
+	inflight        atomic.Int64
+	admitted        atomic.Int64
+	rejected        atomic.Int64
+	degraded        atomic.Int64
+	panicsContained atomic.Int64
+	partials        atomic.Int64
+}
+
+// SearcherStats is a point-in-time snapshot of a searcher's admission
+// and robustness counters.
+type SearcherStats struct {
+	// Inflight is the number of Search calls currently executing;
+	// Waiting the number queued for an admission slot.
+	Inflight, Waiting int64
+	// Admitted, Rejected and Degraded count admission outcomes:
+	// queries that got a slot, queries shed with ErrOverloaded, and
+	// queries that ran with speculation/sharding clamped to 1 because
+	// they arrived under contention. Zero when MaxInflight is 0.
+	Admitted, Rejected, Degraded int64
+	// PanicsContained counts panics recovered into EnginePanicError
+	// values by Search and Refresh instead of crashing the process.
+	PanicsContained int64
+	// Partials counts deadline-bounded queries that returned a partial
+	// result (SearchResult.Partial).
+	Partials int64
+}
+
+// Stats snapshots the searcher's admission-control and robustness
+// counters.
+func (s *Searcher) Stats() SearcherStats {
+	return SearcherStats{
+		Inflight: s.inflight.Load(), Waiting: s.waiting.Load(),
+		Admitted: s.admitted.Load(), Rejected: s.rejected.Load(), Degraded: s.degraded.Load(),
+		PanicsContained: s.panicsContained.Load(), Partials: s.partials.Load(),
+	}
 }
 
 // current returns the store generation queries should run against.
@@ -141,6 +228,11 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	// must retain everything at or after it until the searcher
 	// refreshes past it or closes.
 	s := &Searcher{db: db, spec: cfg.Speculation, shards: cfg.Shards}
+	if cfg.MaxInflight > 0 {
+		s.admit = make(chan struct{}, cfg.MaxInflight)
+		s.maxQueue = cfg.MaxQueue
+		s.queueWait = cfg.QueueTimeout
+	}
 	db.mu.Lock()
 	g := db.graphNow()
 	s.cursor = db.log.Len()
@@ -170,9 +262,18 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 // Close releases the searcher's claim on the DB's applied-edge log:
 // its cursor leaves the DB's registry, allowing the log to be
 // truncated past the mutations this searcher had not yet absorbed.
-// Queries on a closed searcher keep working against its last store
-// generation, but Refresh becomes a no-op. Close is idempotent.
+// Close first drains: it waits for every in-flight Search to finish,
+// so no query straddles the cursor unregistration. Queries STARTED on
+// a closed searcher keep working against its last store generation
+// (the snapshot stays fully valid), but Refresh becomes a no-op.
+// Close is idempotent and safe to race with Search; the cursor is
+// unregistered exactly once.
 func (s *Searcher) Close() {
+	// Drain: the write side of the lifecycle lock is granted only once
+	// every in-flight Search has released its read side.
+	s.lifecycle.Lock()
+	s.lifecycle.Unlock() //nolint:staticcheck // empty critical section IS the drain
+
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	if s.closed {
@@ -202,7 +303,22 @@ func (s *Searcher) Refresh() (int, error) {
 // RefreshContext is Refresh with a cancellation context: the frontier
 // recomputation aborts with the context's error once cancelled, in
 // which case the current generation stays in place.
-func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
+//
+// Refresh is failure-contained and atomic: a failure or panic anywhere
+// in the recomputation surfaces as an error (panics as
+// *EnginePanicError) and leaves the current generation, the result
+// cache, and the edge-log cursor exactly as they were — the next
+// Refresh simply redoes the work.
+func (s *Searcher) RefreshContext(ctx context.Context) (n int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			n, err = 0, fault.NewPanicError("searcher.refresh", v)
+		}
+		var pe *EnginePanicError
+		if errors.As(err, &pe) {
+			s.panicsContained.Add(1)
+		}
+	}()
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	if s.closed {
@@ -252,6 +368,15 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Everything fallible is done. Derive the cache invalidation set
+	// BEFORE publishing so the publication sequence below — generation
+	// swap, cache advance, cursor advance — has no failure point left
+	// and a contained fault can never leave them half-updated.
+	var mask methods.Footprint
+	var tail []int32
+	if s.cache != nil && diff.TidStable {
+		mask, tail = ns.InvalidationSet(diff, affected, s.cacheRanges)
+	}
 	s.store.Store(ns)
 	s.lastDiff = diff
 	if s.cache != nil {
@@ -260,12 +385,7 @@ func (s *Searcher) RefreshContext(ctx context.Context) (int, error) {
 		// retagged into the new generation; only intersecting entries
 		// are dropped. An unstable topology registry renumbers IDs, so
 		// nothing cached can be trusted — flush.
-		if diff.TidStable {
-			mask, tail := ns.InvalidationSet(diff, affected, s.cacheRanges)
-			s.cache.Advance(st.Gen, ns.Gen, cursor, mask, tail, ns.T1, false)
-		} else {
-			s.cache.Advance(st.Gen, ns.Gen, cursor, 0, nil, ns.T1, true)
-		}
+		s.cache.Advance(st.Gen, ns.Gen, cursor, mask, tail, ns.T1, !diff.TidStable)
 	}
 	s.advanceCursor(cursor)
 	return len(edges), nil
@@ -329,6 +449,16 @@ type SearchQuery struct {
 	// count for this query (0 = inherit SearcherConfig.Shards;
 	// 1 = force single-store execution).
 	Shards int
+	// Deadline bounds the query's execution time. 0 means no bound.
+	// When the deadline expires the query fails with
+	// context.DeadlineExceeded — unless PartialOK is set, in which case
+	// it returns the ranked results produced so far with
+	// SearchResult.Partial reporting the cut. Deadline-bounded queries
+	// bypass the result cache (a partial answer must never be cached).
+	Deadline time.Duration
+	// PartialOK permits a deadline-bounded query to return a partial
+	// result instead of failing at the deadline. See Deadline.
+	PartialOK bool
 }
 
 // TopologyResult describes one result topology.
@@ -370,6 +500,15 @@ type SearchResult struct {
 	// Plan and the work accounting describe the run that populated the
 	// entry.
 	CacheHit bool
+	// Partial reports that the query's Deadline expired with PartialOK
+	// set: Topologies holds the ranked results produced before the
+	// cut — a subset of the full answer. Per-shard completeness is in
+	// ShardStats.
+	Partial bool
+	// Degraded reports that admission control clamped this query's
+	// speculation and sharding to 1 because it arrived while all
+	// MaxInflight slots were busy. Results are unaffected.
+	Degraded bool
 }
 
 // ShardStat is one shard executor's share of a sharded Search.
@@ -385,6 +524,11 @@ type ShardStat struct {
 	// Pruned reports that the global bound exchange stopped the shard
 	// early: results emitted below it already covered the top k.
 	Pruned bool
+	// Complete reports the shard ran its window to the end (or was
+	// legitimately stopped by the bound exchange or the top-k commit)
+	// rather than being cut off by the query deadline. Always true for
+	// non-partial results.
+	Complete bool
 }
 
 func (q SearchQuery) method() string {
@@ -433,26 +577,128 @@ func (s *Searcher) Search(q SearchQuery) (*SearchResult, error) {
 	return s.SearchContext(context.Background(), q)
 }
 
+// acquire admits one Search call under the MaxInflight bound. The fast
+// path takes a free slot immediately; under contention the query joins
+// the bounded wait queue and — once admitted — runs degraded
+// (speculation and sharding clamped to 1, which never changes
+// results). The queue overflowing, or the wait exceeding QueueTimeout,
+// rejects with ErrOverloaded. release is non-nil exactly when err is
+// nil.
+func (s *Searcher) acquire(ctx context.Context) (degraded bool, release func(), err error) {
+	if s.admit == nil {
+		return false, func() {}, nil
+	}
+	select {
+	case s.admit <- struct{}{}:
+		s.admitted.Add(1)
+		return false, func() { <-s.admit }, nil
+	default:
+	}
+	if n := s.waiting.Add(1); s.maxQueue > 0 && n > int64(s.maxQueue) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return false, nil, fmt.Errorf("%w: wait queue full (%d waiting)", ErrOverloaded, s.maxQueue)
+	}
+	defer s.waiting.Add(-1)
+	var timeout <-chan time.Time
+	if s.queueWait > 0 {
+		t := time.NewTimer(s.queueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case s.admit <- struct{}{}:
+		s.admitted.Add(1)
+		s.degraded.Add(1)
+		return true, func() { <-s.admit }, nil
+	case <-timeout:
+		s.rejected.Add(1)
+		return false, nil, fmt.Errorf("%w: no slot within %v", ErrOverloaded, s.queueWait)
+	case <-ctx.Done():
+		return false, nil, ctx.Err()
+	}
+}
+
 // SearchContext is Search with a cancellation context: long-running
 // execution plans abort with the context's error once it is cancelled.
-func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchResult, error) {
+//
+// SearchContext is failure-contained: a panic anywhere in the
+// execution engine — including this call's own goroutine — surfaces as
+// a *EnginePanicError instead of crashing the process, and sibling
+// queries are unaffected.
+func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *SearchResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Hold the lifecycle read side for the whole call so Close can
+	// drain in-flight queries.
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fault.NewPanicError("searcher.search", v)
+		}
+		var pe *EnginePanicError
+		if errors.As(err, &pe) {
+			s.panicsContained.Add(1)
+		}
+	}()
+	degraded, release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
 	st := s.current()
 	mq, err := s.compileQuery(st, q)
 	if err != nil {
 		return nil, err
 	}
+	if degraded {
+		mq.Speculation, mq.Shards = 1, 1
+	}
 	m := q.method()
+	if q.Deadline > 0 || q.PartialOK {
+		// Deadline-bounded queries bypass the cache entirely: a partial
+		// answer must never be cached, and the cache's detached fill
+		// deliberately ignores per-caller deadlines.
+		mq.PartialOK = q.PartialOK
+		if q.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, q.Deadline)
+			defer cancel()
+		}
+		res, err := s.execSearch(ctx, st, m, mq)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			s.partials.Add(1)
+		}
+		res.Degraded = degraded
+		return res, nil
+	}
 	if s.cache == nil {
-		return s.execSearch(ctx, st, m, mq)
+		res, err := s.execSearch(ctx, st, m, mq)
+		if res != nil {
+			res.Degraded = degraded
+		}
+		return res, err
 	}
 	// Cache lookup under the (generation, edge-log position) tag: the
 	// store snapshot plus the applied-edge log position pin everything a
 	// result can depend on (method executors also read the live base
 	// tables, which only change when a batch appends to the log).
+	// The fill runs detached from this caller's context: if this caller
+	// is cancelled mid-fill, waiters collapsed onto the flight still get
+	// a completed result, and this caller returns its ctx error.
 	key := searchCacheKey(q)
 	epoch := s.db.log.Len()
-	v, hit, err := s.cache.GetOrCompute(key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, error) {
-		res, err := s.execSearch(ctx, st, m, mq)
+	fillCtx := context.WithoutCancel(ctx)
+	v, hit, err := s.cache.GetOrCompute(ctx, key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, error) {
+		res, err := s.execSearch(fillCtx, st, m, mq)
 		if err != nil {
 			return nil, 0, 0, nil, err
 		}
@@ -462,9 +708,10 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (*SearchRes
 	if err != nil {
 		return nil, err
 	}
-	res := v.(*SearchResult).clone()
-	res.CacheHit = hit
-	return res, nil
+	out := v.(*SearchResult).clone()
+	out.CacheHit = hit
+	out.Degraded = degraded
+	return out, nil
 }
 
 // execSearch runs the query against the store generation and shapes
@@ -476,10 +723,11 @@ func (s *Searcher) execSearch(ctx context.Context, st *methods.Store, m string, 
 	}
 	out := &SearchResult{Method: m, Plan: res.Plan.String(),
 		Speculation: res.Spec.Width, WastedWork: res.Spec.Wasted.Work(),
-		Shards: res.Shard.Count}
+		Shards: res.Shard.Count, Partial: res.Partial}
 	for _, st := range res.Shard.Stats {
 		out.ShardStats = append(out.ShardStats, ShardStat{
 			Shard: st.Shard, Work: st.Work, Witnesses: st.Witnesses, Pruned: st.Pruned,
+			Complete: st.Complete,
 		})
 	}
 	pd := st.Res.Pair(st.ES1, st.ES2)

@@ -17,6 +17,7 @@ import (
 // router keeps feeding updates through the same partition function the
 // queries shard by.
 func TestShardConcurrentSearchRefreshHammer(t *testing.T) {
+	defer assertNoGoroutineLeak(t, goroutineBaseline())
 	ctx := context.Background()
 	db, err := toposearch.Synthetic(1, 7)
 	if err != nil {

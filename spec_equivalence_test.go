@@ -155,6 +155,7 @@ func TestSpecEquivalenceRandomized(t *testing.T) {
 // succeeding on a consistent store generation while the speculation
 // machinery spawns and cancels segment workers.
 func TestSpecConcurrentSearchRefreshHammer(t *testing.T) {
+	defer assertNoGoroutineLeak(t, goroutineBaseline())
 	ctx := context.Background()
 	db, err := toposearch.Synthetic(1, 7)
 	if err != nil {

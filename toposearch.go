@@ -63,6 +63,7 @@ import (
 
 	"toposearch/internal/biozon"
 	"toposearch/internal/delta"
+	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 	"toposearch/internal/relstore"
 )
@@ -207,23 +208,36 @@ func InsertRelationship(rel string, a, b int64) Update {
 func (db *DB) Insert(u Update) error { return db.ApplyBatch([]Update{u}) }
 
 // ApplyBatch validates and applies a batch of mutations atomically:
-// on the first validation error nothing is touched. New rows land in
-// the storage engine's delta columns without blocking concurrent
-// searches, and the data graph is extended copy-on-write, so queries
-// in flight keep their consistent snapshot. Precomputed topology
-// results (and therefore Search output) reflect the batch only after
-// each Searcher's Refresh.
-func (db *DB) ApplyBatch(us []Update) error {
-	db.mu.Lock()
-	ng, applied, err := db.applier.Apply(db.graphNow(), delta.Batch(us))
+// on the first validation error nothing is touched, and a failure (or
+// contained panic) mid-application rolls every touched table back to
+// its pre-batch state — the batch either lands whole or leaves no
+// trace. New rows land in the storage engine's delta columns without
+// blocking concurrent searches, and the data graph is extended
+// copy-on-write, so queries in flight keep their consistent snapshot.
+// Precomputed topology results (and therefore Search output) reflect
+// the batch only after each Searcher's Refresh.
+func (db *DB) ApplyBatch(us []Update) (err error) {
+	var frac float64
+	func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		// Containment boundary: Applier.Apply already recovers and rolls
+		// back its own panics; this guard covers the publication steps so
+		// a panic can never leak with db.mu held (which would deadlock
+		// every future mutation).
+		defer fault.RecoverTo(&err, "db.applybatch")
+		ng, applied, aerr := db.applier.Apply(db.graphNow(), delta.Batch(us))
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		db.g.Store(ng)
+		db.log.Append(applied.Edges)
+		frac = db.autoCompactFrac
+	}()
 	if err != nil {
-		db.mu.Unlock()
 		return err
 	}
-	db.g.Store(ng)
-	db.log.Append(applied.Edges)
-	frac := db.autoCompactFrac
-	db.mu.Unlock()
 	if frac > 0 {
 		d := db.rel.DeltaBytes() // walks only the delta state
 		if d > 0 && float64(d) > frac*float64(db.approxCache.Load()) {
@@ -232,11 +246,11 @@ func (db *DB) ApplyBatch(us []Update) error {
 			total := db.rel.ApproxBytes()
 			db.approxCache.Store(total)
 			if float64(d) > frac*float64(total) {
-				db.Compact()
+				err = db.Compact()
 			}
 		}
 	}
-	return nil
+	return err
 }
 
 // SetAutoCompact installs the automatic compaction policy: after a
@@ -256,11 +270,20 @@ func (db *DB) SetAutoCompact(fraction float64) {
 // Compact folds every table's delta columns and pending index buffers
 // into their sealed structures, restoring fully lock-free reads after
 // a burst of inserts. Call it at quiet moments (e.g. after a Refresh);
-// readers are never blocked by it.
-func (db *DB) Compact() {
+// readers are never blocked by it. Compact serializes against
+// ApplyBatch — mutation batches must never interleave with sealing,
+// because batch rollback can only drop un-sealed rows — and contains
+// engine panics into a *EnginePanicError; a contained failure leaves
+// every table readable (each table either compacted fully, partially
+// — every intermediate state is consistent — or not at all).
+func (db *DB) Compact() (err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer fault.RecoverTo(&err, "db.compact")
 	for _, name := range db.rel.TableNames() {
 		db.rel.Table(name).Compact()
 	}
+	return nil
 }
 
 // Constraint is one predicate on an entity attribute: either a keyword
