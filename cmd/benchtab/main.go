@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|benchchaos|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|benchchaos|benchobs|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -36,6 +36,12 @@
 // fault-injection point, admission-control behavior under an overload
 // burst, and a fault-schedule survival run verified byte-identical to
 // a fresh rebuild — and writes -chaosout (default BENCH_chaos.json).
+// The benchobs experiment measures the telemetry layer — instrument
+// micro-costs and the disabled gate, end-to-end recording and tracing
+// overhead on the query mix (traced answers verified byte-identical to
+// untraced), and the /metrics scrape — and writes -obsout (default
+// BENCH_obs.json). -metrics-addr serves /metrics, /statsz and
+// /debug/pprof while any experiment runs.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"os/signal"
 	"time"
 
+	"toposearch"
 	"toposearch/internal/biozon"
 	"toposearch/internal/core"
 	"toposearch/internal/experiments"
@@ -70,6 +77,8 @@ func main() {
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 		cacheout = flag.String("cacheout", "BENCH_cache.json", "output file for -exp benchcache")
 		chaosout = flag.String("chaosout", "BENCH_chaos.json", "output file for -exp benchchaos")
+		obsout   = flag.String("obsout", "BENCH_obs.json", "output file for -exp benchobs")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /statsz and /debug/pprof on this address while the experiments run")
 	)
 	flag.Parse()
 
@@ -78,6 +87,34 @@ func main() {
 	defer stop()
 
 	need := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if *metrics != "" {
+		srv, bound, err := toposearch.ServeMetrics(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n\n", bound)
+	}
+
+	// The observability benchmark toggles metrics recording itself and
+	// drives the public Searcher end to end, so it runs before the
+	// methods-level env is built (and never under -exp all's env).
+	if need("benchobs") {
+		fmt.Println("== Observability: instrument costs, recording overhead, trace equivalence, scrape ==")
+		rep, err := experiments.BenchObs(ctx, *scale, *seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintObsBench(os.Stdout, rep)
+		if err := experiments.WriteObsBench(rep, *obsout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *obsout)
+		if *exp != "all" {
+			return
+		}
+	}
 
 	// Figure 8 needs no database.
 	if need("fig8") {

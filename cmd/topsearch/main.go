@@ -23,6 +23,10 @@
 //	-apply           replay a JSONL mutation batch, then Refresh incrementally
 //	-repeat          run the query N times, timing each (shows result-cache hits)
 //	-cachebytes      result-cache memory bound (0 = 64 MiB default, negative disables)
+//	-metrics-addr    serve /metrics, /statsz and /debug/pprof on this address
+//	-trace           record a per-query trace and print the span tree
+//	-trace-json      like -trace, but print the span tree as JSON
+//	-stats           print a metrics snapshot (cache, admission, refresh) after the run
 //
 // The -apply file carries one mutation per line:
 //
@@ -118,8 +122,24 @@ func main() {
 		apply   = flag.String("apply", "", "JSONL mutation batch to apply and Refresh before querying")
 		repeat  = flag.Int("repeat", 1, "run the query this many times, timing each (repeats hit the result cache)")
 		cacheB  = flag.Int64("cachebytes", 0, "result-cache memory bound in bytes (0 = 64 MiB default, negative disables)")
+		metrics = flag.String("metrics-addr", "", "serve /metrics, /statsz and /debug/pprof on this address (e.g. :9090) and enable telemetry recording")
+		traceF  = flag.Bool("trace", false, "record a per-query trace and print the span tree")
+		traceJ  = flag.Bool("trace-json", false, "record a per-query trace and print the span tree as JSON")
+		statsF  = flag.Bool("stats", false, "enable telemetry recording and print a metrics snapshot (cache, admission, refresh) after the run")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, bound, err := toposearch.ServeMetrics(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/, JSON at /statsz)\n", bound)
+	}
+	if *statsF {
+		toposearch.SetMetricsEnabled(true)
+	}
 
 	// Ctrl-C aborts the offline computation and any running query with
 	// a context error instead of killing the process mid-write.
@@ -182,7 +202,7 @@ func main() {
 			db.NumEntities(), db.NumRelationships(), s.TopologyCount(), s.PrunedCount())
 	}
 
-	q := toposearch.SearchQuery{K: *k, Ranking: *rank, Method: *method}
+	q := toposearch.SearchQuery{K: *k, Ranking: *rank, Method: *method, Trace: *traceF || *traceJ}
 	if *kw1 != "" {
 		q.Cons1 = append(q.Cons1, toposearch.Constraint{Column: "desc", Keyword: *kw1})
 	}
@@ -262,6 +282,60 @@ func main() {
 				for _, ln := range lines {
 					fmt.Printf("     %s\n", ln)
 				}
+			}
+		}
+	}
+
+	if *traceF && res.Trace != nil {
+		fmt.Println("\ntrace:")
+		res.Trace.Render(os.Stdout)
+	}
+	if *traceJ && res.Trace != nil {
+		out, err := json.MarshalIndent(res.Trace, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", out)
+	}
+	if *statsF {
+		printStats(s)
+	}
+}
+
+// statsFamilies selects the metric families -stats prints: the result
+// cache, admission control, refresh/apply and delta-size counters.
+var statsFamilies = []string{
+	"toposearch_cache_",
+	"toposearch_searcher_",
+	"toposearch_refresh_",
+	"toposearch_apply_",
+	"toposearch_delta_bytes",
+	"toposearch_query_duration_seconds_count",
+}
+
+// printStats prints the searcher's own counters plus a filtered view of
+// the engine metric registry (the same samples GET /metrics serves).
+func printStats(s *toposearch.Searcher) {
+	st := s.Stats()
+	cs := s.CacheStats()
+	fmt.Println("\nstats:")
+	fmt.Printf("  admission: %d admitted, %d rejected, %d degraded; %d partials, %d panics contained\n",
+		st.Admitted, st.Rejected, st.Degraded, st.Partials, st.PanicsContained)
+	fmt.Printf("  cache: %d hits / %d misses, %d evicted, %d invalidated, %d carried forward, %d flushes; %d entries (%d bytes) resident\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidated, cs.CarriedForward, cs.Flushes, cs.Entries, cs.Bytes)
+	var buf strings.Builder
+	if err := toposearch.WriteMetricsText(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  metrics:")
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, fam := range statsFamilies {
+			if strings.HasPrefix(line, fam) {
+				fmt.Printf("    %s\n", line)
+				break
 			}
 		}
 	}

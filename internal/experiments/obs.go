@@ -1,0 +1,258 @@
+package experiments
+
+// This file is the observability benchmark: the BENCH_obs.json
+// counterpart of the telemetry layer. It quantifies what the metrics
+// registry and the trace spans cost and verifies what the acceptance
+// criteria demand: the per-event price of a counter increment, a
+// histogram observation and the disabled gate; the end-to-end query
+// cost of recording on vs off; traced results byte-identical to
+// untraced ones; and the latency and size of a /metrics scrape.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"toposearch"
+	"toposearch/internal/obs"
+)
+
+// ObsOverhead is the cost side: what the instruments charge.
+type ObsOverhead struct {
+	// CounterNsPerOp is one Counter.Inc; HistogramNsPerOp one
+	// Histogram.Observe (bucket scan included); GateNsPerOp one
+	// obs.Enabled() check that finds recording disabled — the tax every
+	// production event site pays for having the instrumentation
+	// compiled in.
+	CounterNsPerOp   float64 `json:"counter_ns_per_op"`
+	HistogramNsPerOp float64 `json:"histogram_ns_per_op"`
+	GateNsPerOp      float64 `json:"gate_ns_per_op"`
+	// SearchPlainSec / SearchRecordingSec time the same query mix end
+	// to end with recording disabled vs enabled (fastest of reps);
+	// OverheadPct is their relative difference.
+	SearchPlainSec     float64 `json:"search_plain_sec"`
+	SearchRecordingSec float64 `json:"search_recording_sec"`
+	OverheadPct        float64 `json:"overhead_pct"`
+	// SearchTracedSec times the mix with per-query tracing on (and
+	// recording on); TraceOverheadPct is relative to SearchRecordingSec.
+	SearchTracedSec  float64 `json:"search_traced_sec"`
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+}
+
+// ObsScrape measures GET /metrics after the query mix ran.
+type ObsScrape struct {
+	// NsPerScrape is one full Prometheus text exposition of the default
+	// registry (fastest of reps); Bytes and Series size that exposition.
+	NsPerScrape float64 `json:"ns_per_scrape"`
+	Bytes       int     `json:"bytes"`
+	Series      int     `json:"series"`
+	Families    int     `json:"families"`
+}
+
+// ObsBenchReport is the file-level shape of BENCH_obs.json.
+type ObsBenchReport struct {
+	Scale int       `json:"scale"`
+	Seed  int64     `json:"seed"`
+	Pair  [2]string `json:"pair"`
+	Note  string    `json:"note"`
+	// TracedIdentical asserts every query of the mix returned
+	// byte-identical topologies with and without SearchQuery.Trace,
+	// across the speculation/shard settings the mix exercises.
+	TracedIdentical bool        `json:"traced_identical"`
+	TraceSpans      int         `json:"trace_spans"`
+	Overhead        ObsOverhead `json:"overhead"`
+	Scrape          ObsScrape   `json:"scrape"`
+}
+
+const obsNote = "gate_ns_per_op is the production-mode price of one instrumented event site " +
+	"(recording off: a single atomic load); counter/histogram_ns_per_op the price of a live " +
+	"instrument during a recording run. The query mix is timed with recording off, on, and " +
+	"with per-query tracing, and every traced answer is verified byte-identical to the " +
+	"untraced one. The scrape numbers size one GET /metrics over the registry the mix populated."
+
+// BenchObs runs the phases and assembles the report.
+func BenchObs(ctx context.Context, scale int, seed int64, reps int) (*ObsBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &ObsBenchReport{
+		Scale: scale, Seed: seed,
+		Pair: [2]string{toposearch.Protein, toposearch.DNA},
+		Note: obsNote,
+	}
+
+	// Phase 1: instrument micro-costs, on a private registry so the
+	// bench series never pollute the default exposition.
+	mreg := obs.NewRegistry()
+	mc := mreg.Counter("bench_obs_counter_total", "micro bench counter")
+	mh := mreg.Histogram("bench_obs_hist_seconds", "micro bench histogram", obs.DefLatencyBuckets())
+	const ops = 5_000_000
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		mc.Inc()
+	}
+	rep.Overhead.CounterNsPerOp = float64(time.Since(start).Nanoseconds()) / ops
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		mh.Observe(float64(i%1024) / 1e6)
+	}
+	rep.Overhead.HistogramNsPerOp = float64(time.Since(start).Nanoseconds()) / ops
+	obs.SetEnabled(false)
+	sink := int64(0)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if obs.Enabled() {
+			sink++
+		}
+	}
+	rep.Overhead.GateNsPerOp = float64(time.Since(start).Nanoseconds()) / ops
+	if sink != 0 {
+		mc.Add(sink) // keep the loop body observable
+	}
+
+	// Phase 2: end-to-end query mix, recording off vs on vs traced.
+	db, err := toposearch.Synthetic(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := toposearch.DefaultSearcherConfig()
+	cfg.CacheBytes = -1 // uncached: the mix must execute every time
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	mix := chaosMix()
+	runMix := func(trace bool) (time.Duration, error) {
+		start := time.Now()
+		for _, q := range mix {
+			q.Trace = trace
+			if _, err := s.SearchContext(ctx, q); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	fastest := func(trace bool) (float64, error) {
+		// One untimed warm-up absorbs first-use costs (labeled-series
+		// creation, allocator warm-up) that are not steady-state.
+		if _, err := runMix(trace); err != nil {
+			return 0, err
+		}
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			d, err := runMix(trace)
+			if err != nil {
+				return 0, err
+			}
+			if d < best {
+				best = d
+			}
+		}
+		return best.Seconds(), nil
+	}
+	obs.SetEnabled(false)
+	if rep.Overhead.SearchPlainSec, err = fastest(false); err != nil {
+		return nil, err
+	}
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	if rep.Overhead.SearchRecordingSec, err = fastest(false); err != nil {
+		return nil, err
+	}
+	if rep.Overhead.SearchTracedSec, err = fastest(true); err != nil {
+		return nil, err
+	}
+	if rep.Overhead.SearchPlainSec > 0 {
+		rep.Overhead.OverheadPct = 100 * (rep.Overhead.SearchRecordingSec - rep.Overhead.SearchPlainSec) / rep.Overhead.SearchPlainSec
+	}
+	if rep.Overhead.SearchRecordingSec > 0 {
+		rep.Overhead.TraceOverheadPct = 100 * (rep.Overhead.SearchTracedSec - rep.Overhead.SearchRecordingSec) / rep.Overhead.SearchRecordingSec
+	}
+
+	// Phase 3: traced answers must be byte-identical to untraced ones.
+	rep.TracedIdentical = true
+	for _, q := range mix {
+		plain, err := s.SearchContext(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		q.Trace = true
+		traced, err := s.SearchContext(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		if fmt.Sprint(plain.Topologies) != fmt.Sprint(traced.Topologies) {
+			rep.TracedIdentical = false
+		}
+		if traced.Trace == nil {
+			return nil, fmt.Errorf("benchobs: traced query returned no trace")
+		}
+		rep.TraceSpans += countSpans(traced.Trace)
+	}
+	if !rep.TracedIdentical {
+		return nil, fmt.Errorf("benchobs: traced results diverge from untraced")
+	}
+
+	// Phase 4: scrape the registry the mix populated.
+	var buf strings.Builder
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < reps+2; r++ {
+		buf.Reset()
+		start := time.Now()
+		if err := toposearch.WriteMetricsText(&buf); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	rep.Scrape.NsPerScrape = float64(best.Nanoseconds())
+	rep.Scrape.Bytes = buf.Len()
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE"):
+			rep.Scrape.Families++
+		case strings.HasPrefix(line, "#"):
+		default:
+			rep.Scrape.Series++
+		}
+	}
+	return rep, nil
+}
+
+// countSpans sizes a trace tree.
+func countSpans(sp *toposearch.TraceSpan) int {
+	n := 1
+	for _, c := range sp.Children() {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// WriteObsBench writes the report as indented JSON.
+func WriteObsBench(rep *ObsBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintObsBench renders the report.
+func PrintObsBench(w io.Writer, rep *ObsBenchReport) {
+	o := rep.Overhead
+	fmt.Fprintf(w, "instruments: %.2f ns/op counter, %.2f ns/op histogram, %.2f ns/op disabled gate\n",
+		o.CounterNsPerOp, o.HistogramNsPerOp, o.GateNsPerOp)
+	fmt.Fprintf(w, "query mix: %.6fs plain vs %.6fs recording (%+.1f%%), %.6fs traced (%+.1f%% over recording)\n",
+		o.SearchPlainSec, o.SearchRecordingSec, o.OverheadPct, o.SearchTracedSec, o.TraceOverheadPct)
+	fmt.Fprintf(w, "traced answers identical to untraced: %v (%d spans across the mix)\n",
+		rep.TracedIdentical, rep.TraceSpans)
+	fmt.Fprintf(w, "scrape: %.0f ns for %d bytes, %d series in %d families\n",
+		rep.Scrape.NsPerScrape, rep.Scrape.Bytes, rep.Scrape.Series, rep.Scrape.Families)
+}

@@ -11,6 +11,7 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/fault"
 	"toposearch/internal/graph"
+	"toposearch/internal/obs"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
 )
@@ -224,6 +225,9 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 		sh.moveFront(e)
 		sh.mu.Unlock()
 		c.hits.Add(1)
+		if obs.Enabled() {
+			obsCacheHit.Inc()
+		}
 		return e.val, true, nil
 	}
 	if f := sh.flights[tag]; f != nil {
@@ -237,6 +241,10 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 			return nil, false, f.err
 		}
 		c.hits.Add(1)
+		if obs.Enabled() {
+			obsCacheHit.Inc()
+			obsCacheCollapsed.Inc()
+		}
 		return f.val, true, nil
 	}
 	f := &flight{done: make(chan struct{})}
@@ -262,6 +270,12 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 			sh.mu.Unlock()
 			close(f.done)
 			c.misses.Add(1)
+			if obs.Enabled() {
+				obsCacheMiss.Inc()
+				if err != nil {
+					obsCacheFillErr.Inc()
+				}
+			}
 		}()
 		if err = faultFill.Hit(); err != nil {
 			return
@@ -289,7 +303,11 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 func (c *ResultCache) Advance(oldGen, newGen uint64, newEpoch int, mask Footprint, dirtyTail []int32, t1 *relstore.Table, flushAll bool) {
 	if flushAll {
 		c.flushes.Add(1)
+		if obs.Enabled() {
+			obsCacheFlush.Inc()
+		}
 	}
+	rec := obs.Enabled()
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -297,10 +315,16 @@ func (c *ResultCache) Advance(oldGen, newGen uint64, newEpoch int, mask Footprin
 			if !flushAll && e.gen == oldGen && e.fp&mask == 0 && !predHitsAny(e.pred, t1, dirtyTail) {
 				e.gen, e.epoch = newGen, newEpoch
 				c.carried.Add(1)
+				if rec {
+					obsCacheCarried.Inc()
+				}
 				continue
 			}
 			sh.removeEntry(e)
 			c.invalidated.Add(1)
+			if rec {
+				obsCacheInval.Inc()
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -353,6 +377,9 @@ func (sh *cacheShard) store(c *ResultCache, e *cacheEntry) {
 		ev := sh.tail
 		sh.removeEntry(ev)
 		c.evictions.Add(1)
+		if obs.Enabled() {
+			obsCacheEvict.Inc()
+		}
 	}
 }
 

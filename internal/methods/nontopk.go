@@ -50,6 +50,10 @@ func (s *Store) SQLMethod(q Query) (QueryResult, error) {
 		return true
 	})
 
+	trace := q.Trace.Child("sql-candidates")
+	defer trace.End()
+	trace.SetInt("candidates", int64(len(candidates)))
+	trace.SetInt("starts", int64(len(starts)))
 	workers := s.queryWorkers(q)
 	ws := make([]sqlWorker, workers)
 	found := make([]bool, len(candidates))

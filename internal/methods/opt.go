@@ -70,11 +70,17 @@ func maxf(a, b float64) float64 {
 // optRun chooses between the regular top-k plan and the ET plans using
 // the Section 5.4 cost model, then executes the winner.
 func (s *Store) optRun(tops *relstore.Table, fast bool, q Query) (QueryResult, error) {
+	osp := q.Trace.Child("optimize")
 	reg, stack, err := s.gatherStats(tops, q)
 	if err != nil {
+		osp.End()
 		return QueryResult{}, err
 	}
 	choice := optimizer.Choose(reg, stack, q.K)
+	if osp != nil {
+		osp.SetStr("plan", choice.Kind.String())
+		osp.End()
+	}
 	run := q
 	run.UseHDGJ = choice.Kind == optimizer.PlanETHash
 	var res QueryResult

@@ -3,12 +3,14 @@ package methods
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
 	"toposearch/internal/fault"
+	"toposearch/internal/obs"
 	"toposearch/internal/relstore"
 )
 
@@ -125,6 +127,19 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 	} else {
 		shards = shardRanges(s.T1.NumRows(), s.queryWorkers(q))
 	}
+	trace := q.Trace.Child("tops-join")
+	defer trace.End()
+	var winSpans []*obs.Span
+	if trace != nil {
+		trace.SetInt("windows", int64(len(shards)))
+		if sharded {
+			trace.SetInt("shards", int64(len(shards)))
+		}
+		winSpans = make([]*obs.Span, len(shards))
+		for i, sh := range shards {
+			winSpans[i] = trace.Child(fmt.Sprintf("window %d [%d,%d)", i, sh[0], sh[1]))
+		}
+	}
 	type shardOut struct {
 		tids []core.TopologyID
 		c    engine.Counters
@@ -133,6 +148,17 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 	outs := make([]shardOut, len(shards))
 	if err := parallelFor(len(shards), len(shards), func(_, i int) {
 		o := &outs[i]
+		if winSpans != nil {
+			defer func() {
+				sp := winSpans[i]
+				sp.SetInt("work", o.c.Work())
+				sp.SetInt("tids", int64(len(o.tids)))
+				if o.err != nil {
+					sp.SetStr("error", o.err.Error())
+				}
+				sp.End()
+			}()
+		}
 		if err := faultShardExec.Hit(); err != nil {
 			o.err = err
 			return
@@ -173,6 +199,7 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 		}
 	}
 	c.TuplesOut += int64(len(tids))
+	trace.SetInt("distinct_tids", int64(len(tids)))
 	var stats []ShardStat
 	if sharded {
 		stats = make([]ShardStat, len(shards))
@@ -181,6 +208,12 @@ func (s *Store) distinctTopsTIDs(tops *relstore.Table, q Query, c *engine.Counte
 				Shard: i, Lo: shards[i][0], Hi: shards[i][1],
 				Work: outs[i].c.Work(), Witnesses: len(outs[i].tids),
 				Complete: outs[i].err == nil,
+			}
+		}
+		if obs.Enabled() {
+			obsShardExecutors.Add(int64(len(stats)))
+			for i := range stats {
+				obsShardWork.Add(stats[i].Work)
 			}
 		}
 	}
@@ -221,6 +254,9 @@ func (s *Store) prunedSurvivors(q Query, c *engine.Counters) ([]core.TopologyID,
 	if n == 0 {
 		return nil, nil
 	}
+	trace := q.Trace.Child("pruned-checks")
+	defer trace.End()
+	trace.SetInt("pruned", int64(n))
 	type checkOut struct {
 		ok  bool
 		err error
@@ -243,5 +279,6 @@ func (s *Store) prunedSurvivors(q Query, c *engine.Counters) ([]core.TopologyID,
 			tids = append(tids, s.PrunedTIDs[i])
 		}
 	}
+	trace.SetInt("survivors", int64(len(tids)))
 	return tids, nil
 }

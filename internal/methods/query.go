@@ -7,6 +7,7 @@ import (
 
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
+	"toposearch/internal/obs"
 	"toposearch/internal/optimizer"
 	"toposearch/internal/relstore"
 )
@@ -69,6 +70,14 @@ type Query struct {
 	// (as opposed to deadline expiry) still fails the query: an
 	// abandoned caller wants no answer at all.
 	PartialOK bool
+	// Trace, when non-nil, collects a span tree of the execution
+	// (method dispatch, optimizer choice, scan/join windows, ET
+	// segments, shard executors, merges) under the given parent span.
+	// Tracing records timings and counter attributes only — it never
+	// changes the work performed, so traced results stay byte-identical
+	// to untraced ones. nil (the default) disables tracing at the cost
+	// of a nil-check per span site.
+	Trace *obs.Span
 }
 
 // Item is one ranked result.
@@ -228,6 +237,24 @@ func (s *Store) RunContext(ctx context.Context, method string, q Query) (QueryRe
 }
 
 func (s *Store) dispatch(method string, q Query) (QueryResult, error) {
+	sp := q.Trace.Child("method " + method)
+	if sp != nil {
+		q.Trace = sp
+	}
+	res, err := s.runMethod(method, q)
+	if sp != nil {
+		sp.SetInt("work", res.Counters.Work())
+		sp.SetInt("tuples_out", res.Counters.TuplesOut)
+		sp.SetInt("items", int64(len(res.Items)))
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
+	}
+	return res, err
+}
+
+func (s *Store) runMethod(method string, q Query) (QueryResult, error) {
 	switch method {
 	case MethodSQL:
 		return s.SQLMethod(q)

@@ -6,6 +6,7 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/fault"
 	"toposearch/internal/graph"
+	"toposearch/internal/obs"
 )
 
 // faultRefresh fires at the start of a refresh materialization (chaos
@@ -95,6 +96,12 @@ func (s *Store) RefreshDiff(ctx context.Context, g *graph.Graph, affected map[gr
 	}
 	if err := ns.materializeDiff(s, affected, d); err != nil {
 		return nil, nil, err
+	}
+	if obs.Enabled() {
+		obsRefreshTables.With("AllTops", d.AllTops.Mode).Inc()
+		obsRefreshTables.With("LeftTops", d.LeftTops.Mode).Inc()
+		obsRefreshTables.With("ExcpTops", d.ExcpTops.Mode).Inc()
+		obsRefreshTables.With("TopInfo", d.TopInfo.Mode).Inc()
 	}
 	if d.AllTops.Reused() {
 		// The entity-shard weight profile is a pure function of T1 and

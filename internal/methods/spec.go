@@ -8,6 +8,7 @@ import (
 	"toposearch/internal/core"
 	"toposearch/internal/engine"
 	"toposearch/internal/fault"
+	"toposearch/internal/obs"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
 )
@@ -56,7 +57,13 @@ func (s *Store) etRun(tops *relstore.Table, q Query, k int, c *engine.Counters) 
 	if q.Speculation > 1 || q.Shards > 1 || q.PartialOK {
 		return s.etPlanSpec(tops, q, k, c)
 	}
+	sp := q.Trace.Child("et-sequential")
 	items, err := s.etPlan(tops, q, k, c)
+	if sp != nil {
+		sp.SetInt("work", c.Work())
+		sp.SetInt("witnesses", int64(len(items)))
+		sp.End()
+	}
 	return items, SpecReport{CriticalPath: *c}, ShardReport{}, false, err
 }
 
@@ -132,6 +139,18 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	segs := s.etSegments(tops, q, order, nshards*width)
 	rep := SpecReport{Width: width}
 	shrep := ShardReport{}
+	trace := q.Trace.Child("et-race")
+	defer trace.End()
+	var segSpans []*obs.Span
+	if trace != nil {
+		trace.SetInt("segments", int64(len(segs)))
+		trace.SetInt("width", int64(width))
+		trace.SetInt("shards", int64(nshards))
+		segSpans = make([]*obs.Span, len(segs))
+		for i, sg := range segs {
+			segSpans[i] = trace.Child(fmt.Sprintf("segment %d [%d,%d)", i, sg[0], sg[1]))
+		}
+	}
 	// Resolve the witness rows' TID/score positions from the real stack
 	// output layout (an empty-window stack; operators are never opened)
 	// instead of assuming TopInfo's columns prefix the row.
@@ -241,6 +260,18 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 			burned.Add(ev.total)
 			segWork[ev.seg] = ev.total.Work()
 			segStopped[ev.seg] = ev.stopped
+			if segSpans != nil {
+				sp := segSpans[ev.seg]
+				sp.SetInt("work", ev.total.Work())
+				sp.SetInt("witnesses", int64(segWitness[ev.seg]))
+				if ev.stopped {
+					sp.SetInt("bound_stopped", 1)
+				}
+				if ev.err != nil {
+					sp.SetStr("error", ev.err.Error())
+				}
+				sp.End()
+			}
 			if ev.err != nil {
 				errs[ev.seg] = ev.err
 				break
@@ -289,6 +320,8 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 			if nshards > 1 {
 				shrep = etShardReport(nshards, width, segs, segWork, segWitness, segStopped, segComplete(errs), ex)
 			}
+			recordSpecMetrics(len(segs), burned.Work(), 0, shrep)
+			trace.SetInt("partial", 1)
 			items := make([]Item, len(witnesses))
 			for i, w := range witnesses {
 				items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
@@ -314,6 +347,7 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	c.Add(committed)
 	rep.CriticalPath = out.CriticalPath
 	if out.NeedLookahead {
+		rsp := trace.Child("boundary-lookahead")
 		// The stopping witness left its segment's HDGJ lookahead open:
 		// a sequential run would have kept scanning the group stream
 		// past the segment boundary for the next non-empty group.
@@ -327,6 +361,10 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 		delta := *c
 		delta.Sub(before)
 		rep.CriticalPath.Add(delta)
+		if rsp != nil {
+			rsp.SetInt("work", delta.Work())
+			rsp.End()
+		}
 	}
 	c.TuplesOut += int64(len(out.Witnesses))
 
@@ -340,12 +378,35 @@ func (s *Store) etPlanSpec(tops *relstore.Table, q Query, k int, c *engine.Count
 	if nshards > 1 {
 		shrep = etShardReport(nshards, width, segs, segWork, segWitness, segStopped, segComplete(errs), ex)
 	}
+	recordSpecMetrics(len(segs), committed.Work(), rep.Wasted.Work(), shrep)
 
 	items := make([]Item, len(out.Witnesses))
 	for i, w := range out.Witnesses {
 		items[i] = Item{TID: core.TopologyID(w.W.Row[tidCol].Int), Score: w.W.Row[scoreIdx].Int}
 	}
 	return items, rep, shrep, false, nil
+}
+
+// recordSpecMetrics folds one speculative run into the obs counters:
+// segments raced, useful vs wasted work, and (when sharded) per-shard
+// work and bound-exchange stops. One gated call per query, not per
+// event.
+func recordSpecMetrics(segments int, useful, wasted int64, shrep ShardReport) {
+	if !obs.Enabled() {
+		return
+	}
+	obsSpecSegments.Add(int64(segments))
+	obsSpecUseful.Add(useful)
+	obsSpecWasted.Add(wasted)
+	if shrep.Count > 1 {
+		obsShardExecutors.Add(int64(shrep.Count))
+		for _, st := range shrep.Stats {
+			obsShardWork.Add(st.Work)
+			if st.Pruned {
+				obsShardPruned.Inc()
+			}
+		}
+	}
 }
 
 // segComplete derives per-segment completeness from the worker exit

@@ -95,6 +95,9 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 	if len(s.PrunedTIDs) == 0 {
 		return items, wasted, false, nil
 	}
+	trace := q.Trace.Child("pruned-merge")
+	defer trace.End()
+	trace.SetInt("candidates", int64(len(s.PrunedTIDs)))
 	// Resolve candidate scores up front (score lookups charge nothing).
 	cands := make([]Item, len(s.PrunedTIDs))
 	for i, tid := range s.PrunedTIDs {
@@ -177,6 +180,7 @@ func (s *Store) mergePruned(items []Item, q Query, c *engine.Counters) ([]Item, 
 			wasted.Add(outs[i].c)
 		}
 	}
+	trace.SetInt("wasted_work", wasted.Work())
 	sortItems(items)
 	return trimK(items, q.K), wasted, partial, nil
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mux_total", "h").Add(5)
+	r.Histogram("mux_seconds", "h", ExpBuckets(0.001, 2, 4)).Observe(0.002)
+	srv := httptest.NewServer(r.Mux())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("metrics content-type = %q", ctype)
+	}
+	types := ValidateExposition(t, body)
+	if types["mux_total"] != "counter" || types["mux_seconds"] != "histogram" {
+		t.Fatalf("metrics families = %v", types)
+	}
+
+	body, ctype = get("/statsz")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("statsz content-type = %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("statsz not JSON: %v", err)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("statsz metrics = %d, want 2", len(snap.Metrics))
+	}
+
+	// pprof index answers (profile endpoints excluded: they block).
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%.200s", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_total", "h").Inc()
+	srv, addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := httptest.NewServer(nil).Client().Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "serve_total 1") {
+		t.Fatalf("served body:\n%s", body)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. Set exists for
+// collector-maintained mirrors of external counters and must only be
+// used to move the value forward.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Set overwrites the counter; for collectors mirroring an external
+// monotonic source.
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (possibly negative) and returns the new value.
+func (g *Gauge) Add(d float64) float64 {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return nv
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets with upper bounds,
+// plus a running sum. Observations and snapshots are lock-free; a
+// snapshot taken during concurrent writes is a consistent-enough view
+// (per-field atomic), the standard Prometheus client contract.
+type Histogram struct {
+	upper  []float64 // ascending; implicit +Inf bucket appended
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		upper:  buckets,
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// snapshot returns cumulative bucket counts (one per upper bound, plus
+// the +Inf bucket last), the total count and the sum.
+func (h *Histogram) snapshot() (cum []int64, count int64, sum float64) {
+	cum = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, h.count.Load(), math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n exponential bucket upper bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets covers 100µs .. ~3.3s in powers of two — the
+// engine's query latencies across scales.
+func DefLatencyBuckets() []float64 { return ExpBuckets(100e-6, 2, 16) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Resolve once and hold the pointer on hot-ish paths.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).c }
+
+// Remove drops the series for the given label values (e.g. when a
+// labeled component closes).
+func (v *CounterVec) Remove(values ...string) { v.f.remove(values) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).g }
+
+// Remove drops the series for the given label values.
+func (v *GaugeVec) Remove(values ...string) { v.f.remove(values) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).h }
+
+// Remove drops the series for the given label values.
+func (v *HistogramVec) Remove(values ...string) { v.f.remove(values) }
+
+// CounterVec registers (or returns the existing) labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, counterKind, labels, nil)}
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, counterKind, nil, nil).get(nil).c
+}
+
+// GaugeVec registers (or returns the existing) labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, gaugeKind, labels, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, gaugeKind, nil, nil).get(nil).g
+}
+
+// HistogramVec registers (or returns the existing) labeled histogram
+// family with the given bucket upper bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, histogramKind, labels, buckets)}
+}
+
+// Histogram registers an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, histogramKind, nil, buckets).get(nil).h
+}

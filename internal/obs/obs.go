@@ -1,0 +1,230 @@
+// Package obs is the engine's dependency-free telemetry core: atomic
+// counters, gauges and exponential-bucket histograms organized in
+// labeled families on a Registry, a Prometheus text-format (v0.0.4)
+// exposition writer, a JSON snapshot API, an http handler bundle
+// (/metrics, /statsz, /debug/pprof/*), and a nil-safe span tree for
+// per-query tracing.
+//
+// Instrumentation follows the same discipline as internal/fault: every
+// event site outside a hot loop costs one atomic load when telemetry is
+// disabled (obs.Enabled()), and the scan/join inner loops carry no
+// instrumentation at all — per-query counters are aggregated once per
+// operation from the engine.Counters the methods already return.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global gate for the *recording* side of telemetry.
+// Registries, instruments and handlers work regardless; call sites in
+// the engine guard their extra work (time.Now, label resolution,
+// gauge refreshes) behind Enabled() so a disabled binary pays one
+// atomic load per event site.
+var enabled atomic.Bool
+
+// Enabled reports whether telemetry recording is switched on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches telemetry recording on or off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// labelSep joins label values into a child key. 0xff cannot appear in
+// valid UTF-8 label values, so the join is unambiguous.
+const labelSep = "\xff"
+
+// family is one named metric with a fixed label set; children are the
+// per-label-value series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogramKind only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	ch := f.children[key]
+	f.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch = f.children[key]; ch != nil {
+		return ch
+	}
+	ch = &child{values: append([]string(nil), values...)}
+	switch f.kind {
+	case counterKind:
+		ch.c = &Counter{}
+	case gaugeKind:
+		ch.g = &Gauge{}
+	case histogramKind:
+		ch.h = newHistogram(f.buckets)
+	}
+	f.children[key] = ch
+	return ch
+}
+
+func (f *family) remove(values []string) {
+	f.mu.Lock()
+	delete(f.children, strings.Join(values, labelSep))
+	f.mu.Unlock()
+}
+
+// Registry is a set of metric families plus optional collectors that
+// refresh derived series right before every scrape or snapshot.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the engine's built-in
+// instrumentation registers on.
+func Default() *Registry { return defaultRegistry }
+
+// RegisterCollector adds a function run (under no registry lock) before
+// each exposition or snapshot; use it to refresh series mirrored from
+// external sources (e.g. fault-point hit counts).
+func (r *Registry) RegisterCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) collect() {
+	r.mu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// register returns the family for name, creating it if absent. A second
+// registration with the same shape returns the existing family, so
+// package-level metric vars in different files can share a series;
+// conflicting shapes panic (a programming error, like a duplicate flag).
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedFamilies snapshots the family list in name order for stable
+// exposition output.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren snapshots a family's series in label-value order.
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*child, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	return out
+}

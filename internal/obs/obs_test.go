@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "help", "a", "b")
+	c1 := v.With("p", "q")
+	c2 := v.With("p", "q")
+	if c1 != c2 {
+		t.Fatal("same label values must resolve to the same counter")
+	}
+	if c3 := v.With("p", "r"); c3 == c1 {
+		t.Fatal("different label values must resolve to different counters")
+	}
+	c1.Add(3)
+	c1.Inc()
+	if got := c2.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+	// Re-registering the same shape returns the same family.
+	v2 := r.CounterVec("x_total", "help", "a", "b")
+	if v2.With("p", "q") != c1 {
+		t.Fatal("re-registration must share series")
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape conflict")
+		}
+	}()
+	r.Gauge("dup", "h")
+}
+
+func TestWrongLabelCountPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("lab_total", "h", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label count")
+		}
+	}()
+	v.With("x", "y")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "h")
+	g.Set(2.5)
+	if n := g.Add(-1); n != 1.5 {
+		t.Fatalf("Add returned %v, want 1.5", n)
+	}
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	// le=1: {0.5, 1}; le=2: +{1.5}; le=4: +{3}; +Inf: +{100}
+	want := []int64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-106) > 1e-9 {
+		t.Fatalf("sum = %v, want 106", sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if n := len(DefLatencyBuckets()); n != 16 {
+		t.Fatalf("DefLatencyBuckets has %d buckets, want 16", n)
+	}
+}
+
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("rm", "h", "id")
+	v.With("a").Set(1)
+	v.With("b").Set(2)
+	v.Remove("a")
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || len(snap.Metrics[0].Samples) != 1 {
+		t.Fatalf("snapshot after Remove = %+v", snap)
+	}
+	if snap.Metrics[0].Samples[0].Labels["id"] != "b" {
+		t.Fatalf("surviving series = %+v", snap.Metrics[0].Samples[0])
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("ext_total", "h", "src")
+	n := int64(0)
+	r.RegisterCollector(func() {
+		n += 7
+		c.With("x").Set(n)
+	})
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1.Metrics[0].Samples[0].Value != 7 || s2.Metrics[0].Samples[0].Value != 14 {
+		t.Fatalf("collector not run per snapshot: %v then %v",
+			s1.Metrics[0].Samples[0].Value, s2.Metrics[0].Samples[0].Value)
+	}
+}
+
+func TestEnabledGate(t *testing.T) {
+	old := Enabled()
+	defer SetEnabled(old)
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("!Enabled after SetEnabled(true)")
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cc_total", "h", "w")
+	h := r.Histogram("ch", "h", ExpBuckets(1, 2, 8))
+	g := r.Gauge("cg", "h")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lab := string(rune('a' + w%3))
+			for i := 0; i < per; i++ {
+				v.With(lab).Inc()
+				h.Observe(float64(i % 10))
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, lab := range []string{"a", "b", "c"} {
+		total += v.With(lab).Value()
+	}
+	if total != workers*per {
+		t.Fatalf("counter total = %d, want %d", total, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+}

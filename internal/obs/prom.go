@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in text exposition format v0.0.4:
+// sorted families, # HELP / # TYPE headers, label-sorted series,
+// cumulative histogram buckets with an explicit +Inf bucket plus _sum
+// and _count. Collectors run first so derived series are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, ch := range children {
+			switch f.kind {
+			case counterKind:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", formatInt(ch.c.Value()))
+			case gaugeKind:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", formatFloat(ch.g.Value()))
+			case histogramKind:
+				cum, count, sum := ch.h.snapshot()
+				for i, ub := range f.buckets {
+					writeSample(bw, f.name, "_bucket", f.labels, ch.values, formatFloat(ub), formatInt(cum[i]))
+				}
+				writeSample(bw, f.name, "_bucket", f.labels, ch.values, "+Inf", formatInt(cum[len(cum)-1]))
+				writeSample(bw, f.name, "_sum", f.labels, ch.values, "", formatFloat(sum))
+				writeSample(bw, f.name, "_count", f.labels, ch.values, "", formatInt(count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one line: name+suffix{labels,le="bound"} value.
+// le is the histogram bucket bound, empty for non-bucket samples.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

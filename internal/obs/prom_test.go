@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exposition format byte-for-byte: family
+// ordering, HELP/TYPE lines, label ordering and escaping, cumulative
+// histogram buckets with +Inf, _sum/_count. If this test needs
+// updating, scrapers may be looking at a changed wire format.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry()
+	qc := r.CounterVec("toposearch_test_queries_total", "Queries by method.", "method", "status")
+	qc.With("fast-top-k", "ok").Add(3)
+	qc.With("sql", "error").Add(1)
+	r.Gauge("toposearch_test_delta_bytes", "Resident delta bytes.").Set(4096)
+	h := r.Histogram("toposearch_test_latency_seconds", "Query latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	esc := r.CounterVec("toposearch_test_escape_total", "Help with \\ and\nnewline.", "v")
+	esc.With("quote\" back\\slash \nnl").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP toposearch_test_delta_bytes Resident delta bytes.
+# TYPE toposearch_test_delta_bytes gauge
+toposearch_test_delta_bytes 4096
+# HELP toposearch_test_escape_total Help with \\ and\nnewline.
+# TYPE toposearch_test_escape_total counter
+toposearch_test_escape_total{v="quote\" back\\slash \nnl"} 1
+# HELP toposearch_test_latency_seconds Query latency.
+# TYPE toposearch_test_latency_seconds histogram
+toposearch_test_latency_seconds_bucket{le="0.001"} 1
+toposearch_test_latency_seconds_bucket{le="0.01"} 2
+toposearch_test_latency_seconds_bucket{le="0.1"} 2
+toposearch_test_latency_seconds_bucket{le="+Inf"} 3
+toposearch_test_latency_seconds_sum 5.0055
+toposearch_test_latency_seconds_count 3
+# HELP toposearch_test_queries_total Queries by method.
+# TYPE toposearch_test_queries_total counter
+toposearch_test_queries_total{method="fast-top-k",status="ok"} 3
+toposearch_test_queries_total{method="sql",status="error"} 1
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// ValidateExposition is a minimal text-format v0.0.4 checker used by
+// the golden test and the end-to-end /metrics tests: every non-comment
+// line must parse as `name{labels} value`, every samples block must
+// follow its TYPE header, histogram buckets must be cumulative and end
+// with +Inf matching _count.
+func ValidateExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	curFam := ""
+	var lastBucket int64
+	var bucketFam string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad metric type %q", parts[1])
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("duplicate TYPE for %q", parts[0])
+			}
+			types[parts[0]] = parts[1]
+			curFam = parts[0]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if curFam == "" || !strings.HasPrefix(name, curFam) {
+			t.Fatalf("sample %q outside its TYPE block (current %q)", name, curFam)
+		}
+		valStr := rest
+		if strings.HasPrefix(rest, "{") {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				t.Fatalf("unclosed label set: %q", line)
+			}
+			valStr = rest[end+1:]
+		}
+		valStr = strings.TrimSpace(valStr)
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("bad value %q in line %q: %v", valStr, line, err)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			le := extractLabel(t, rest, "le")
+			if bucketFam != name {
+				bucketFam, lastBucket = name, 0
+			}
+			if int64(val) < lastBucket {
+				t.Fatalf("non-cumulative bucket %q: %v < %d", line, val, lastBucket)
+			}
+			lastBucket = int64(val)
+			if le == "" {
+				t.Fatalf("bucket without le label: %q", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return types
+}
+
+func extractLabel(t *testing.T, labels, key string) string {
+	t.Helper()
+	marker := key + `="`
+	i := strings.Index(labels, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(marker):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		t.Fatalf("unterminated label value in %q", labels)
+	}
+	return rest[:j]
+}
+
+func TestValidateCatchesGolden(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ok_total", "h", "a")
+	v.With("x").Inc()
+	h := r.Histogram("lat", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	types := ValidateExposition(t, b.String())
+	if types["ok_total"] != "counter" || types["lat"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_total", "h", "m", "s")
+	for m := 0; m < 9; m++ {
+		for s := 0; s < 2; s++ {
+			v.With(fmt.Sprint("m", m), fmt.Sprint("s", s)).Add(int64(m * s))
+		}
+	}
+	h := r.HistogramVec("bench_seconds", "h", DefLatencyBuckets(), "m")
+	for m := 0; m < 9; m++ {
+		h.With(fmt.Sprint("m", m)).Observe(0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}
+}

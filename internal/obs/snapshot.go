@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// Snapshot is a point-in-time JSON-friendly view of a registry.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one family with all its series.
+type MetricSnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    string           `json:"kind"`
+	Samples []SampleSnapshot `json:"samples"`
+}
+
+// SampleSnapshot is one labeled series. Counters and gauges fill
+// Value; histograms fill Count, Sum and cumulative Buckets.
+type SampleSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket; Le is +Inf for the
+// overflow bucket (encoded as the string "+Inf" in JSON).
+type BucketSnapshot struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON encodes +Inf as the string "+Inf" (JSON has no Inf).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	var le any = b.Le
+	if math.IsInf(b.Le, +1) {
+		le = "+Inf"
+	}
+	return json.Marshal(alias{Le: le, Count: b.Count})
+}
+
+// UnmarshalJSON accepts the "+Inf" string form back.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if json.Unmarshal(raw.Le, &s) == nil {
+		b.Le = math.Inf(+1)
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.Le)
+}
+
+// Snapshot captures the current value of every series, families and
+// series in sorted order. Collectors run first.
+func (r *Registry) Snapshot() *Snapshot {
+	r.collect()
+	snap := &Snapshot{}
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		ms := MetricSnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, ch := range children {
+			s := SampleSnapshot{}
+			if len(f.labels) > 0 {
+				s.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					s.Labels[l] = ch.values[i]
+				}
+			}
+			switch f.kind {
+			case counterKind:
+				s.Value = float64(ch.c.Value())
+			case gaugeKind:
+				s.Value = ch.g.Value()
+			case histogramKind:
+				cum, count, sum := ch.h.snapshot()
+				s.Count, s.Sum = count, sum
+				s.Buckets = make([]BucketSnapshot, 0, len(cum))
+				for i, ub := range f.buckets {
+					s.Buckets = append(s.Buckets, BucketSnapshot{Le: ub, Count: cum[i]})
+				}
+				s.Buckets = append(s.Buckets, BucketSnapshot{Le: math.Inf(+1), Count: cum[len(cum)-1]})
+			}
+			ms.Samples = append(ms.Samples, s)
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

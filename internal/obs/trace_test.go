@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceNilSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child must return nil")
+	}
+	c.SetInt("a", 1)
+	c.SetStr("b", "x")
+	c.End()
+	if c.Name() != "" || c.Duration() != 0 || c.Children() != nil || c.Attrs() != nil {
+		t.Fatal("nil span accessors must be zero")
+	}
+	var b strings.Builder
+	c.Render(&b)
+	if b.Len() != 0 {
+		t.Fatal("nil Render must write nothing")
+	}
+	j, err := json.Marshal(c)
+	if err != nil || string(j) != "null" {
+		t.Fatalf("nil marshal = %s, %v", j, err)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	root := NewTrace("search")
+	c1 := root.Child("compile")
+	c1.End()
+	ex := root.Child("execute")
+	m := ex.Child("method fast-top-k")
+	m.SetInt("work", 42)
+	m.SetStr("plan", "et-index")
+	m.End()
+	ex.End()
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	var b strings.Builder
+	root.Render(&b)
+	out := b.String()
+	for _, want := range []string{"search", "compile", "execute", "method fast-top-k", "plan=et-index", "work=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	j, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(j, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "search" || len(n.Children) != 2 {
+		t.Fatalf("json tree = %s", j)
+	}
+}
+
+func TestTraceEndClosesChildren(t *testing.T) {
+	root := NewTrace("r")
+	open := root.Child("never-ended")
+	root.End()
+	if open.Duration() <= 0 {
+		t.Fatal("End must close open children")
+	}
+	d := root.Duration()
+	root.End() // idempotent
+	if root.Duration() != d {
+		t.Fatal("second End must not change duration")
+	}
+}
+
+func TestTraceConcurrentChildren(t *testing.T) {
+	root := NewTrace("r")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("seg")
+			c.SetInt("work", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+	if _, err := json.Marshal(root); err != nil {
+		t.Fatal(err)
+	}
+}

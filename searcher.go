@@ -14,6 +14,7 @@ import (
 	"toposearch/internal/fault"
 	"toposearch/internal/graph"
 	"toposearch/internal/methods"
+	"toposearch/internal/obs"
 	"toposearch/internal/ranking"
 	"toposearch/internal/relstore"
 	"toposearch/internal/shard"
@@ -155,14 +156,13 @@ type Searcher struct {
 	admit     chan struct{}
 	maxQueue  int
 	queueWait time.Duration
-	waiting   atomic.Int64
 
-	inflight        atomic.Int64
-	admitted        atomic.Int64
-	rejected        atomic.Int64
-	degraded        atomic.Int64
-	panicsContained atomic.Int64
-	partials        atomic.Int64
+	// sid labels this searcher's metric series ("<es1>-<es2>#<seq>");
+	// met holds the resolved per-searcher instruments. The admission and
+	// robustness counters live directly on the obs registry — Stats()
+	// is a snapshot view over them.
+	sid string
+	met searcherMetrics
 }
 
 // SearcherStats is a point-in-time snapshot of a searcher's admission
@@ -185,12 +185,14 @@ type SearcherStats struct {
 }
 
 // Stats snapshots the searcher's admission-control and robustness
-// counters.
+// counters. The counters live on the obs metrics registry (labeled
+// with this searcher's series id); SearcherStats remains the stable
+// snapshot view over them.
 func (s *Searcher) Stats() SearcherStats {
 	return SearcherStats{
-		Inflight: s.inflight.Load(), Waiting: s.waiting.Load(),
-		Admitted: s.admitted.Load(), Rejected: s.rejected.Load(), Degraded: s.degraded.Load(),
-		PanicsContained: s.panicsContained.Load(), Partials: s.partials.Load(),
+		Inflight: int64(s.met.inflight.Value()), Waiting: int64(s.met.waiting.Value()),
+		Admitted: s.met.admitted.Value(), Rejected: s.met.rejected.Value(), Degraded: s.met.degraded.Value(),
+		PanicsContained: s.met.panics.Value(), Partials: s.met.partials.Value(),
 	}
 }
 
@@ -228,6 +230,7 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	// must retain everything at or after it until the searcher
 	// refreshes past it or closes.
 	s := &Searcher{db: db, spec: cfg.Speculation, shards: cfg.Shards}
+	s.sid, s.met = newSearcherMetrics(es1, es2)
 	if cfg.MaxInflight > 0 {
 		s.admit = make(chan struct{}, cfg.MaxInflight)
 		s.maxQueue = cfg.MaxQueue
@@ -238,6 +241,10 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	s.cursor = db.log.Len()
 	db.cursors[s] = s.cursor
 	db.mu.Unlock()
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	st, err := methods.BuildStoreFromGraph(ctx, db.rel, g, db.sg, es1, es2, methods.StoreConfig{
 		Opts:           opts,
 		PruneThreshold: threshold,
@@ -246,6 +253,9 @@ func (db *DB) NewSearcherContext(ctx context.Context, es1, es2 string, cfg Searc
 	if err != nil {
 		s.Close()
 		return nil, err
+	}
+	if !t0.IsZero() {
+		obsBuildDur.Observe(time.Since(t0).Seconds())
 	}
 	s.store.Store(st)
 	if cfg.CacheBytes >= 0 {
@@ -284,6 +294,10 @@ func (s *Searcher) Close() {
 	delete(s.db.cursors, s)
 	s.db.truncateLogLocked()
 	s.db.mu.Unlock()
+	// Drop this searcher's labeled series from the exposition; the
+	// instrument pointers in s.met stay valid, so Stats() keeps working
+	// on a closed searcher.
+	releaseSearcherMetrics(s.sid)
 }
 
 // Refresh incrementally folds the mutations applied to the DB since
@@ -310,13 +324,27 @@ func (s *Searcher) Refresh() (int, error) {
 // cache, and the edge-log cursor exactly as they were — the next
 // Refresh simply redoes the work.
 func (s *Searcher) RefreshContext(ctx context.Context) (n int, err error) {
+	// Metrics defer installed before the recover defer (LIFO) so it
+	// sees the final n/err.
+	if obs.Enabled() {
+		t0 := time.Now()
+		defer func() {
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			obsRefreshDur.With(status).Observe(time.Since(t0).Seconds())
+			obsRefreshEdges.Add(int64(n))
+			obsDeltaBytes.Set(float64(s.db.rel.DeltaBytes()))
+		}()
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			n, err = 0, fault.NewPanicError("searcher.refresh", v)
 		}
 		var pe *EnginePanicError
 		if errors.As(err, &pe) {
-			s.panicsContained.Add(1)
+			s.met.panics.Inc()
 		}
 	}()
 	s.refreshMu.Lock()
@@ -459,6 +487,14 @@ type SearchQuery struct {
 	// PartialOK permits a deadline-bounded query to return a partial
 	// result instead of failing at the deadline. See Deadline.
 	PartialOK bool
+	// Trace collects a span tree of this query's execution —
+	// compile, cache lookup/fill, method dispatch, optimizer choice,
+	// scan/join windows, ET segments, shard executors, merges — into
+	// SearchResult.Trace: the engine's EXPLAIN ANALYZE. Tracing records
+	// timings and counter attributes only; the result's topologies and
+	// work counters are byte-identical to an untraced run. Independent
+	// of SetMetricsEnabled.
+	Trace bool
 }
 
 // TopologyResult describes one result topology.
@@ -509,6 +545,10 @@ type SearchResult struct {
 	// speculation and sharding to 1 because it arrived while all
 	// MaxInflight slots were busy. Results are unaffected.
 	Degraded bool
+	// Trace is the execution span tree, present iff SearchQuery.Trace
+	// was set. On a cache hit it holds the lookup path only (the work
+	// spans belong to the query that filled the entry).
+	Trace *TraceSpan
 }
 
 // ShardStat is one shard executor's share of a sharded Search.
@@ -590,16 +630,16 @@ func (s *Searcher) acquire(ctx context.Context) (degraded bool, release func(), 
 	}
 	select {
 	case s.admit <- struct{}{}:
-		s.admitted.Add(1)
+		s.met.admitted.Inc()
 		return false, func() { <-s.admit }, nil
 	default:
 	}
-	if n := s.waiting.Add(1); s.maxQueue > 0 && n > int64(s.maxQueue) {
-		s.waiting.Add(-1)
-		s.rejected.Add(1)
+	if n := int64(s.met.waiting.Add(1)); s.maxQueue > 0 && n > int64(s.maxQueue) {
+		s.met.waiting.Add(-1)
+		s.met.rejected.Inc()
 		return false, nil, fmt.Errorf("%w: wait queue full (%d waiting)", ErrOverloaded, s.maxQueue)
 	}
-	defer s.waiting.Add(-1)
+	defer s.met.waiting.Add(-1)
 	var timeout <-chan time.Time
 	if s.queueWait > 0 {
 		t := time.NewTimer(s.queueWait)
@@ -608,11 +648,11 @@ func (s *Searcher) acquire(ctx context.Context) (degraded bool, release func(), 
 	}
 	select {
 	case s.admit <- struct{}{}:
-		s.admitted.Add(1)
-		s.degraded.Add(1)
+		s.met.admitted.Inc()
+		s.met.degraded.Inc()
 		return true, func() { <-s.admit }, nil
 	case <-timeout:
-		s.rejected.Add(1)
+		s.met.rejected.Inc()
 		return false, nil, fmt.Errorf("%w: no slot within %v", ErrOverloaded, s.queueWait)
 	case <-ctx.Done():
 		return false, nil, ctx.Err()
@@ -630,6 +670,29 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Latency metric: installed before the recover defer (LIFO) so it
+	// observes the final res/err, including a contained panic. One
+	// atomic load when telemetry is off.
+	if obs.Enabled() {
+		t0 := time.Now()
+		defer func() {
+			status := "ok"
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				status = "shed"
+			case err != nil:
+				status = "error"
+			case res != nil && res.Partial:
+				status = "partial"
+			}
+			obsQueryDur.With(q.method(), status).Observe(time.Since(t0).Seconds())
+			if s.cache != nil {
+				cs := s.cache.Stats()
+				s.met.cacheBytes.Set(float64(cs.Bytes))
+				s.met.cacheEntries.Set(float64(cs.Entries))
+			}
+		}()
+	}
 	// Hold the lifecycle read side for the whole call so Close can
 	// drain in-flight queries.
 	s.lifecycle.RLock()
@@ -640,19 +703,28 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 		}
 		var pe *EnginePanicError
 		if errors.As(err, &pe) {
-			s.panicsContained.Add(1)
+			s.met.panics.Inc()
 		}
 	}()
+	var root *TraceSpan
+	if q.Trace {
+		root = obs.NewTrace("search")
+	}
 	degraded, release, err := s.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	if degraded {
+		root.SetInt("degraded", 1)
+	}
 
 	st := s.current()
+	cs := root.Child("compile")
 	mq, err := s.compileQuery(st, q)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -660,11 +732,21 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 		mq.Speculation, mq.Shards = 1, 1
 	}
 	m := q.method()
+	// finishTrace seals the span tree onto a successful result. Traced
+	// or not, the work performed is identical — spans only record
+	// timings — so traced results stay byte-identical to untraced ones.
+	finishTrace := func(r *SearchResult) {
+		if root != nil && r != nil {
+			root.End()
+			r.Trace = root
+		}
+	}
 	if q.Deadline > 0 || q.PartialOK {
 		// Deadline-bounded queries bypass the cache entirely: a partial
 		// answer must never be cached, and the cache's detached fill
 		// deliberately ignores per-caller deadlines.
 		mq.PartialOK = q.PartialOK
+		mq.Trace = root.Child("execute")
 		if q.Deadline > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, q.Deadline)
@@ -675,15 +757,18 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 			return nil, err
 		}
 		if res.Partial {
-			s.partials.Add(1)
+			s.met.partials.Inc()
 		}
 		res.Degraded = degraded
+		finishTrace(res)
 		return res, nil
 	}
 	if s.cache == nil {
+		mq.Trace = root.Child("execute")
 		res, err := s.execSearch(ctx, st, m, mq)
 		if res != nil {
 			res.Degraded = degraded
+			finishTrace(res)
 		}
 		return res, err
 	}
@@ -697,20 +782,36 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 	key := searchCacheKey(q)
 	epoch := s.db.log.Len()
 	fillCtx := context.WithoutCancel(ctx)
+	lookup := root.Child("cache.lookup")
 	v, hit, err := s.cache.GetOrCompute(ctx, key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, error) {
-		res, err := s.execSearch(fillCtx, st, m, mq)
+		// This closure runs only for the flight that computes the
+		// entry, so a fill span here always belongs to this caller's
+		// own tree. The cached value itself never carries a trace.
+		fmq := mq
+		fmq.Trace = lookup.Child("cache.fill")
+		res, err := s.execSearch(fillCtx, st, m, fmq)
+		fmq.Trace.End()
 		if err != nil {
 			return nil, 0, 0, nil, err
 		}
 		fp := methods.QueryFootprint(st.T1, mq.Pred1, s.cacheRanges)
 		return res, res.approxBytes(), fp, mq.Pred1, nil
 	})
+	if lookup != nil {
+		if hit {
+			lookup.SetInt("hit", 1)
+		} else {
+			lookup.SetInt("hit", 0)
+		}
+		lookup.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := v.(*SearchResult).clone()
 	out.CacheHit = hit
 	out.Degraded = degraded
+	finishTrace(out)
 	return out, nil
 }
 

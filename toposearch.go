@@ -60,11 +60,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"toposearch/internal/biozon"
 	"toposearch/internal/delta"
 	"toposearch/internal/fault"
 	"toposearch/internal/graph"
+	"toposearch/internal/obs"
 	"toposearch/internal/relstore"
 )
 
@@ -217,7 +219,12 @@ func (db *DB) Insert(u Update) error { return db.ApplyBatch([]Update{u}) }
 // Precomputed topology results (and therefore Search output) reflect
 // the batch only after each Searcher's Refresh.
 func (db *DB) ApplyBatch(us []Update) (err error) {
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	var frac float64
+	edges := 0
 	func() {
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -233,8 +240,19 @@ func (db *DB) ApplyBatch(us []Update) (err error) {
 		}
 		db.g.Store(ng)
 		db.log.Append(applied.Edges)
+		edges = len(applied.Edges)
 		frac = db.autoCompactFrac
 	}()
+	if !t0.IsZero() {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		obsApplyDur.With(status).Observe(time.Since(t0).Seconds())
+		obsApplyMutations.Add(int64(len(us)))
+		obsApplyEdges.Add(int64(edges))
+		obsDeltaBytes.Set(float64(db.rel.DeltaBytes()))
+	}
 	if err != nil {
 		return err
 	}
