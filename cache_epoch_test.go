@@ -1,0 +1,97 @@
+// Regression test for the cache-epoch TOCTOU: SearchContext snapshots
+// the applied-edge log epoch before the fill starts, but the fill
+// executes later on a detached goroutine — a mutation batch applied
+// mid-fill could leave a result that observed post-epoch base-table
+// rows cached under the pre-fill (generation, epoch) tag, breaking the
+// cached-results-byte-identical-to-fresh-execution invariant. The fix
+// re-reads the epoch after the fill's last base-table read and skips
+// caching (still returning the result) when it moved.
+package toposearch_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"toposearch"
+	"toposearch/internal/fault"
+)
+
+func TestCacheEpochMidFillBatchNotCached(t *testing.T) {
+	ctx := context.Background()
+	db, err := toposearch.Synthetic(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, toposearch.SearcherConfig{
+		MaxLen: 3, PruneThreshold: 8, MaxCombinations: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Arm pure latency on the cache-fill seam so the mutation batch
+	// below deterministically lands while the fill is in flight.
+	if err := fault.Enable(1, fault.Rule{Point: "cache.fill", Delay: time.Second, DelayOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+
+	q := toposearch.SearchQuery{K: 5}
+	type outcome struct {
+		res *toposearch.SearchResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.SearchContext(ctx, q)
+		done <- outcome{res, err}
+	}()
+	// The fill is sleeping at the injected delay; apply a batch with a
+	// relationship row, moving the edge-log epoch past the fill's tag.
+	time.Sleep(200 * time.Millisecond)
+	p, d := int64(1_950_001), int64(2_950_001)
+	if err := db.ApplyBatch([]toposearch.Update{
+		toposearch.InsertEntity(toposearch.Protein, p, map[string]string{"desc": "epoch toctou protein kwsel50"}),
+		toposearch.InsertEntity(toposearch.DNA, d, map[string]string{"type": "mRNA", "desc": "epoch toctou dna"}),
+		toposearch.InsertRelationship("encodes", p, d),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("search straddling the batch failed: %v", o.err)
+	}
+	if o.res == nil || o.res.CacheHit {
+		t.Fatalf("search straddling the batch should have computed fresh, got %+v", o.res)
+	}
+	fault.Disable()
+
+	// The fill completed after the epoch moved: its result must have
+	// been returned but never cached under the stale tag.
+	cs := s.CacheStats()
+	if cs.Entries != 0 {
+		t.Fatalf("fill that straddled a mutation batch was cached: %d entries resident, want 0", cs.Entries)
+	}
+	if cs.SkippedStale != 1 {
+		t.Fatalf("CacheStats().SkippedStale = %d, want 1", cs.SkippedStale)
+	}
+
+	// At the settled epoch the same query runs fresh, is cached, and
+	// the repeat hits.
+	res2, err := s.SearchContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit {
+		t.Fatal("post-batch query hit a cache that should hold no entry for the new epoch")
+	}
+	res3, err := s.SearchContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.CacheHit {
+		t.Fatal("repeat of the post-batch query missed the cache")
+	}
+}

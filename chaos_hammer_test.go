@@ -537,6 +537,64 @@ func TestChaosAdmissionControl(t *testing.T) {
 	if _, err := s.SearchContext(ctx, toposearch.SearchQuery{K: 3, Method: "fast-top-k"}); err != nil {
 		t.Fatalf("search after overload episode: %v", err)
 	}
+	if st := s.Stats(); st.Canceled != 0 {
+		t.Fatalf("Stats().Canceled = %d after an episode with no cancellations, want 0", st.Canceled)
+	}
+
+	// Cancelled-while-queued on a no-timeout queue: the queued query's
+	// exit must land in the canceled counter — it used to return from
+	// the admission wait without touching any counter, vanishing from
+	// the Admitted + Rejected accounting.
+	ccfg := chaosConfig(2)
+	ccfg.MaxInflight = 1
+	ccfg.MaxQueue = 4
+	s2, err := db.NewSearcherContext(ctx, toposearch.Protein, toposearch.DNA, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := fault.Enable(*chaosSeedFlag,
+		fault.Rule{Point: "shard.executor", Delay: 300 * time.Millisecond, DelayOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, cond func(toposearch.SearcherStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(s2.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, s2.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	holder := make(chan error, 1)
+	go func() {
+		_, err := s2.SearchContext(ctx, toposearch.SearchQuery{Method: "fast-top"})
+		holder <- err
+	}()
+	waitFor("the slot to be held", func(st toposearch.SearcherStats) bool { return st.Inflight == 1 })
+	cctx, cancel := context.WithCancel(ctx)
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s2.SearchContext(cctx, toposearch.SearchQuery{K: 3, Method: "fast-top-k"})
+		queued <- err
+	}()
+	waitFor("the second query to queue", func(st toposearch.SearcherStats) bool { return st.Waiting == 1 })
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled-while-queued query: got %v, want context.Canceled", err)
+	}
+	if err := <-holder; err != nil {
+		t.Fatalf("slot-holding query: %v", err)
+	}
+	fault.Disable()
+	st2 := s2.Stats()
+	if st2.Canceled != 1 || st2.Admitted != 1 || st2.Rejected != 0 {
+		t.Fatalf("admission accounting after queued cancellation: %+v, want 1 admitted / 0 rejected / 1 canceled", st2)
+	}
+	if st2.Inflight != 0 || st2.Waiting != 0 {
+		t.Fatalf("admission gauges not drained after queued cancellation: %+v", st2)
+	}
 }
 
 // TestChaosDeadlinePartial proves the deadline-budget contract: with
@@ -730,5 +788,74 @@ func TestChaosCacheFillSurvivesCallerCancellation(t *testing.T) {
 	}
 	if fmt.Sprint(again.Topologies) != fmt.Sprint(res.Topologies) {
 		t.Fatalf("cached fill diverges from the waiter's answer:\n got %v\nwant %v", again.Topologies, res.Topologies)
+	}
+}
+
+// TestChaosAccessorContainment covers the read-path accessors' guard:
+// Explain, Instances, Witness and Space hold the same lifecycle read
+// lock and panic containment SearchContext does, so a panic injected at
+// searcher.accessor surfaces as a typed *EnginePanicError from Explain,
+// degrades the error-less accessors to their zero returns, and is
+// counted in PanicsContained — it never escapes to the caller. With the
+// fault disarmed all four accessors work again, against the same store
+// generation.
+func TestChaosAccessorContainment(t *testing.T) {
+	defer assertNoGoroutineLeak(t, goroutineBaseline())
+	db, err := toposearch.Synthetic(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.NewSearcher(toposearch.Protein, toposearch.DNA, chaosConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A live topology ID and instance pair for the healthy passes.
+	res, err := s.Search(toposearch.SearchQuery{K: 3, Method: "fast-top-k"})
+	if err != nil || len(res.Topologies) == 0 {
+		t.Fatalf("seed query: res=%v err=%v", res, err)
+	}
+	tid := res.Topologies[0].ID
+	pairs := s.Instances(tid, 1)
+	if len(pairs) == 0 {
+		t.Fatalf("topology %d has no instances", tid)
+	}
+
+	t.Cleanup(fault.Disable)
+	if err := fault.Enable(*chaosSeedFlag,
+		fault.Rule{Point: "searcher.accessor", Panic: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var pe *toposearch.EnginePanicError
+	if _, err := s.Explain(toposearch.SearchQuery{K: 3, Method: "fast-top-k"}); !errors.As(err, &pe) {
+		t.Fatalf("Explain under injected panic: got %v, want EnginePanicError", err)
+	}
+	if got := s.Instances(tid, 4); got != nil {
+		t.Fatalf("Instances under injected panic = %v, want nil", got)
+	}
+	if lines, ok := s.Witness(pairs[0][0], pairs[0][1], tid); ok || lines != nil {
+		t.Fatalf("Witness under injected panic = %v, %v; want nil, false", lines, ok)
+	}
+	if rep := s.Space(); rep.ES1 != "" || rep.AllTopsBytes != 0 {
+		t.Fatalf("Space under injected panic = %+v, want zero report", rep)
+	}
+	if st := s.Stats(); st.PanicsContained != 4 {
+		t.Fatalf("PanicsContained = %d, want 4 (one per accessor)", st.PanicsContained)
+	}
+
+	fault.Disable()
+	if _, err := s.Explain(toposearch.SearchQuery{K: 3, Method: "fast-top-k"}); err != nil {
+		t.Fatalf("Explain after disarm: %v", err)
+	}
+	if got := s.Instances(tid, 1); len(got) == 0 {
+		t.Fatal("Instances after disarm came back empty")
+	}
+	if lines, ok := s.Witness(pairs[0][0], pairs[0][1], tid); !ok || len(lines) == 0 {
+		t.Fatalf("Witness after disarm = %v, %v", lines, ok)
+	}
+	if rep := s.Space(); rep.ES1 == "" {
+		t.Fatal("Space after disarm returned a zero report")
 	}
 }

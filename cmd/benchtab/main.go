@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|benchchaos|benchobs|all [flags]
+//	benchtab -exp table1|table2|table3|fig8|fig11|fig12|varyk|instances|benchonline|benchet|benchshard|benchstorage|benchupdate|benchcache|benchchaos|benchobs|benchserve|all [flags]
 //
 // The benchonline experiment sweeps the online evaluation methods
 // across query worker counts and writes the measurements to
@@ -40,8 +40,12 @@
 // micro-costs and the disabled gate, end-to-end recording and tracing
 // overhead on the query mix (traced answers verified byte-identical to
 // untraced), and the /metrics scrape — and writes -obsout (default
-// BENCH_obs.json). -metrics-addr serves /metrics, /statsz and
-// /debug/pprof while any experiment runs.
+// BENCH_obs.json). The benchserve experiment boots a toposerve daemon
+// in-process and replays the recorded query mix over HTTP at fixed
+// target rates (open loop), reporting end-to-end latency percentiles
+// per rate plus the 429 shed count of an unpaced saturation burst, and
+// writes -serveout (default BENCH_serve.json). -metrics-addr serves
+// /metrics, /statsz and /debug/pprof while any experiment runs.
 package main
 
 import (
@@ -76,6 +80,7 @@ func main() {
 		storeout = flag.String("storageout", "BENCH_storage.json", "output file for -exp benchstorage")
 		updout   = flag.String("updateout", "BENCH_update.json", "output file for -exp benchupdate")
 		cacheout = flag.String("cacheout", "BENCH_cache.json", "output file for -exp benchcache")
+		serveout = flag.String("serveout", "BENCH_serve.json", "output file for -exp benchserve")
 		chaosout = flag.String("chaosout", "BENCH_chaos.json", "output file for -exp benchchaos")
 		obsout   = flag.String("obsout", "BENCH_obs.json", "output file for -exp benchobs")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /statsz and /debug/pprof on this address while the experiments run")
@@ -180,6 +185,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", *cacheout)
+		if *exp != "all" {
+			return
+		}
+	}
+
+	// The serving benchmark boots a whole toposerve daemon in-process
+	// and measures end-to-end HTTP latency, so it too builds its own
+	// database rather than using the methods-level env.
+	if need("benchserve") {
+		fmt.Println("== Serving layer: open-loop HTTP load sweep, latency percentiles, 429 shedding ==")
+		rep, err := experiments.BenchServe(ctx, *scale, *seed, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintServeBench(os.Stdout, rep)
+		if err := experiments.WriteServeBench(rep, *serveout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", *serveout)
 		if *exp != "all" {
 			return
 		}

@@ -40,7 +40,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -52,50 +51,18 @@ import (
 	"time"
 
 	"toposearch"
+	"toposearch/internal/serve"
 )
 
-// batchLine is one JSONL mutation: an entity insert (entity/id/attrs)
-// or a relationship insert (rel/a/b).
-type batchLine struct {
-	Entity string            `json:"entity"`
-	ID     int64             `json:"id"`
-	Attrs  map[string]string `json:"attrs"`
-	Rel    string            `json:"rel"`
-	A      int64             `json:"a"`
-	B      int64             `json:"b"`
-}
-
-// readBatch parses a JSONL mutation file into staged updates.
+// readBatch parses a JSONL mutation file into staged updates (the
+// format is shared with toposerve's POST /v1/apply, see serve.ParseBatch).
 func readBatch(path string) ([]toposearch.Update, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var ups []toposearch.Update
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // long desc attributes exceed the default line cap
-	for n := 1; sc.Scan(); n++ {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		var bl batchLine
-		if err := json.Unmarshal([]byte(line), &bl); err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, n, err)
-		}
-		switch {
-		case bl.Entity != "" && bl.Rel != "":
-			return nil, fmt.Errorf("%s:%d: line sets both \"entity\" and \"rel\"", path, n)
-		case bl.Entity != "":
-			ups = append(ups, toposearch.InsertEntity(bl.Entity, bl.ID, bl.Attrs))
-		case bl.Rel != "":
-			ups = append(ups, toposearch.InsertRelationship(bl.Rel, bl.A, bl.B))
-		default:
-			return nil, fmt.Errorf("%s:%d: line has neither \"entity\" nor \"rel\"", path, n)
-		}
-	}
-	return ups, sc.Err()
+	return serve.ParseBatch(f, path)
 }
 
 func main() {

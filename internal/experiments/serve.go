@@ -1,0 +1,311 @@
+package experiments
+
+// This file is the serving-layer load benchmark: the BENCH_serve.json
+// counterpart of the engine sweeps. It boots a toposerve daemon
+// in-process on a loopback listener, replays the recorded query mix
+// over real HTTP at fixed target rates (open loop: requests launch on
+// the pacer's schedule whether or not earlier ones returned, so
+// queueing shows up in the tail), and reports end-to-end latency
+// percentiles per rate. A final unpaced burst drives the searcher past
+// its admission bounds to demonstrate 429 shedding under saturation.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"toposearch"
+	"toposearch/internal/biozon"
+	"toposearch/internal/serve"
+)
+
+// ServeBenchRow is one paced phase of the load sweep.
+type ServeBenchRow struct {
+	TargetQPS   float64 `json:"target_qps"`
+	Requests    int     `json:"requests"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// End-to-end client-observed latency percentiles, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// OK counts 200s; Shed counts 429 admission rejections; Errors is
+	// everything else (0 on a healthy run).
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+}
+
+// ServeBenchBurst summarizes the saturation phase: an unpaced wave of
+// concurrent requests against the searcher's admission bounds.
+type ServeBenchBurst struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	OK          int `json:"ok"`
+	Shed        int `json:"shed"`
+	// Deadlined counts admitted requests the 504 deadline cut ended:
+	// the burst query (the SQL strawman, far slower than its 2s budget)
+	// exists to hold admission slots, so every admitted one deadlines.
+	Deadlined int `json:"deadlined"`
+	Errors    int `json:"errors"`
+}
+
+// ServeBenchReport is the file-level shape of BENCH_serve.json.
+type ServeBenchReport struct {
+	Scale       int             `json:"scale"`
+	Seed        int64           `json:"seed"`
+	Pair        [2]string       `json:"pair"`
+	Note        string          `json:"note"`
+	Mix         []string        `json:"mix"`
+	MaxInflight int             `json:"max_inflight"`
+	MaxQueue    int             `json:"max_queue"`
+	Rows        []ServeBenchRow `json:"rows"`
+	Burst       ServeBenchBurst `json:"burst"`
+}
+
+const serveNote = "Open-loop HTTP load against an in-process toposerve daemon: the recorded " +
+	"query mix fires at each target rate regardless of completions, so admission queueing " +
+	"shows up in the p95/p99 tail. The burst phase launches one unpaced wave of slot-holding " +
+	"SQL-strawman queries far past MaxInflight+MaxQueue; its shed count is the " +
+	"429/Retry-After surface under saturation, and the admitted few end in the 504 deadline cut."
+
+// serveBenchMix renders the cache benchmark's recorded query mix into
+// wire-form request bodies, so the daemon serves exactly the queries
+// the engine benchmarks replay.
+func serveBenchMix() (names []string, bodies [][]byte, err error) {
+	for _, it := range cacheQueryMix() {
+		req := serve.SearchRequest{
+			K:       it.Q.K,
+			Ranking: it.Q.Ranking,
+			Method:  it.Q.Method,
+		}
+		for _, c := range it.Q.Cons1 {
+			req.Cons1 = append(req.Cons1, serve.Constraint{Column: c.Column, Keyword: c.Keyword, Equals: c.Equals})
+		}
+		for _, c := range it.Q.Cons2 {
+			req.Cons2 = append(req.Cons2, serve.Constraint{Column: c.Column, Keyword: c.Keyword, Equals: c.Equals})
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, it.Name)
+		bodies = append(bodies, b)
+	}
+	return names, bodies, nil
+}
+
+// percentileMs picks the q-th percentile (0..1) of sorted latencies,
+// in milliseconds.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// BenchServe boots the daemon and runs the load sweep. reps scales the
+// per-rate request budget; scale/seed size the synthetic database.
+func BenchServe(ctx context.Context, scale int, seed int64, reps int) (*ServeBenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	db, err := toposearch.Synthetic(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	const maxInflight, maxQueue = 8, 16
+	sv, err := serve.New(serve.Config{
+		DB: db,
+		Searcher: toposearch.SearcherConfig{
+			MaxLen: 3, PruneThreshold: 8, MaxCombinations: 4096,
+			MaxInflight: maxInflight, MaxQueue: maxQueue,
+			QueueTimeout: 10 * time.Millisecond,
+		},
+		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sv.Shutdown(sctx)
+	}()
+	if err := sv.Warm(ctx, toposearch.Protein, toposearch.DNA); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: sv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	names, bodies, err := serveBenchMix()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServeBenchReport{
+		Scale: scale, Seed: seed,
+		Pair: [2]string{toposearch.Protein, toposearch.DNA},
+		Note: serveNote, Mix: names,
+		MaxInflight: maxInflight, MaxQueue: maxQueue,
+	}
+
+	// fire posts one search and classifies the outcome.
+	fire := func(body []byte) (time.Duration, int) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return time.Since(t0), -1
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return time.Since(t0), resp.StatusCode
+	}
+
+	// mutationBody stages one growth batch as a /v1/apply JSONL body,
+	// exercising the background refresh loop mid-sweep.
+	mutationBody := func(i int) []byte {
+		p := biozon.BaseProtein + 840000 + i
+		d := biozon.BaseDNA + 840000 + i
+		return fmt.Appendf(nil,
+			`{"entity":"Protein","id":%d,"attrs":{"desc":"serve bench %d %s"}}`+"\n"+
+				`{"entity":"DNA","id":%d,"attrs":{"type":"mRNA"}}`+"\n"+
+				`{"rel":"encodes","a":%d,"b":%d}`+"\n", p, i, biozon.TokenMedium, d, p, d)
+	}
+
+	for _, rate := range []float64{50, 200, 800} {
+		n := 120 * reps
+		interval := time.Duration(float64(time.Second) / rate)
+		var mu sync.Mutex
+		var lats []time.Duration
+		row := ServeBenchRow{TargetQPS: rate, Requests: n}
+		var wg sync.WaitGroup
+		start := time.Now()
+		tick := time.NewTicker(interval)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					tick.Stop()
+					return nil, ctx.Err()
+				}
+			}
+			if i == n/2 {
+				// One mutation batch mid-phase: the background loop folds
+				// it in while the paced load keeps arriving.
+				resp, err := client.Post(base+"/v1/apply", "application/x-ndjson",
+					bytes.NewReader(mutationBody(int(rate))))
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lat, code := fire(bodies[i%len(bodies)])
+				mu.Lock()
+				defer mu.Unlock()
+				lats = append(lats, lat)
+				switch {
+				case code == http.StatusOK:
+					row.OK++
+				case code == http.StatusTooManyRequests:
+					row.Shed++
+				default:
+					row.Errors++
+				}
+			}(i)
+		}
+		tick.Stop()
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		row.AchievedQPS = float64(n) / elapsed
+		row.P50Ms = percentileMs(lats, 0.50)
+		row.P95Ms = percentileMs(lats, 0.95)
+		row.P99Ms = percentileMs(lats, 0.99)
+		row.MaxMs = percentileMs(lats, 1.00)
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// Saturation burst: one unpaced wave far past the admission bounds.
+	// The burst runs the SQL strawman under a 2s deadline: the deadline
+	// routes it around the result cache, and the strawman (seconds of
+	// execution at any scale) holds every admission slot for the full
+	// budget, so the bounded queue fills and the excess sheds with 429
+	// while the admitted few end in the documented 504 deadline cut.
+	// Nothing may fail untyped.
+	burstBody, err := json.Marshal(serve.SearchRequest{K: 5, Method: "sql", TimeoutMs: 2000})
+	if err != nil {
+		return nil, err
+	}
+	burstBodies := [][]byte{burstBody}
+	burst := ServeBenchBurst{Concurrency: 512}
+	burst.Requests = burst.Concurrency
+	var bmu sync.Mutex
+	var bwg sync.WaitGroup
+	for i := 0; i < burst.Concurrency; i++ {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			_, code := fire(burstBodies[i%len(burstBodies)])
+			bmu.Lock()
+			defer bmu.Unlock()
+			switch code {
+			case http.StatusOK:
+				burst.OK++
+			case http.StatusTooManyRequests:
+				burst.Shed++
+			case http.StatusGatewayTimeout:
+				burst.Deadlined++
+			default:
+				burst.Errors++
+			}
+		}(i)
+	}
+	bwg.Wait()
+	rep.Burst = burst
+	return rep, nil
+}
+
+// WriteServeBench writes BENCH_serve.json.
+func WriteServeBench(rep *ServeBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintServeBench prints the sweep as a table.
+func PrintServeBench(w io.Writer, rep *ServeBenchReport) {
+	fmt.Fprintf(w, "serving load sweep (scale %d, %s-%s, admission %d/%d):\n",
+		rep.Scale, rep.Pair[0], rep.Pair[1], rep.MaxInflight, rep.MaxQueue)
+	fmt.Fprintf(w, "%12s %10s %10s %10s %10s %10s %6s %6s %6s\n",
+		"target_qps", "achieved", "p50_ms", "p95_ms", "p99_ms", "max_ms", "ok", "shed", "err")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%12.0f %10.1f %10.2f %10.2f %10.2f %10.2f %6d %6d %6d\n",
+			r.TargetQPS, r.AchievedQPS, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.OK, r.Shed, r.Errors)
+	}
+	fmt.Fprintf(w, "burst: %d concurrent -> %d ok, %d shed (429), %d deadlined (504), %d errors\n",
+		rep.Burst.Concurrency, rep.Burst.OK, rep.Burst.Shed, rep.Burst.Deadlined, rep.Burst.Errors)
+}

@@ -132,6 +132,12 @@ type CacheStats struct {
 	CarriedForward int64
 	// Flushes counts whole-cache flushes (topology registry unstable).
 	Flushes int64
+	// SkippedStale counts fills whose result was returned to callers
+	// but not cached because the epoch they were tagged with had
+	// already advanced while the fill ran — a mutation batch landed
+	// mid-fill, so the result may reflect base-table rows the tag does
+	// not pin.
+	SkippedStale int64
 	// Entries and Bytes describe the current resident set.
 	Entries int
 	Bytes   int64
@@ -173,7 +179,7 @@ type cacheShard struct {
 type ResultCache struct {
 	shards [8]cacheShard
 
-	hits, misses, evictions, invalidated, carried, flushes atomic.Int64
+	hits, misses, evictions, invalidated, carried, flushes, skippedStale atomic.Int64
 }
 
 // NewResultCache returns a cache holding at most maxBytes of result
@@ -214,7 +220,13 @@ func (c *ResultCache) shardOf(key string) *cacheShard {
 // searcher passes a detached one). A panic out of compute is contained
 // into a typed *fault.PanicError, failing every waiter; nothing is
 // cached. A nil ctx behaves like context.Background().
-func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, epoch int, compute func() (val any, bytes int64, fp Footprint, pred relstore.Pred, err error)) (any, bool, error) {
+//
+// compute's cacheable return gates storage without affecting delivery:
+// a false value means the result is correct for the caller that asked
+// for it but must not be tagged (gen, epoch) — the searcher returns
+// false when the edge-log epoch advanced while the fill ran, since the
+// fill may then have observed base-table rows the tag does not pin.
+func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, epoch int, compute func() (val any, bytes int64, fp Footprint, pred relstore.Pred, cacheable bool, err error)) (any, bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -256,6 +268,7 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 		var bytes int64
 		var fp Footprint
 		var pred relstore.Pred
+		var cacheable bool
 		var err error
 		defer func() {
 			if v := recover(); v != nil {
@@ -264,23 +277,29 @@ func (c *ResultCache) GetOrCompute(ctx context.Context, key string, gen uint64, 
 			f.val, f.err = val, err
 			sh.mu.Lock()
 			delete(sh.flights, tag)
-			if err == nil {
+			if err == nil && cacheable {
 				sh.store(c, &cacheEntry{key: key, gen: gen, epoch: epoch, fp: fp, pred: pred, val: val, bytes: bytes})
 			}
 			sh.mu.Unlock()
 			close(f.done)
 			c.misses.Add(1)
+			if err == nil && !cacheable {
+				c.skippedStale.Add(1)
+			}
 			if obs.Enabled() {
 				obsCacheMiss.Inc()
 				if err != nil {
 					obsCacheFillErr.Inc()
+				}
+				if err == nil && !cacheable {
+					obsCacheSkipStale.Inc()
 				}
 			}
 		}()
 		if err = faultFill.Hit(); err != nil {
 			return
 		}
-		val, bytes, fp, pred, err = compute()
+		val, bytes, fp, pred, cacheable, err = compute()
 	}()
 
 	select {
@@ -348,6 +367,7 @@ func (c *ResultCache) Stats() CacheStats {
 		Invalidated:    c.invalidated.Load(),
 		CarriedForward: c.carried.Load(),
 		Flushes:        c.flushes.Load(),
+		SkippedStale:   c.skippedStale.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

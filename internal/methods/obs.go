@@ -18,6 +18,7 @@ var (
 	obsCacheFlush     = obsCacheEvents.With("flush")
 	obsCacheFillErr   = obsCacheEvents.With("fill_error")
 	obsCacheCollapsed = obsCacheEvents.With("collapsed")
+	obsCacheSkipStale = obsCacheEvents.With("skipped_stale")
 
 	obsSpecSegments = obs.Default().Counter("toposearch_spec_segments_total",
 		"Speculative ET segments raced.")

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"toposearch"
+)
+
+// batchLine is one JSONL mutation: an entity insert (entity/id/attrs)
+// or a relationship insert (rel/a/b). The format is shared between the
+// topsearch -apply flag and the daemon's POST /v1/apply body.
+type batchLine struct {
+	Entity string            `json:"entity"`
+	ID     int64             `json:"id"`
+	Attrs  map[string]string `json:"attrs"`
+	Rel    string            `json:"rel"`
+	A      int64             `json:"a"`
+	B      int64             `json:"b"`
+}
+
+// ParseBatch parses a JSONL mutation stream into staged updates. Blank
+// lines and #-comments are skipped; a line may stage either an entity
+// or a relationship, never both. name prefixes error positions (a file
+// path, or "body" for an HTTP request).
+func ParseBatch(r io.Reader, name string) ([]toposearch.Update, error) {
+	var ups []toposearch.Update
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // long desc attributes exceed the default line cap
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var bl batchLine
+		if err := json.Unmarshal([]byte(line), &bl); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, n, err)
+		}
+		switch {
+		case bl.Entity != "" && bl.Rel != "":
+			return nil, fmt.Errorf("%s:%d: line sets both \"entity\" and \"rel\"", name, n)
+		case bl.Entity != "":
+			ups = append(ups, toposearch.InsertEntity(bl.Entity, bl.ID, bl.Attrs))
+		case bl.Rel != "":
+			ups = append(ups, toposearch.InsertRelationship(bl.Rel, bl.A, bl.B))
+		default:
+			return nil, fmt.Errorf("%s:%d: line has neither \"entity\" nor \"rel\"", name, n)
+		}
+	}
+	return ups, sc.Err()
+}

@@ -1,0 +1,19 @@
+package serve
+
+import "toposearch/internal/obs"
+
+// Request-level metric families on the obs default registry. The
+// counter carries rate (qps by route and status class); the histogram's
+// bucket series yield end-to-end latency percentiles at scrape time —
+// the serving-layer complement of toposearch_query_duration_seconds,
+// which only covers the engine portion of a request.
+var (
+	obsHTTPRequests = obs.Default().CounterVec("toposerve_http_requests_total",
+		"HTTP requests served by the toposerve daemon, by route and status code.",
+		"route", "code")
+	obsHTTPDur = obs.Default().HistogramVec("toposerve_http_request_duration_seconds",
+		"End-to-end HTTP request latency by route, decode to last response byte.",
+		obs.DefLatencyBuckets(), "route")
+	obsHTTPInflight = obs.Default().Gauge("toposerve_http_inflight",
+		"HTTP requests currently executing in the daemon.")
+)

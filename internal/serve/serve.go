@@ -1,0 +1,308 @@
+// Package serve is the toposearch serving layer: an HTTP daemon
+// exposing the engine's query, mutation and introspection surface over
+// JSON, with the same admission, containment and caching semantics the
+// library gives embedded callers.
+//
+// Endpoints:
+//
+//	POST /v1/search   one SearchRequest -> SearchResponse
+//	POST /v1/apply    JSONL mutation batch -> ApplyBatch + refresh
+//	GET  /v1/stats    daemon + per-searcher stats snapshot
+//	GET  /metrics     Prometheus exposition (plus /statsz, /debug/pprof)
+//
+// A Server owns one Searcher per entity-set pair, built on first use
+// and reused across requests. A background loop refreshes every pooled
+// searcher after mutation batches land (collapsing bursts) and
+// compacts the store on a configurable cadence. Shutdown drains
+// in-flight requests, stops the loop, then Closes every searcher.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"toposearch"
+)
+
+// Config parameterizes a Server. DB is required; the zero value of
+// everything else is usable.
+type Config struct {
+	// DB is the database the pooled searchers run over.
+	DB *toposearch.DB
+	// Searcher is the build template applied to every pooled searcher
+	// (zero = DefaultSearcherConfig plus whatever admission bounds the
+	// daemon sets).
+	Searcher toposearch.SearcherConfig
+	// DefaultES1/DefaultES2 name the entity-set pair used by requests
+	// that leave es1/es2 empty (default Protein / DNA).
+	DefaultES1, DefaultES2 string
+	// DefaultTimeout bounds requests that send no timeout of their own
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (0 = uncapped).
+	MaxTimeout time.Duration
+	// RefreshDebounce is how long the background loop waits after a
+	// mutation batch before refreshing, collapsing bursts of /v1/apply
+	// calls into one refresh round (default 25ms).
+	RefreshDebounce time.Duration
+	// CompactEvery compacts the store after every n-th background
+	// refresh round (default 1 = after every round; negative disables).
+	CompactEvery int
+	// Log receives one structured record per request and per background
+	// refresh round (default slog.Default()).
+	Log *slog.Logger
+}
+
+// Server is the daemon state: the searcher pool, the background
+// refresh/compact loop, and the in-flight request accounting that
+// Shutdown drains.
+type Server struct {
+	cfg   Config
+	db    *toposearch.DB
+	log   *slog.Logger
+	start time.Time
+
+	mu   sync.Mutex
+	pool map[[2]string]*pooledSearcher
+
+	inflight sync.WaitGroup
+	closed   chan struct{} // closed by Shutdown: new requests get 503
+	kick     chan struct{} // nudges the refresh loop after a batch
+	loopDone chan struct{}
+	stopOnce sync.Once
+
+	refreshMu sync.Mutex // serializes refresh rounds (loop vs sync applies)
+	rounds    int        // completed refresh rounds, drives CompactEvery
+}
+
+// pooledSearcher is one pool slot: the once gate makes concurrent
+// first requests for a pair share a single offline build, and done
+// (closed when the build finishes) lets snapshot readers observe s/err
+// without blocking on a build in progress.
+type pooledSearcher struct {
+	once sync.Once
+	done chan struct{}
+	s    *toposearch.Searcher
+	err  error
+}
+
+// New builds a Server over cfg.DB and starts its background refresh
+// loop. Callers must Shutdown the returned server to stop the loop and
+// close the pooled searchers.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("serve: Config.DB is required")
+	}
+	if cfg.DefaultES1 == "" {
+		cfg.DefaultES1 = toposearch.Protein
+	}
+	if cfg.DefaultES2 == "" {
+		cfg.DefaultES2 = toposearch.DNA
+	}
+	if cfg.RefreshDebounce <= 0 {
+		cfg.RefreshDebounce = 25 * time.Millisecond
+	}
+	if cfg.CompactEvery == 0 {
+		cfg.CompactEvery = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	if (cfg.Searcher == toposearch.SearcherConfig{}) {
+		cfg.Searcher = toposearch.DefaultSearcherConfig()
+	}
+	sv := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		log:      cfg.Log,
+		start:    time.Now(),
+		pool:     make(map[[2]string]*pooledSearcher),
+		closed:   make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+	}
+	go sv.refreshLoop()
+	return sv, nil
+}
+
+// Warm builds the searcher for one entity-set pair ahead of traffic,
+// so the first request doesn't pay the offline phase.
+func (sv *Server) Warm(ctx context.Context, es1, es2 string) error {
+	_, err := sv.searcher(ctx, es1, es2)
+	return err
+}
+
+// shuttingDown reports whether Shutdown has begun.
+func (sv *Server) shuttingDown() bool {
+	select {
+	case <-sv.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// validPair reports whether both names are entity sets of the DB's
+// schema graph, so bad pairs 400 without paying a pool build.
+func (sv *Server) validPair(es1, es2 string) error {
+	known := sv.db.EntitySets()
+	for _, es := range []string{es1, es2} {
+		ok := false
+		for _, k := range known {
+			if k == es {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown entity set %q (have %v)", es, known)
+		}
+	}
+	return nil
+}
+
+// searcher returns the pooled searcher for the pair, building it on
+// first use. Concurrent first requests share one build; a failed build
+// vacates the slot so a later request can retry.
+func (sv *Server) searcher(ctx context.Context, es1, es2 string) (*toposearch.Searcher, error) {
+	key := [2]string{es1, es2}
+	sv.mu.Lock()
+	ps, ok := sv.pool[key]
+	if !ok {
+		ps = &pooledSearcher{done: make(chan struct{})}
+		sv.pool[key] = ps
+	}
+	sv.mu.Unlock()
+	ps.once.Do(func() {
+		defer close(ps.done)
+		t0 := time.Now()
+		// The build is detached from the request context: a client that
+		// gives up mid-build must not poison the slot every later
+		// request shares.
+		ps.s, ps.err = sv.db.NewSearcherContext(context.WithoutCancel(ctx), es1, es2, sv.cfg.Searcher)
+		if ps.err == nil {
+			sv.log.Info("searcher built", "es1", es1, "es2", es2,
+				"topologies", ps.s.TopologyCount(), "pruned", ps.s.PrunedCount(),
+				"elapsed", time.Since(t0).Round(time.Microsecond).String())
+		}
+	})
+	<-ps.done
+	if ps.err != nil {
+		sv.mu.Lock()
+		if sv.pool[key] == ps {
+			delete(sv.pool, key)
+		}
+		sv.mu.Unlock()
+		return nil, ps.err
+	}
+	return ps.s, nil
+}
+
+// searchers snapshots the built pool entries (pairs still mid-build or
+// failed are skipped).
+func (sv *Server) searchers() map[[2]string]*toposearch.Searcher {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make(map[[2]string]*toposearch.Searcher, len(sv.pool))
+	for key, ps := range sv.pool {
+		select {
+		case <-ps.done: // build finished; s/err safe to read
+			if ps.err == nil {
+				out[key] = ps.s
+			}
+		default: // still building — skip this round
+		}
+	}
+	return out
+}
+
+// kickRefresh nudges the background loop; a nudge already pending is
+// enough (the loop refreshes every pooled searcher per round).
+func (sv *Server) kickRefresh() {
+	select {
+	case sv.kick <- struct{}{}:
+	default:
+	}
+}
+
+// refreshLoop folds applied batches into every pooled searcher: one
+// round per burst of /v1/apply calls (collapsed by RefreshDebounce),
+// compacting the store every CompactEvery rounds.
+func (sv *Server) refreshLoop() {
+	defer close(sv.loopDone)
+	for {
+		select {
+		case <-sv.closed:
+			return
+		case <-sv.kick:
+		}
+		// Debounce: let a burst of applies land, then refresh once.
+		timer := time.NewTimer(sv.cfg.RefreshDebounce)
+		select {
+		case <-sv.closed:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		sv.refreshAll(context.Background())
+	}
+}
+
+// refreshAll runs one refresh round: every pooled searcher absorbs the
+// applied-edge log, then the store compacts on the CompactEvery
+// cadence. Rounds are serialized; a synchronous /v1/apply?sync=1 and
+// the background loop never interleave.
+func (sv *Server) refreshAll(ctx context.Context) map[string]int {
+	sv.refreshMu.Lock()
+	defer sv.refreshMu.Unlock()
+	edges := make(map[string]int)
+	for key, s := range sv.searchers() {
+		t0 := time.Now()
+		n, err := s.RefreshContext(ctx)
+		pair := key[0] + "-" + key[1]
+		if err != nil {
+			sv.log.Error("refresh failed", "pair", pair, "err", err.Error())
+			continue
+		}
+		edges[pair] = n
+		sv.log.Info("refreshed", "pair", pair, "edges", n,
+			"elapsed", time.Since(t0).Round(time.Microsecond).String())
+	}
+	sv.rounds++
+	if sv.cfg.CompactEvery > 0 && sv.rounds%sv.cfg.CompactEvery == 0 {
+		if err := sv.db.Compact(); err != nil {
+			sv.log.Error("compact failed", "err", err.Error())
+		}
+	}
+	return edges
+}
+
+// Shutdown drains the daemon: new requests are refused with 503,
+// in-flight requests run to completion (bounded by ctx), the refresh
+// loop stops, and every pooled searcher is Closed — which itself
+// drains that searcher's in-flight queries. Idempotent.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.stopOnce.Do(func() { close(sv.closed) })
+	select {
+	case <-sv.loopDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	done := make(chan struct{})
+	go func() {
+		sv.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for _, s := range sv.searchers() {
+		s.Close()
+	}
+	return nil
+}

@@ -80,7 +80,7 @@ var (
 	obsSearcherWaiting = obs.Default().GaugeVec("toposearch_searcher_waiting",
 		"Search calls queued for an admission slot, per searcher.", "searcher")
 	obsSearcherAdmission = obs.Default().CounterVec("toposearch_searcher_admission_total",
-		"Admission outcomes per searcher: admitted, degraded (ran with speculation/shards clamped), rejected (shed with ErrOverloaded).",
+		"Admission outcomes per searcher: admitted, degraded (ran with speculation/shards clamped), rejected (shed with ErrOverloaded), canceled (context expired while queued).",
 		"searcher", "outcome")
 	obsSearcherPanics = obs.Default().CounterVec("toposearch_searcher_panics_contained_total",
 		"Panics recovered into EnginePanicError by Search/Refresh, per searcher.", "searcher")
@@ -113,10 +113,10 @@ func init() {
 // same one atomic op they always did, whether or not telemetry
 // recording is enabled.
 type searcherMetrics struct {
-	inflight, waiting            *obs.Gauge
-	admitted, rejected, degraded *obs.Counter
-	panics, partials             *obs.Counter
-	cacheBytes, cacheEntries     *obs.Gauge
+	inflight, waiting                      *obs.Gauge
+	admitted, rejected, degraded, canceled *obs.Counter
+	panics, partials                       *obs.Counter
+	cacheBytes, cacheEntries               *obs.Gauge
 }
 
 var searcherSeq atomic.Int64
@@ -129,6 +129,7 @@ func newSearcherMetrics(es1, es2 string) (string, searcherMetrics) {
 		admitted:     obsSearcherAdmission.With(sid, "admitted"),
 		rejected:     obsSearcherAdmission.With(sid, "rejected"),
 		degraded:     obsSearcherAdmission.With(sid, "degraded"),
+		canceled:     obsSearcherAdmission.With(sid, "canceled"),
 		panics:       obsSearcherPanics.With(sid),
 		partials:     obsSearcherPartials.With(sid),
 		cacheBytes:   obsSearcherCacheBytes.With(sid),
@@ -142,7 +143,7 @@ func newSearcherMetrics(es1, es2 string) (string, searcherMetrics) {
 func releaseSearcherMetrics(sid string) {
 	obsSearcherInflight.Remove(sid)
 	obsSearcherWaiting.Remove(sid)
-	for _, oc := range []string{"admitted", "rejected", "degraded"} {
+	for _, oc := range []string{"admitted", "rejected", "degraded", "canceled"} {
 		obsSearcherAdmission.Remove(sid, oc)
 	}
 	obsSearcherPanics.Remove(sid)

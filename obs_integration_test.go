@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"toposearch"
 	"toposearch/internal/biozon"
@@ -323,18 +325,18 @@ func TestObsMetricsEndpoint(t *testing.T) {
 	samples := validateExposition(t, string(body))
 
 	for _, family := range []string{
-		"toposearch_query_duration_seconds_count",  // searcher latency
-		"toposearch_searcher_admission_total",      // admission control
-		"toposearch_cache_events_total",            // result cache
-		"toposearch_cache_resident_bytes",          // cache footprint
-		"toposearch_shard_executors_total",         // sharded execution
-		"toposearch_spec_segments_total",           // speculation
-		"toposearch_refresh_duration_seconds_sum",  // refresh latency
-		"toposearch_refresh_tables_total",          // diff materializer
-		"toposearch_apply_mutations_total",         // batch apply
-		"toposearch_delta_bytes",                   // write-state footprint
-		"toposearch_fault_fired_total",             // fault injection
-		"toposearch_build_duration_seconds_count",  // offline phase
+		"toposearch_query_duration_seconds_count", // searcher latency
+		"toposearch_searcher_admission_total",     // admission control
+		"toposearch_cache_events_total",           // result cache
+		"toposearch_cache_resident_bytes",         // cache footprint
+		"toposearch_shard_executors_total",        // sharded execution
+		"toposearch_spec_segments_total",          // speculation
+		"toposearch_refresh_duration_seconds_sum", // refresh latency
+		"toposearch_refresh_tables_total",         // diff materializer
+		"toposearch_apply_mutations_total",        // batch apply
+		"toposearch_delta_bytes",                  // write-state footprint
+		"toposearch_fault_fired_total",            // fault injection
+		"toposearch_build_duration_seconds_count", // offline phase
 	} {
 		found := false
 		for series := range samples {
@@ -522,9 +524,60 @@ func TestObsSearcherStatsLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+
+	// Cancelled-while-queued: both admission slots are held by fills
+	// sleeping at the injected cache.fill delay, a third query queues,
+	// and its context is cancelled. The "canceled" outcome must count it
+	// — the silent-exit path used to return without touching any
+	// admission counter, so queued cancellations vanished from the
+	// Admitted + Rejected accounting.
+	if err := fault.Enable(1, fault.Rule{Point: "cache.fill", Delay: 400 * time.Millisecond, DelayOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		q := toposearch.SearchQuery{K: 2, Method: "fast-top-k",
+			Cons1: []toposearch.Constraint{{Column: "desc", Keyword: fmt.Sprintf("kwsel%d", 15+35*i)}}}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.SearchContext(ctx, q); err != nil {
+				t.Errorf("slot-holding search: %v", err)
+			}
+		}()
+	}
+	waitFor := func(what string, cond func(toposearch.SearcherStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(s.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, s.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("both slots held", func(st toposearch.SearcherStats) bool { return st.Inflight == 2 })
+	cctx, cancel := context.WithCancel(ctx)
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := s.SearchContext(cctx, toposearch.SearchQuery{K: 1, Method: "fast-top-k"})
+		queuedErr <- err
+	}()
+	waitFor("third query queued", func(st toposearch.SearcherStats) bool { return st.Waiting == 1 })
+	cancel()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled-while-queued query: got %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	fault.Disable()
+
 	st := s.Stats()
-	if st.Admitted != 3 {
-		t.Fatalf("Stats().Admitted = %d, want 3", st.Admitted)
+	if st.Admitted != 5 {
+		t.Fatalf("Stats().Admitted = %d, want 5", st.Admitted)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("Stats().Canceled = %d, want 1", st.Canceled)
 	}
 	if st.Inflight != 0 || st.Waiting != 0 {
 		t.Fatalf("Stats() reports %d inflight / %d waiting after quiescence", st.Inflight, st.Waiting)
@@ -533,16 +586,20 @@ func TestObsSearcherStatsLifecycle(t *testing.T) {
 	if err := toposearch.WriteMetricsText(&buf); err != nil {
 		t.Fatal(err)
 	}
-	admitted := fmt.Sprintf("toposearch_searcher_admission_total{searcher=%q,outcome=\"admitted\"} 3", sid)
+	admitted := fmt.Sprintf("toposearch_searcher_admission_total{searcher=%q,outcome=\"admitted\"} 5", sid)
 	if !strings.Contains(buf.String(), admitted) {
 		t.Fatalf("exposition missing %q", admitted)
+	}
+	canceled := fmt.Sprintf("toposearch_searcher_admission_total{searcher=%q,outcome=\"canceled\"} 1", sid)
+	if !strings.Contains(buf.String(), canceled) {
+		t.Fatalf("exposition missing %q", canceled)
 	}
 
 	s.Close()
 	if after := scrapeSIDs(); after[sid] {
 		t.Fatalf("series for %q survived Close", sid)
 	}
-	if st := s.Stats(); st.Admitted != 3 {
-		t.Fatalf("Stats() after Close = %d admitted, want 3", st.Admitted)
+	if st := s.Stats(); st.Admitted != 5 || st.Canceled != 1 {
+		t.Fatalf("Stats() after Close = %d admitted / %d canceled, want 5 / 1", st.Admitted, st.Canceled)
 	}
 }

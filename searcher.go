@@ -34,6 +34,12 @@ type EnginePanicError = fault.PanicError
 // against it with errors.Is.
 var ErrInjected = fault.ErrInjected
 
+// faultAccessor fires at the top of the guarded read-path accessors
+// (Explain, Instances, Witness, Space): the chaos harness uses it to
+// prove a panic inside an accessor is contained instead of escaping to
+// the caller.
+var faultAccessor = fault.Register("searcher.accessor")
+
 // ErrOverloaded is returned by Search when admission control rejects
 // the query: the searcher is at MaxInflight, the wait queue is at
 // MaxQueue (or the queue wait timed out), and load must shed. Callers
@@ -176,6 +182,11 @@ type SearcherStats struct {
 	// queries that ran with speculation/sharding clamped to 1 because
 	// they arrived under contention. Zero when MaxInflight is 0.
 	Admitted, Rejected, Degraded int64
+	// Canceled counts queries whose context expired while they waited
+	// in the admission queue: they left without a slot and without
+	// being shed, so every queued query resolves to exactly one of
+	// Admitted, Rejected or Canceled.
+	Canceled int64
 	// PanicsContained counts panics recovered into EnginePanicError
 	// values by Search and Refresh instead of crashing the process.
 	PanicsContained int64
@@ -192,6 +203,7 @@ func (s *Searcher) Stats() SearcherStats {
 	return SearcherStats{
 		Inflight: int64(s.met.inflight.Value()), Waiting: int64(s.met.waiting.Value()),
 		Admitted: s.met.admitted.Value(), Rejected: s.met.rejected.Value(), Degraded: s.met.degraded.Value(),
+		Canceled:        s.met.canceled.Value(),
 		PanicsContained: s.met.panics.Value(), Partials: s.met.partials.Value(),
 	}
 }
@@ -655,6 +667,11 @@ func (s *Searcher) acquire(ctx context.Context) (degraded bool, release func(), 
 		s.met.rejected.Inc()
 		return false, nil, fmt.Errorf("%w: no slot within %v", ErrOverloaded, s.queueWait)
 	case <-ctx.Done():
+		// A context-cancelled queued query leaves without a slot and
+		// without being shed; count it so Admitted + Rejected + Canceled
+		// covers every queued arrival and the obs admission families
+		// never under-count.
+		s.met.canceled.Inc()
 		return false, nil, ctx.Err()
 	}
 }
@@ -779,11 +796,18 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 	// The fill runs detached from this caller's context: if this caller
 	// is cancelled mid-fill, waiters collapsed onto the flight still get
 	// a completed result, and this caller returns its ctx error.
+	//
+	// The epoch is snapshotted here, before the fill can start, and
+	// re-read after the fill's last base-table read: a batch applied
+	// mid-fill means the execution may have observed post-epoch rows, so
+	// the result is returned to the waiters but never cached under the
+	// pre-fill tag (which would break the cached-results-byte-identical
+	// invariant for any query that read the epoch before the batch).
 	key := searchCacheKey(q)
 	epoch := s.db.log.Len()
 	fillCtx := context.WithoutCancel(ctx)
 	lookup := root.Child("cache.lookup")
-	v, hit, err := s.cache.GetOrCompute(ctx, key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, error) {
+	v, hit, err := s.cache.GetOrCompute(ctx, key, st.Gen, epoch, func() (any, int64, methods.Footprint, relstore.Pred, bool, error) {
 		// This closure runs only for the flight that computes the
 		// entry, so a fill span here always belongs to this caller's
 		// own tree. The cached value itself never carries a trace.
@@ -792,10 +816,16 @@ func (s *Searcher) SearchContext(ctx context.Context, q SearchQuery) (res *Searc
 		res, err := s.execSearch(fillCtx, st, m, fmq)
 		fmq.Trace.End()
 		if err != nil {
-			return nil, 0, 0, nil, err
+			return nil, 0, 0, nil, false, err
 		}
 		fp := methods.QueryFootprint(st.T1, mq.Pred1, s.cacheRanges)
-		return res, res.approxBytes(), fp, mq.Pred1, nil
+		// Epoch re-check, AFTER the last base-table read above. Taken
+		// under db.mu: ApplyBatch makes rows visible and appends to the
+		// log while holding that lock, so once we acquire it any batch
+		// whose rows this fill could have observed has finished its
+		// append — Len moved — and the entry is skipped.
+		cacheable := s.epochSettled() == epoch
+		return res, res.approxBytes(), fp, mq.Pred1, cacheable, nil
 	})
 	if lookup != nil {
 		if hit {
@@ -848,6 +878,18 @@ func (s *Searcher) execSearch(ctx context.Context, st *methods.Store, m string, 
 	return out, nil
 }
 
+// epochSettled reads the applied-edge log length under db.mu. Unlike a
+// bare log.Len() — safe but racy against a batch that has already made
+// its rows visible and not yet appended to the log — acquiring db.mu
+// orders the read after any in-flight ApplyBatch completes, so a cache
+// fill comparing this against its pre-fill snapshot detects every
+// batch whose rows it could have observed.
+func (s *Searcher) epochSettled() int {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	return s.db.log.Len()
+}
+
 // searchCacheKey canonicalizes the result-identity part of the query:
 // resolved method and ranking, k, and the sorted constraint renderings.
 // Latency-only knobs (Speculation, Shards, the searcher's parallelism)
@@ -889,39 +931,74 @@ func (r *SearchResult) approxBytes() int64 {
 	return b
 }
 
+// guardAccessor gives the read-path accessors (Explain, Instances,
+// Witness, Space) the same lifecycle and containment treatment
+// SearchContext has: the read side of the lifecycle lock is held for
+// the whole call, so Close's drain covers accessors too, and a panic
+// inside fn is recovered into *EnginePanicError and counted in
+// SearcherStats.PanicsContained. The searcher.accessor fault point
+// fires before fn; an injected error (or contained panic) surfaces on
+// Explain and degrades the error-less accessors to their zero returns.
+func (s *Searcher) guardAccessor(site string, fn func() error) (err error) {
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError(site, v)
+			s.met.panics.Inc()
+		}
+	}()
+	if err = faultAccessor.Hit(); err != nil {
+		return err
+	}
+	return fn()
+}
+
 // Explain returns the optimizer's plan choice and rendering for a
 // top-k query without executing it.
 func (s *Searcher) Explain(q SearchQuery) (string, error) {
-	st := s.current()
-	mq, err := s.compileQuery(st, q)
+	var plan string
+	err := s.guardAccessor("searcher.explain", func() error {
+		st := s.current()
+		mq, err := s.compileQuery(st, q)
+		if err != nil {
+			return err
+		}
+		if mq.Ranking == "" {
+			mq.Ranking = RankDomain
+		}
+		if mq.K == 0 {
+			mq.K = 10
+		}
+		p, choice, err := st.ExplainOpt(mq, true)
+		if err != nil {
+			return err
+		}
+		plan = fmt.Sprintf("chosen plan: %s\n%s", choice.Kind, p)
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	if mq.Ranking == "" {
-		mq.Ranking = RankDomain
-	}
-	if mq.K == 0 {
-		mq.K = 10
-	}
-	plan, choice, err := st.ExplainOpt(mq, true)
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("chosen plan: %s\n%s", choice.Kind, plan), nil
+	return plan, nil
 }
 
 // Instances lists up to limit entity pairs related by the topology
-// (limit 0 = all).
+// (limit 0 = all). A contained panic yields nil.
 func (s *Searcher) Instances(topologyID int, limit int) [][2]int64 {
-	st := s.current()
-	pairs := st.Res.Instances(st.ES1, st.ES2, core.TopologyID(topologyID))
-	if limit > 0 && len(pairs) > limit {
-		pairs = pairs[:limit]
-	}
-	out := make([][2]int64, len(pairs))
-	for i, p := range pairs {
-		out[i] = [2]int64{int64(p[0]), int64(p[1])}
-	}
+	var out [][2]int64
+	_ = s.guardAccessor("searcher.instances", func() error {
+		st := s.current()
+		pairs := st.Res.Instances(st.ES1, st.ES2, core.TopologyID(topologyID))
+		if limit > 0 && len(pairs) > limit {
+			pairs = pairs[:limit]
+		}
+		out = make([][2]int64, len(pairs))
+		for i, p := range pairs {
+			out[i] = [2]int64{int64(p[0]), int64(p[1])}
+		}
+		return nil
+	})
 	return out
 }
 
@@ -931,31 +1008,47 @@ func (s *Searcher) Instances(topologyID int, limit int) [][2]int64 {
 // It runs against the same graph generation as the searcher's current
 // precomputed tables, so topology IDs always resolve consistently.
 func (s *Searcher) Witness(a, b int64, topologyID int) ([]string, bool) {
-	st := s.current()
-	g := st.G
-	w, ok := core.WitnessFor(g, st.Res.Reg,
-		graph.NodeID(a), graph.NodeID(b), core.TopologyID(topologyID), st.Cfg.Opts)
-	if !ok {
-		return nil, false
-	}
-	lines := make([]string, len(w.Paths))
-	for i, p := range w.Paths {
-		var sb strings.Builder
-		for j, n := range p.Nodes {
-			t, _ := g.NodeType(n)
-			fmt.Fprintf(&sb, "%s:%d", g.NodeTypes.Name(t), int64(n))
-			if j < len(p.Edges) {
-				fmt.Fprintf(&sb, " -[%s]- ", g.EdgeTypes.Name(p.Types[j]))
-			}
+	var lines []string
+	var found bool
+	_ = s.guardAccessor("searcher.witness", func() error {
+		st := s.current()
+		g := st.G
+		w, ok := core.WitnessFor(g, st.Res.Reg,
+			graph.NodeID(a), graph.NodeID(b), core.TopologyID(topologyID), st.Cfg.Opts)
+		if !ok {
+			return nil
 		}
-		lines[i] = sb.String()
+		lines = make([]string, len(w.Paths))
+		for i, p := range w.Paths {
+			var sb strings.Builder
+			for j, n := range p.Nodes {
+				t, _ := g.NodeType(n)
+				fmt.Fprintf(&sb, "%s:%d", g.NodeTypes.Name(t), int64(n))
+				if j < len(p.Edges) {
+					fmt.Fprintf(&sb, " -[%s]- ", g.EdgeTypes.Name(p.Types[j]))
+				}
+			}
+			lines[i] = sb.String()
+		}
+		found = true
+		return nil
+	})
+	if !found {
+		return nil, false
 	}
 	return lines, true
 }
 
 // Space reports the precomputed tables' storage footprint (the paper's
-// Table 1 row for this pair).
-func (s *Searcher) Space() methods.SpaceReport { return s.current().Space() }
+// Table 1 row for this pair). A contained panic yields a zero report.
+func (s *Searcher) Space() methods.SpaceReport {
+	var rep methods.SpaceReport
+	_ = s.guardAccessor("searcher.space", func() error {
+		rep = s.current().Space()
+		return nil
+	})
+	return rep
+}
 
 // PrunedCount reports how many topologies the offline phase pruned.
 func (s *Searcher) PrunedCount() int { return len(s.current().PrunedTIDs) }
